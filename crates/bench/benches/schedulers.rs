@@ -1,0 +1,134 @@
+//! Criterion benches measuring the cost of systematic testing (§6.2):
+//! executions per unit of time for each case-study harness, and the scheduler
+//! ablations called out in DESIGN.md (random vs PCT vs round-robin, PCT
+//! priority-change budget, liveness step bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psharp::prelude::*;
+
+fn run_iterations<F>(iterations: u64, max_steps: usize, scheduler: SchedulerKind, build: F) -> u64
+where
+    F: Fn(&mut Runtime),
+{
+    let engine = TestEngine::new(
+        TestConfig::new()
+            .with_iterations(iterations)
+            .with_max_steps(max_steps)
+            .with_seed(42)
+            .with_scheduler(scheduler),
+    );
+    engine.run(build).total_steps
+}
+
+/// Executions/second of each harness under the random scheduler (the cost the
+/// paper's §6.2 reports as "time to bug" denominators).
+fn harness_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executions_per_harness");
+    group.sample_size(10);
+
+    group.bench_function("replsim_fixed_10_execs", |b| {
+        b.iter(|| {
+            run_iterations(10, 1_500, SchedulerKind::Random, |rt| {
+                replsim::build_harness(rt, &replsim::ReplConfig::default());
+            })
+        })
+    });
+    group.bench_function("vnext_fixed_10_execs", |b| {
+        b.iter(|| {
+            run_iterations(10, 2_000, SchedulerKind::Random, |rt| {
+                vnext::build_harness(rt, &vnext::VnextConfig::default());
+            })
+        })
+    });
+    group.bench_function("chaintable_fixed_10_execs", |b| {
+        b.iter(|| {
+            run_iterations(10, 10_000, SchedulerKind::Random, |rt| {
+                chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
+            })
+        })
+    });
+    group.bench_function("fabric_fixed_10_execs", |b| {
+        b.iter(|| {
+            run_iterations(10, 5_000, SchedulerKind::Random, |rt| {
+                fabric::build_harness(rt, &fabric::FabricConfig::default());
+            })
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: scheduler strategy on the same buggy harness (time to explore a
+/// fixed execution budget).
+fn scheduler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_ablation_replsim_bug1");
+    group.sample_size(10);
+    let schedulers = [
+        ("random", SchedulerKind::Random),
+        ("pct2", SchedulerKind::Pct { change_points: 2 }),
+        ("round_robin", SchedulerKind::RoundRobin),
+    ];
+    for (label, scheduler) in schedulers {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scheduler, |b, &s| {
+            b.iter(|| {
+                run_iterations(20, 1_500, s, |rt| {
+                    replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: PCT priority-change budget on the vNext liveness bug.
+fn pct_budget_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pct_change_points_vnext");
+    group.sample_size(10);
+    for change_points in [0usize, 2, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(change_points),
+            &change_points,
+            |b, &cp| {
+                b.iter(|| {
+                    run_iterations(
+                        5,
+                        3_000,
+                        SchedulerKind::Pct { change_points: cp },
+                        |rt| {
+                            vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: the liveness "infinite execution" step bound (§2.5 heuristic).
+fn liveness_bound_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("liveness_step_bound_vnext");
+    group.sample_size(10);
+    for max_steps in [1_000usize, 3_000, 6_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_steps),
+            &max_steps,
+            |b, &bound| {
+                b.iter(|| {
+                    run_iterations(5, bound, SchedulerKind::Random, |rt| {
+                        vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    harness_throughput,
+    scheduler_ablation,
+    pct_budget_ablation,
+    liveness_bound_ablation
+);
+criterion_main!(benches);

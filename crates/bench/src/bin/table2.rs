@@ -1,0 +1,94 @@
+//! Regenerates Table 2 of the paper: for every re-introducible bug, whether
+//! the random and the priority-based (PCT) schedulers find it, the time to
+//! the first buggy execution, and the number of nondeterministic choices in
+//! that execution.
+//!
+//! Usage:
+//!
+//! ```text
+//! table2 [--iterations N] [--seed S] [--scheduler random|pct|both] [--json PATH]
+//! ```
+//!
+//! The paper uses 100,000 executions per cell; the default here is 2,000 so
+//! the whole table regenerates in minutes on a laptop. Pass `--iterations
+//! 100000` for the full-budget run.
+
+use std::fs;
+
+use bench::{bug_cases, hunt, BugHuntResult};
+use psharp::prelude::SchedulerKind;
+
+struct Args {
+    iterations: u64,
+    seed: u64,
+    schedulers: Vec<SchedulerKind>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iterations: 2_000,
+        seed: 2016,
+        schedulers: vec![
+            SchedulerKind::Random,
+            SchedulerKind::Pct { change_points: 2 },
+        ],
+        json: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--iterations" => {
+                args.iterations = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iterations requires a number");
+            }
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires a number");
+            }
+            "--scheduler" => match argv.next().as_deref() {
+                Some("random") => args.schedulers = vec![SchedulerKind::Random],
+                Some("pct") => args.schedulers = vec![SchedulerKind::Pct { change_points: 2 }],
+                Some("both") => {}
+                other => panic!("unknown scheduler {other:?}"),
+            },
+            "--json" => args.json = argv.next(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Table 2: systematic testing results ({} executions per bug and scheduler, seed {})\n",
+        args.iterations, args.seed
+    );
+    println!("{}", BugHuntResult::table_header());
+
+    let mut results: Vec<BugHuntResult> = Vec::new();
+    for case in bug_cases() {
+        for &scheduler in &args.schedulers {
+            let result = hunt(&case, scheduler, args.iterations, args.seed);
+            println!("{}", result.table_row());
+            results.push(result);
+        }
+    }
+
+    let found = results.iter().filter(|r| r.found).count();
+    println!(
+        "\n{} of {} (bug, scheduler) cells found the bug within the budget.",
+        found,
+        results.len()
+    );
+    if let Some(path) = args.json {
+        let json = serde_json::to_string_pretty(&results).expect("serialize results");
+        fs::write(&path, json).expect("write results file");
+        println!("results written to {path}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared experiment-runner utilities used by the table-regeneration binaries
+//! (`table1`, `table2`) and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use psharp::prelude::*;
+use serde::Serialize;
+
+/// One named, re-introducible bug together with the harness that exposes it.
+pub struct BugCase {
+    /// The case-study index used by the paper's Table 2 ("1" = vNext,
+    /// "2" = MigratingTable, "3" = Fabric).
+    pub case_study: u8,
+    /// The paper's bug identifier.
+    pub name: &'static str,
+    /// Builds the harness with the bug re-introduced.
+    pub build: Box<dyn Fn(&mut Runtime) + Send + Sync>,
+    /// Per-execution step bound appropriate for the harness.
+    pub max_steps: usize,
+}
+
+/// The full list of re-introducible bugs across the case studies, in the
+/// order of the paper's Table 2, plus the Fabric bugs reported in §5.
+pub fn bug_cases() -> Vec<BugCase> {
+    let mut cases: Vec<BugCase> = Vec::new();
+
+    // Case study 1: Azure Storage vNext.
+    cases.push(BugCase {
+        case_study: 1,
+        name: "ExtentNodeLivenessViolation",
+        build: Box::new(|rt| {
+            vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+        }),
+        max_steps: 3_000,
+    });
+
+    // Case study 2: MigratingTable (the eleven named bugs of Table 2).
+    for (name, config) in chaintable::named_bugs() {
+        cases.push(BugCase {
+            case_study: 2,
+            name,
+            build: Box::new(move |rt| {
+                chaintable::build_harness(rt, &config);
+            }),
+            max_steps: 10_000,
+        });
+    }
+
+    // Case study 3: Fabric (reported in §5, not part of Table 2).
+    cases.push(BugCase {
+        case_study: 3,
+        name: "FabricPromotePendingCopy",
+        build: Box::new(|rt| {
+            fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
+        }),
+        max_steps: 5_000,
+    });
+    cases.push(BugCase {
+        case_study: 3,
+        name: "CScaleUninitializedConfig",
+        build: Box::new(|rt| {
+            fabric::build_harness(rt, &fabric::FabricConfig::with_pipeline_bug());
+        }),
+        max_steps: 2_000,
+    });
+
+    cases
+}
+
+/// The outcome of hunting one bug with one scheduler (one cell group of
+/// Table 2).
+#[derive(Debug, Clone, Serialize)]
+pub struct BugHuntResult {
+    /// The case-study index.
+    pub case_study: u8,
+    /// The bug identifier.
+    pub bug: String,
+    /// The scheduler label ("random", "pct", ...).
+    pub scheduler: String,
+    /// Whether the bug was found within the execution budget.
+    pub found: bool,
+    /// Wall-clock time until the bug was found (when found).
+    pub time_to_bug_seconds: Option<f64>,
+    /// Number of nondeterministic choices in the first buggy execution.
+    pub ndc: Option<usize>,
+    /// Number of executions explored.
+    pub executions: u64,
+}
+
+impl BugHuntResult {
+    /// Renders one row of the Table 2 layout.
+    pub fn table_row(&self) -> String {
+        let found = if self.found { "yes" } else { "no " };
+        let time = self
+            .time_to_bug_seconds
+            .map(|t| format!("{t:10.2}"))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        let ndc = self
+            .ndc
+            .map(|n| format!("{n:8}"))
+            .unwrap_or_else(|| format!("{:>8}", "-"));
+        format!(
+            "{:>2}  {:<38} {:<7} {}  {}  {}  {:>9}",
+            self.case_study, self.bug, self.scheduler, found, time, ndc, self.executions
+        )
+    }
+
+    /// The header matching [`BugHuntResult::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:>2}  {:<38} {:<7} {}  {:>10}  {:>8}  {:>9}",
+            "CS", "Bug Identifier", "Sched", "BF?", "Time(s)", "#NDC", "Execs"
+        )
+    }
+}
+
+/// Runs one bug hunt: explores up to `iterations` executions of `case` under
+/// `scheduler` and reports whether (and how fast) the bug was found.
+pub fn hunt(case: &BugCase, scheduler: SchedulerKind, iterations: u64, seed: u64) -> BugHuntResult {
+    let config = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(case.max_steps)
+        .with_seed(seed)
+        .with_scheduler(scheduler);
+    let engine = TestEngine::new(config);
+    let build = &case.build;
+    let report = engine.run(|rt| build(rt));
+    BugHuntResult {
+        case_study: case.case_study,
+        bug: case.name.to_string(),
+        scheduler: scheduler.label().to_string(),
+        found: report.found_bug(),
+        time_to_bug_seconds: report
+            .bug
+            .as_ref()
+            .map(|b| b.time_to_bug.as_secs_f64()),
+        ndc: report.bug.as_ref().map(|b| b.ndc),
+        executions: report.iterations_run,
+    }
+}
+
+/// Verifies that a fixed (bug-free) harness stays clean for `iterations`
+/// executions; returns the violation if one is found.
+pub fn verify_fixed<F>(build: F, iterations: u64, max_steps: usize, seed: u64) -> Option<Bug>
+where
+    F: Fn(&mut Runtime),
+{
+    let engine = TestEngine::new(
+        TestConfig::new()
+            .with_iterations(iterations)
+            .with_max_steps(max_steps)
+            .with_seed(seed),
+    );
+    engine.run(build).bug.map(|b| b.bug)
+}
+
+/// Formats a [`Duration`] in seconds with two decimals.
+pub fn seconds(duration: Duration) -> String {
+    format!("{:.2}", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_case_list_covers_all_case_studies() {
+        let cases = bug_cases();
+        assert_eq!(cases.len(), 14);
+        assert_eq!(cases.iter().filter(|c| c.case_study == 1).count(), 1);
+        assert_eq!(cases.iter().filter(|c| c.case_study == 2).count(), 11);
+        assert_eq!(cases.iter().filter(|c| c.case_study == 3).count(), 2);
+    }
+
+    #[test]
+    fn hunting_an_easy_bug_finds_it_quickly() {
+        let cases = bug_cases();
+        let delete_primary_key = cases
+            .iter()
+            .find(|c| c.name == "DeletePrimaryKey")
+            .expect("known case");
+        let result = hunt(delete_primary_key, SchedulerKind::Random, 500, 11);
+        assert!(result.found);
+        assert!(result.ndc.unwrap_or(0) > 0);
+        assert!(result.table_row().contains("DeletePrimaryKey"));
+    }
+
+    #[test]
+    fn fixed_replsim_harness_verifies_clean() {
+        let bug = verify_fixed(
+            |rt| {
+                replsim::build_harness(rt, &replsim::ReplConfig::default());
+            },
+            25,
+            2_500,
+            7,
+        );
+        assert!(bug.is_none(), "unexpected violation: {bug:?}");
+    }
+
+    #[test]
+    fn table_header_and_rows_align() {
+        let header = BugHuntResult::table_header();
+        let row = BugHuntResult {
+            case_study: 2,
+            bug: "QueryStreamedLock".to_string(),
+            scheduler: "random".to_string(),
+            found: false,
+            time_to_bug_seconds: None,
+            ndc: None,
+            executions: 1000,
+        }
+        .table_row();
+        assert!(!header.is_empty());
+        assert!(row.contains("QueryStreamedLock"));
+    }
+}

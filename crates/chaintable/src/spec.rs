@@ -1,0 +1,441 @@
+//! The specification side of the MigratingTable harness: a reference model of
+//! the virtual table plus the comparison rules used by the safety monitor.
+//!
+//! The paper's harness mirrors every logical operation onto a reference table
+//! at its linearization point and compares outputs. Here:
+//!
+//! * **writes** are compared exactly: the model computes the outcome the
+//!   chain-table specification prescribes (success and whether an ETag is
+//!   returned, or which error) and flags any divergence; successful writes
+//!   are then applied to the model using the system's returned ETag, so later
+//!   conditional writes can be judged;
+//! * **queries** are checked with a *stable-rows* rule: any key whose
+//!   virtual-table value did not change between the query's start and its
+//!   completion must be reported exactly once with exactly the model's value
+//!   (and keys that are stably absent must not be reported at all). Keys
+//!   written concurrently with the query are exempt. This is weaker than full
+//!   linearizability but catches every missed-row, shadowing, tombstone and
+//!   resurrection defect seeded in this case study (see DESIGN.md).
+
+use std::collections::BTreeMap;
+
+use crate::table::{ETag, ETagMatch, Filter, OpResult, Row, TableError, TableOperation};
+
+/// The outcome the specification prescribes for a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpectedOutcome {
+    /// The write must succeed; `returns_etag` is `false` for deletes.
+    Success {
+        /// Whether the result must carry a new ETag.
+        returns_etag: bool,
+    },
+    /// The write must fail with [`TableError::AlreadyExists`].
+    AlreadyExists,
+    /// The write must fail with [`TableError::NotFound`].
+    NotFound,
+    /// The write must fail with [`TableError::ConditionFailed`].
+    ConditionFailed,
+}
+
+/// Per-key snapshot of write versions, used to decide stability of a key over
+/// a query's lifetime.
+pub type VersionSnapshot = BTreeMap<String, u64>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModelRow {
+    row: Row,
+    etag: Option<ETag>,
+}
+
+/// The reference model of the virtual table.
+#[derive(Debug, Clone, Default)]
+pub struct SpecModel {
+    rows: BTreeMap<String, ModelRow>,
+    versions: BTreeMap<String, u64>,
+}
+
+impl SpecModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        SpecModel::default()
+    }
+
+    /// Seeds the model with a pre-existing row (initial data loaded into the
+    /// backends before the test starts).
+    pub fn seed(&mut self, row: Row, etag: ETag) {
+        self.rows.insert(
+            row.key.clone(),
+            ModelRow {
+                row,
+                etag: Some(etag),
+            },
+        );
+    }
+
+    /// Number of rows currently present in the model.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the model holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The model's current value for `key`.
+    pub fn row(&self, key: &str) -> Option<&Row> {
+        self.rows.get(key).map(|m| &m.row)
+    }
+
+    /// A snapshot of the per-key write versions, taken when a query starts.
+    pub fn version_snapshot(&self) -> VersionSnapshot {
+        self.versions.clone()
+    }
+
+    fn version(&self, key: &str) -> u64 {
+        self.versions.get(key).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, key: &str) {
+        *self.versions.entry(key.to_string()).or_insert(0) += 1;
+    }
+
+    fn check_condition(&self, key: &str, condition: ETagMatch) -> Option<ExpectedOutcome> {
+        match self.rows.get(key) {
+            None => Some(ExpectedOutcome::NotFound),
+            Some(stored) => match condition {
+                ETagMatch::Any => None,
+                ETagMatch::Exact(expected) if Some(expected) == stored.etag => None,
+                ETagMatch::Exact(_) => Some(ExpectedOutcome::ConditionFailed),
+            },
+        }
+    }
+
+    /// Computes the outcome the specification prescribes for `op`.
+    pub fn expected_outcome(&self, op: &TableOperation) -> ExpectedOutcome {
+        match op {
+            TableOperation::Insert(row) => {
+                if self.rows.contains_key(&row.key) {
+                    ExpectedOutcome::AlreadyExists
+                } else {
+                    ExpectedOutcome::Success { returns_etag: true }
+                }
+            }
+            TableOperation::Replace(row, condition) | TableOperation::Merge(row, condition) => {
+                self.check_condition(&row.key, *condition)
+                    .unwrap_or(ExpectedOutcome::Success { returns_etag: true })
+            }
+            TableOperation::InsertOrReplace(_) => ExpectedOutcome::Success { returns_etag: true },
+            TableOperation::Delete(key, condition) => self
+                .check_condition(key, *condition)
+                .unwrap_or(ExpectedOutcome::Success {
+                    returns_etag: false,
+                }),
+        }
+    }
+
+    fn apply_success(&mut self, op: &TableOperation, result: &OpResult) {
+        match op {
+            TableOperation::Insert(row)
+            | TableOperation::Replace(row, _)
+            | TableOperation::InsertOrReplace(row) => {
+                self.rows.insert(
+                    row.key.clone(),
+                    ModelRow {
+                        row: row.clone(),
+                        etag: result.etag,
+                    },
+                );
+                self.bump(&row.key);
+            }
+            TableOperation::Merge(row, _) => {
+                let entry = self.rows.entry(row.key.clone()).or_insert_with(|| ModelRow {
+                    row: Row::empty(row.key.clone()),
+                    etag: result.etag,
+                });
+                for (name, value) in &row.properties {
+                    entry.row.properties.insert(name.clone(), value.clone());
+                }
+                entry.etag = result.etag;
+                self.bump(&row.key);
+            }
+            TableOperation::Delete(key, _) => {
+                self.rows.remove(key);
+                self.bump(key);
+            }
+        }
+    }
+
+    /// Records the actual outcome of a write at its linearization point.
+    ///
+    /// Returns a violation message when the actual outcome diverges from the
+    /// specification; otherwise updates the model and returns `None`.
+    pub fn record_write(
+        &mut self,
+        op: &TableOperation,
+        actual: &Result<OpResult, TableError>,
+    ) -> Option<String> {
+        let expected = self.expected_outcome(op);
+        match (&expected, actual) {
+            (ExpectedOutcome::Success { returns_etag }, Ok(result)) => {
+                if result.etag.is_some() != *returns_etag {
+                    return Some(format!(
+                        "write {op:?} returned etag presence {:?}, specification requires {}",
+                        result.etag.is_some(),
+                        returns_etag
+                    ));
+                }
+                self.apply_success(op, result);
+                None
+            }
+            (ExpectedOutcome::Success { .. }, Err(TableError::ConditionFailed(_))) => {
+                // Allowed: migration may refresh a row's stored version (the
+                // copy re-writes the row in the new table), so an optimistic
+                // concurrency check against an older ETag may spuriously fail.
+                // Spurious conflicts are safe — the client retries — whereas
+                // the dangerous direction (a write that must fail but
+                // succeeds) is still flagged below.
+                None
+            }
+            (ExpectedOutcome::Success { .. }, Err(err)) => Some(format!(
+                "write {op:?} must succeed per the specification but failed with {err}"
+            )),
+            (ExpectedOutcome::AlreadyExists, Err(TableError::AlreadyExists(_)))
+            | (ExpectedOutcome::NotFound, Err(TableError::NotFound(_)))
+            | (ExpectedOutcome::ConditionFailed, Err(TableError::ConditionFailed(_))) => None,
+            (expected, actual) => Some(format!(
+                "write {op:?} diverged: specification expects {expected:?}, system returned {actual:?}"
+            )),
+        }
+    }
+
+    /// Checks a completed query against the stable-rows rule.
+    ///
+    /// `started` is the version snapshot taken when the query began and
+    /// `results` the rows the query returned (virtual-table rows, already
+    /// merged by the client).
+    pub fn check_query(
+        &self,
+        started: &VersionSnapshot,
+        filter: &Filter,
+        results: &[Row],
+    ) -> Option<String> {
+        let stable = |key: &str| started.get(key).copied().unwrap_or(0) == self.version(key);
+
+        // 1. Every returned row with a stable key must match the model.
+        for returned in results {
+            if !stable(&returned.key) {
+                continue;
+            }
+            match self.rows.get(&returned.key) {
+                None => {
+                    return Some(format!(
+                        "query returned row {:?} although the key is stably deleted",
+                        returned.key
+                    ));
+                }
+                Some(model) => {
+                    if model.row.properties != returned.properties {
+                        return Some(format!(
+                            "query returned stale contents for stable key {:?}: got {:?}, expected {:?}",
+                            returned.key, returned.properties, model.row.properties
+                        ));
+                    }
+                    if !filter.matches(&model.row) {
+                        return Some(format!(
+                            "query returned key {:?} although its stable value does not match the filter",
+                            returned.key
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 2. Every stable, filter-matching model row must be returned.
+        for (key, model) in &self.rows {
+            if stable(key) && filter.matches(&model.row) {
+                let found = results.iter().filter(|r| &r.key == key).count();
+                if found == 0 {
+                    return Some(format!(
+                        "query missed stable row {key:?} that matches the filter"
+                    ));
+                }
+                if found > 1 {
+                    return Some(format!("query returned stable row {key:?} {found} times"));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Value;
+
+    fn row(key: &str, v: i64) -> Row {
+        Row::with_int(key, "v", v)
+    }
+
+    fn ok(key: &str, etag: Option<u64>) -> Result<OpResult, TableError> {
+        Ok(OpResult {
+            key: key.to_string(),
+            etag: etag.map(ETag),
+        })
+    }
+
+    #[test]
+    fn successful_insert_updates_the_model() {
+        let mut model = SpecModel::new();
+        let op = TableOperation::Insert(row("a", 1));
+        assert!(model.record_write(&op, &ok("a", Some(1))).is_none());
+        assert_eq!(model.row("a"), Some(&row("a", 1)));
+        assert_eq!(model.len(), 1);
+    }
+
+    #[test]
+    fn insert_that_should_conflict_is_flagged() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(1)));
+        let violation = model.record_write(&TableOperation::Insert(row("a", 2)), &ok("a", Some(2)));
+        assert!(violation.is_some());
+    }
+
+    #[test]
+    fn delete_must_not_return_an_etag() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(1)));
+        let violation = model.record_write(
+            &TableOperation::Delete("a".to_string(), ETagMatch::Any),
+            &ok("a", Some(7)),
+        );
+        assert!(violation.unwrap().contains("etag"));
+    }
+
+    #[test]
+    fn conditional_write_is_judged_against_the_recorded_etag() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(5)));
+        // Correct rejection of a stale etag matches the specification.
+        let stale = TableOperation::Replace(row("a", 2), ETagMatch::Exact(ETag(4)));
+        assert!(model
+            .record_write(&stale, &Err(TableError::ConditionFailed("a".into())))
+            .is_none());
+        // A system that applies the stale write diverges.
+        assert!(model.record_write(&stale, &ok("a", Some(6))).is_some());
+    }
+
+    #[test]
+    fn expected_outcomes_cover_all_cases() {
+        let mut model = SpecModel::new();
+        assert_eq!(
+            model.expected_outcome(&TableOperation::Delete("a".into(), ETagMatch::Any)),
+            ExpectedOutcome::NotFound
+        );
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(3)));
+        assert_eq!(
+            model.expected_outcome(&TableOperation::Insert(row("a", 1))),
+            ExpectedOutcome::AlreadyExists
+        );
+        assert_eq!(
+            model.expected_outcome(&TableOperation::Replace(row("a", 2), ETagMatch::Exact(ETag(3)))),
+            ExpectedOutcome::Success { returns_etag: true }
+        );
+        assert_eq!(
+            model.expected_outcome(&TableOperation::Replace(row("a", 2), ETagMatch::Exact(ETag(9)))),
+            ExpectedOutcome::ConditionFailed
+        );
+        assert_eq!(
+            model.expected_outcome(&TableOperation::Delete("a".into(), ETagMatch::Any)),
+            ExpectedOutcome::Success {
+                returns_etag: false
+            }
+        );
+    }
+
+    #[test]
+    fn stable_row_must_be_returned_exactly_once_with_model_value() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(1)));
+        let snapshot = model.version_snapshot();
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[row("a", 1)])
+            .is_none());
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[])
+            .unwrap()
+            .contains("missed"));
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[row("a", 2)])
+            .unwrap()
+            .contains("stale"));
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[row("a", 1), row("a", 1)])
+            .unwrap()
+            .contains("times"));
+    }
+
+    #[test]
+    fn unstable_keys_are_exempt_from_query_checks() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(1)));
+        let snapshot = model.version_snapshot();
+        // A write lands while the query is in flight.
+        model.record_write(
+            &TableOperation::Replace(row("a", 9), ETagMatch::Any),
+            &ok("a", Some(2)),
+        );
+        // The query may return the old value, the new value, or even miss the
+        // key entirely without being flagged.
+        assert!(model.check_query(&snapshot, &Filter::All, &[row("a", 1)]).is_none());
+        assert!(model.check_query(&snapshot, &Filter::All, &[row("a", 9)]).is_none());
+        assert!(model.check_query(&snapshot, &Filter::All, &[]).is_none());
+    }
+
+    #[test]
+    fn stably_deleted_keys_must_not_reappear() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(1)));
+        model.record_write(
+            &TableOperation::Delete("a".to_string(), ETagMatch::Any),
+            &ok("a", None),
+        );
+        let snapshot = model.version_snapshot();
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[row("a", 1)])
+            .unwrap()
+            .contains("stably deleted"));
+    }
+
+    #[test]
+    fn filter_restricts_which_stable_rows_are_required() {
+        let mut model = SpecModel::new();
+        model.record_write(&TableOperation::Insert(row("a", 1)), &ok("a", Some(1)));
+        model.record_write(&TableOperation::Insert(row("b", 2)), &ok("b", Some(2)));
+        let snapshot = model.version_snapshot();
+        let filter = Filter::PropertyEquals {
+            name: "v".to_string(),
+            value: Value::Int(2),
+        };
+        assert!(model
+            .check_query(&snapshot, &filter, &[row("b", 2)])
+            .is_none());
+        // Returning a stable row that does not match the filter is an error.
+        assert!(model
+            .check_query(&snapshot, &filter, &[row("a", 1), row("b", 2)])
+            .is_some());
+    }
+
+    #[test]
+    fn seeded_rows_participate_in_checks() {
+        let mut model = SpecModel::new();
+        model.seed(row("a", 1), ETag(1));
+        let snapshot = model.version_snapshot();
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[])
+            .unwrap()
+            .contains("missed"));
+        assert!(!model.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the chain-table implementation and the migration
+//! protocol's key invariant: migration never changes what the virtual table
+//! contains.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use chaintable::migrate::{ChainBugs, MigratingStore, Phase};
+use chaintable::table::{
+    ChainTable, ChainTableExt, ETagMatch, Filter, InMemoryTable, Row, TableOperation,
+};
+
+fn arb_key() -> impl Strategy<Value = String> {
+    (0u8..6).prop_map(|k| format!("k{k}"))
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (arb_key(), 0i64..5).prop_map(|(key, v)| Row::with_int(key, "v", v))
+}
+
+fn arb_op() -> impl Strategy<Value = TableOperation> {
+    prop_oneof![
+        arb_row().prop_map(TableOperation::Insert),
+        arb_row().prop_map(|r| TableOperation::Replace(r, ETagMatch::Any)),
+        arb_row().prop_map(|r| TableOperation::Merge(r, ETagMatch::Any)),
+        arb_row().prop_map(TableOperation::InsertOrReplace),
+        arb_key().prop_map(|k| TableOperation::Delete(k, ETagMatch::Any)),
+    ]
+}
+
+/// A trivial model of a table: key → value of the "v" property.
+fn apply_to_model(model: &mut BTreeMap<String, i64>, op: &TableOperation) {
+    let value_of = |row: &Row| match row.properties.get("v") {
+        Some(chaintable::table::Value::Int(v)) => *v,
+        _ => 0,
+    };
+    match op {
+        TableOperation::Insert(row) => {
+            model.entry(row.key.clone()).or_insert_with(|| value_of(row));
+        }
+        TableOperation::Replace(row, _) | TableOperation::Merge(row, _) => {
+            if model.contains_key(&row.key) {
+                model.insert(row.key.clone(), value_of(row));
+            }
+        }
+        TableOperation::InsertOrReplace(row) => {
+            model.insert(row.key.clone(), value_of(row));
+        }
+        TableOperation::Delete(key, _) => {
+            model.remove(key);
+        }
+    }
+}
+
+proptest! {
+    /// The in-memory table agrees with a simple map model under arbitrary
+    /// unconditional operation sequences.
+    #[test]
+    fn in_memory_table_matches_map_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut table = InMemoryTable::new();
+        let mut model: BTreeMap<String, i64> = BTreeMap::new();
+        for op in &ops {
+            let _ = table.execute(op.clone());
+            apply_to_model(&mut model, op);
+        }
+        let rows = table.query_atomic(&Filter::All);
+        prop_assert_eq!(rows.len(), model.len());
+        for stored in rows {
+            let expected = model.get(&stored.row.key).copied();
+            let actual = match stored.row.properties.get("v") {
+                Some(chaintable::table::Value::Int(v)) => Some(*v),
+                _ => Some(0),
+            };
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    /// Query results are always sorted by key and respect the key-range filter.
+    #[test]
+    fn queries_are_sorted_and_filtered(ops in prop::collection::vec(arb_op(), 0..40), from in 0u8..6, to in 0u8..6) {
+        let mut table = InMemoryTable::new();
+        for op in &ops {
+            let _ = table.execute(op.clone());
+        }
+        let (from, to) = (from.min(to), from.max(to));
+        let filter = Filter::KeyRange { from: format!("k{from}"), to: format!("k{to}") };
+        let rows = table.query_atomic(&filter);
+        for pair in rows.windows(2) {
+            prop_assert!(pair[0].row.key < pair[1].row.key);
+        }
+        for stored in &rows {
+            prop_assert!(filter.matches(&stored.row));
+        }
+    }
+
+    /// A full (fixed) migration pass never changes the virtual table: whatever
+    /// rows were written before the migration are still exactly the rows
+    /// visible after it, with the old table drained.
+    #[test]
+    fn migration_preserves_the_virtual_table(ops in prop::collection::vec(arb_op(), 0..40), delete_after_copy in any::<bool>()) {
+        let mut store = MigratingStore::new(ChainBugs::none());
+        for op in &ops {
+            let _ = store.execute_write(op);
+        }
+        let before = store.virtual_snapshot(&Filter::All);
+
+        // Run the migrator's plan to completion, phase by phase.
+        store.set_phase(Phase::PreferOld);
+        store.set_phase(Phase::UseNewWithTombstones);
+        let mut cursor = String::new();
+        while let Some(copied) = store.migrator_copy_next(&cursor, delete_after_copy) {
+            cursor = format!("{copied}\u{0}");
+        }
+        store.set_phase(Phase::UseNewHideTombstones);
+        while store.migrator_clean_tombstone() {}
+        store.set_phase(Phase::UseNew);
+
+        let after = store.virtual_snapshot(&Filter::All);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Conditional writes against the virtual table enforce ETag semantics in
+    /// every phase: a stale tag is rejected, the stored row is untouched.
+    #[test]
+    fn stale_etags_are_rejected_in_every_phase(value in 0i64..5, phase_index in 0usize..5) {
+        let phases = [
+            Phase::UseOld,
+            Phase::PreferOld,
+            Phase::UseNewWithTombstones,
+            Phase::UseNewHideTombstones,
+            Phase::UseNew,
+        ];
+        let mut store = MigratingStore::new(ChainBugs::none());
+        let first = store
+            .execute_write(&TableOperation::Insert(Row::with_int("k0", "v", value)))
+            .expect("insert succeeds");
+        let current = store
+            .execute_write(&TableOperation::Replace(
+                Row::with_int("k0", "v", value + 1),
+                ETagMatch::Any,
+            ))
+            .expect("replace succeeds");
+        store.set_phase(phases[phase_index]);
+        if phases[phase_index] == Phase::UseNewWithTombstones {
+            // In the merge phase the row may live in either backend (here it
+            // still lives in the old table); the stale tag from the very
+            // first write must still be rejected.
+            let result = store.execute_write(&TableOperation::Replace(
+                Row::with_int("k0", "v", 99),
+                ETagMatch::Exact(first.etag.expect("insert returned an etag")),
+            ));
+            prop_assert!(result.is_err());
+            let visible = store.virtual_read("k0").expect("row still present");
+            prop_assert_eq!(Some(visible.etag), current.etag);
+        }
+    }
+}

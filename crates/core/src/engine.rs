@@ -1,0 +1,394 @@
+//! The systematic testing engine.
+//!
+//! A [`TestEngine`] repeatedly executes a test harness from start to
+//! completion, each time exploring a potentially different set of
+//! nondeterministic choices, until it either reaches a user-supplied bound
+//! (number of executions) or it hits a safety or liveness property violation.
+//! On a violation it returns a [`BugReport`] containing the replayable
+//! [`Trace`] of the buggy execution.
+
+use std::time::{Duration, Instant};
+
+use crate::error::Bug;
+use crate::runtime::{ExecutionOutcome, Runtime, RuntimeConfig};
+use crate::scheduler::{ReplayScheduler, SchedulerKind};
+use crate::trace::Trace;
+
+/// Configuration of a systematic testing run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestConfig {
+    /// Maximum number of executions to explore.
+    pub iterations: u64,
+    /// Step bound per execution (the "infinite execution" approximation for
+    /// liveness checking).
+    pub max_steps: usize,
+    /// Base random seed; each iteration derives its own seed from it.
+    pub seed: u64,
+    /// Scheduling strategy.
+    pub scheduler: SchedulerKind,
+    /// Whether liveness monitors are also checked when the system quiesces.
+    pub check_liveness_at_quiescence: bool,
+    /// Whether machine panics are caught and reported as bugs.
+    pub catch_panics: bool,
+}
+
+impl Default for TestConfig {
+    fn default() -> Self {
+        TestConfig {
+            iterations: 1_000,
+            max_steps: 5_000,
+            seed: 0,
+            scheduler: SchedulerKind::Random,
+            check_liveness_at_quiescence: true,
+            catch_panics: true,
+        }
+    }
+}
+
+impl TestConfig {
+    /// Creates a configuration with the default exploration bounds.
+    pub fn new() -> Self {
+        TestConfig::default()
+    }
+
+    /// Sets the number of executions to explore.
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the per-execution step bound.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the base random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scheduling strategy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    fn runtime_config(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            max_steps: self.max_steps,
+            check_liveness_at_quiescence: self.check_liveness_at_quiescence,
+            catch_panics: self.catch_panics,
+        }
+    }
+
+    /// The seed that drives iteration `iteration` of a run with this
+    /// configuration.
+    pub fn seed_for_iteration(&self, iteration: u64) -> u64 {
+        self.seed ^ (iteration.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// The first property violation found by a testing run, together with
+/// everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// The violation.
+    pub bug: Bug,
+    /// The (0-based) iteration at which it was found.
+    pub iteration: u64,
+    /// Number of nondeterministic choices made in the buggy execution
+    /// (the paper's `#NDC`).
+    pub ndc: usize,
+    /// The replayable trace of the buggy execution.
+    pub trace: Trace,
+    /// Time elapsed from the start of the run until the bug was found.
+    pub time_to_bug: Duration,
+}
+
+/// Outcome of a systematic testing run.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// The first violation found, if any.
+    pub bug: Option<BugReport>,
+    /// Number of executions explored (including the buggy one).
+    pub iterations_run: u64,
+    /// Total machine steps executed across all iterations.
+    pub total_steps: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Label of the scheduler that drove the run.
+    pub scheduler: &'static str,
+}
+
+impl TestReport {
+    /// Returns `true` when a property violation was found.
+    pub fn found_bug(&self) -> bool {
+        self.bug.is_some()
+    }
+
+    /// Executions explored per second of wall-clock time.
+    pub fn executions_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.iterations_run as f64 / secs
+        }
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn summary(&self) -> String {
+        match &self.bug {
+            Some(report) => format!(
+                "BUG FOUND ({}) after {} executions in {:.2}s with {} nondeterministic choices: {}",
+                self.scheduler,
+                report.iteration + 1,
+                report.time_to_bug.as_secs_f64(),
+                report.ndc,
+                report.bug
+            ),
+            None => format!(
+                "no bug found ({}) in {} executions ({:.2}s, {:.0} exec/s)",
+                self.scheduler,
+                self.iterations_run,
+                self.elapsed.as_secs_f64(),
+                self.executions_per_second()
+            ),
+        }
+    }
+}
+
+/// Systematically tests a harness by exploring many executions.
+///
+/// # Examples
+///
+/// ```
+/// use psharp::prelude::*;
+///
+/// #[derive(Debug)]
+/// struct Go;
+///
+/// struct Flaky;
+/// impl Machine for Flaky {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         // A bug that manifests only under one of the controlled choices.
+///         let unlucky = ctx.random_bool();
+///         ctx.assert(!unlucky, "the unlucky path was taken");
+///     }
+///     fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+/// }
+///
+/// let engine = TestEngine::new(TestConfig::new().with_iterations(100));
+/// let report = engine.run(|rt| {
+///     rt.create_machine(Flaky);
+/// });
+/// assert!(report.found_bug());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestEngine {
+    config: TestConfig,
+}
+
+impl TestEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: TestConfig) -> Self {
+        TestEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TestConfig {
+        &self.config
+    }
+
+    /// Runs up to `iterations` executions of the harness built by `setup`,
+    /// stopping at the first property violation.
+    ///
+    /// The `setup` closure is invoked once per execution with a fresh
+    /// [`Runtime`]; it must create the machines and monitors of the test and
+    /// may send initial events.
+    pub fn run<F>(&self, setup: F) -> TestReport
+    where
+        F: Fn(&mut Runtime),
+    {
+        let start = Instant::now();
+        let mut total_steps: u64 = 0;
+        for iteration in 0..self.config.iterations {
+            let seed = self.config.seed_for_iteration(iteration);
+            let scheduler = self.config.scheduler.build(seed, self.config.max_steps);
+            let mut runtime = Runtime::new(scheduler, self.config.runtime_config(), seed);
+            setup(&mut runtime);
+            let outcome = runtime.run();
+            total_steps += runtime.steps() as u64;
+            if let ExecutionOutcome::BugFound(bug) = outcome {
+                let elapsed = start.elapsed();
+                return TestReport {
+                    bug: Some(BugReport {
+                        bug,
+                        iteration,
+                        ndc: runtime.trace().decision_count(),
+                        trace: runtime.trace().clone(),
+                        time_to_bug: elapsed,
+                    }),
+                    iterations_run: iteration + 1,
+                    total_steps,
+                    elapsed,
+                    scheduler: self.config.scheduler.label(),
+                };
+            }
+        }
+        TestReport {
+            bug: None,
+            iterations_run: self.config.iterations,
+            total_steps,
+            elapsed: start.elapsed(),
+            scheduler: self.config.scheduler.label(),
+        }
+    }
+
+    /// Replays a previously recorded trace against the harness built by
+    /// `setup` and returns the violation it reproduces, if any.
+    ///
+    /// Returns `None` when the replayed execution finds no bug (for example
+    /// because the system has been fixed since the trace was recorded).
+    pub fn replay<F>(&self, trace: &Trace, setup: F) -> Option<Bug>
+    where
+        F: Fn(&mut Runtime),
+    {
+        let scheduler = Box::new(ReplayScheduler::from_trace(trace));
+        let mut runtime = Runtime::new(scheduler, self.config.runtime_config(), trace.seed);
+        setup(&mut runtime);
+        match runtime.run() {
+            ExecutionOutcome::BugFound(bug) => Some(bug),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::BugKind;
+    use crate::event::Event;
+    use crate::machine::Machine;
+    use crate::runtime::Context;
+
+    /// Two writer machines race to update a shared flag machine. The flag
+    /// starts `false` and asserts that it never observes a `SetFlag(false)`
+    /// while already `false`, so the bug manifests only in the interleaving
+    /// where the `false` writer is scheduled before the `true` writer —
+    /// schedule exploration is required to find it.
+    struct Flag {
+        value: bool,
+    }
+    impl Machine for Flag {
+        fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+            if let Some(set) = event.downcast_ref::<SetFlag>() {
+                if !set.0 && !self.value {
+                    ctx.assert(false, "cleared a flag that was never set");
+                }
+                self.value = set.0;
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct SetFlag(bool);
+
+    struct Writer {
+        flag: crate::machine::MachineId,
+        value: bool,
+    }
+    impl Machine for Writer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.flag, Event::new(SetFlag(self.value)));
+        }
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+
+    fn racey_setup(rt: &mut Runtime) {
+        let flag = rt.create_machine(Flag { value: false });
+        rt.create_machine(Writer { flag, value: true });
+        rt.create_machine(Writer { flag, value: false });
+    }
+
+    #[test]
+    fn engine_finds_order_dependent_bug() {
+        let engine = TestEngine::new(TestConfig::new().with_iterations(200).with_seed(1));
+        let report = engine.run(racey_setup);
+        assert!(report.found_bug());
+        let bug = report.bug.as_ref().unwrap();
+        assert_eq!(bug.bug.kind, BugKind::SafetyViolation);
+        assert!(bug.ndc > 0);
+        assert!(report.iterations_run <= 200);
+    }
+
+    #[test]
+    fn engine_reports_no_bug_for_correct_system() {
+        struct Quiet;
+        impl Machine for Quiet {
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let engine = TestEngine::new(TestConfig::new().with_iterations(50));
+        let report = engine.run(|rt| {
+            rt.create_machine(Quiet);
+        });
+        assert!(!report.found_bug());
+        assert_eq!(report.iterations_run, 50);
+    }
+
+    #[test]
+    fn replay_reproduces_the_same_bug() {
+        let engine = TestEngine::new(TestConfig::new().with_iterations(500).with_seed(3));
+        let report = engine.run(racey_setup);
+        let bug_report = report.bug.expect("bug should be found");
+        let replayed = engine
+            .replay(&bug_report.trace, racey_setup)
+            .expect("replay should reproduce the bug");
+        assert_eq!(replayed.kind, bug_report.bug.kind);
+        assert_eq!(replayed.message, bug_report.bug.message);
+    }
+
+    #[test]
+    fn pct_scheduler_also_finds_the_bug() {
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(500)
+                .with_seed(5)
+                .with_scheduler(SchedulerKind::Pct { change_points: 2 }),
+        );
+        let report = engine.run(racey_setup);
+        assert!(report.found_bug());
+        assert_eq!(report.scheduler, "pct");
+    }
+
+    #[test]
+    fn iteration_seeds_are_distinct() {
+        let config = TestConfig::new().with_seed(42);
+        let a = config.seed_for_iteration(0);
+        let b = config.seed_for_iteration(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn summary_mentions_result() {
+        let engine = TestEngine::new(TestConfig::new().with_iterations(10));
+        let report = engine.run(|rt| {
+            let _ = rt;
+        });
+        assert!(report.summary().contains("no bug found"));
+        let engine = TestEngine::new(TestConfig::new().with_iterations(200).with_seed(1));
+        let report = engine.run(racey_setup);
+        assert!(report.summary().contains("BUG FOUND"));
+    }
+
+    #[test]
+    fn executions_per_second_is_positive_after_run() {
+        let engine = TestEngine::new(TestConfig::new().with_iterations(20));
+        let report = engine.run(|rt| {
+            let _ = rt;
+        });
+        assert!(report.executions_per_second() >= 0.0);
+    }
+}

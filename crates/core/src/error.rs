@@ -1,0 +1,149 @@
+//! Bug classification and error types reported by the testing engine.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The class of property violation detected during an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugKind {
+    /// A safety monitor assertion, a machine-local assertion, or any other
+    /// finite-trace property violation.
+    SafetyViolation,
+    /// A liveness monitor remained in a hot state at the end of a bounded
+    /// ("infinite") execution, or at quiescence.
+    LivenessViolation,
+    /// A machine panicked while handling an event (the analogue of an
+    /// unhandled exception in the system-under-test).
+    Panic,
+    /// An event was delivered to a machine that declared it must never
+    /// receive it.
+    UnhandledEvent,
+    /// No machine is enabled but a machine explicitly declared it is waiting
+    /// for further input.
+    Deadlock,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::SafetyViolation => "safety violation",
+            BugKind::LivenessViolation => "liveness violation",
+            BugKind::Panic => "panic in machine handler",
+            BugKind::UnhandledEvent => "unhandled event",
+            BugKind::Deadlock => "deadlock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A property violation found in one execution of the system-under-test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bug {
+    /// The class of violation.
+    pub kind: BugKind,
+    /// Human readable description (assertion message, monitor name, ...).
+    pub message: String,
+    /// The machine or monitor that detected the violation, when known.
+    pub source: Option<String>,
+    /// The execution step at which the violation was detected.
+    pub step: usize,
+}
+
+impl Bug {
+    /// Creates a bug report.
+    pub fn new(kind: BugKind, message: impl Into<String>) -> Self {
+        Bug {
+            kind,
+            message: message.into(),
+            source: None,
+            step: 0,
+        }
+    }
+
+    /// Attaches the machine or monitor name that detected the violation.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Attaches the execution step at which the violation was detected.
+    pub fn with_step(mut self, step: usize) -> Self {
+        self.step = step;
+        self
+    }
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)?;
+        if let Some(source) = &self.source {
+            write!(f, " (detected by {source})")?;
+        }
+        write!(f, " at step {}", self.step)
+    }
+}
+
+impl Error for Bug {}
+
+/// Error returned when replaying a recorded trace diverges from the recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Description of the divergence.
+    pub message: String,
+    /// Index of the decision at which replay diverged.
+    pub decision_index: usize,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace replay diverged at decision {}: {}",
+            self.decision_index, self.message
+        )
+    }
+}
+
+impl Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_display_includes_kind_and_message() {
+        let bug = Bug::new(BugKind::SafetyViolation, "replica count too low")
+            .with_source("RepairMonitor")
+            .with_step(17);
+        let s = bug.to_string();
+        assert!(s.contains("safety violation"));
+        assert!(s.contains("replica count too low"));
+        assert!(s.contains("RepairMonitor"));
+        assert!(s.contains("17"));
+    }
+
+    #[test]
+    fn bug_kind_display_is_lowercase() {
+        assert_eq!(BugKind::LivenessViolation.to_string(), "liveness violation");
+        assert_eq!(BugKind::Deadlock.to_string(), "deadlock");
+    }
+
+    #[test]
+    fn bug_round_trips_through_json() {
+        let bug = Bug::new(BugKind::Panic, "index out of bounds").with_step(3);
+        let json = serde_json::to_string(&bug).expect("serialize");
+        let back: Bug = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(bug, back);
+    }
+
+    #[test]
+    fn replay_error_display() {
+        let err = ReplayError {
+            message: "expected Bool, got Schedule".to_string(),
+            decision_index: 5,
+        };
+        assert!(err.to_string().contains("decision 5"));
+    }
+}

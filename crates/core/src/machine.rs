@@ -1,0 +1,248 @@
+//! Machines: the concurrently executing actors of the programming model.
+//!
+//! A machine owns private state and a FIFO mailbox of [`Event`]s. Machines run
+//! "concurrently" with each other: under the systematic testing runtime the
+//! execution is serialized and the scheduler decides which enabled machine
+//! handles its next event, but machine code is written exactly as if it were
+//! running concurrently in production.
+//!
+//! Two styles are supported:
+//!
+//! * implement [`Machine`] directly — an `handle` method that dispatches on
+//!   the received event; or
+//! * implement [`StateMachine`] — a declarative style with named states and
+//!   per-state handling, closer to P#'s `state`/`OnEvent` syntax. A
+//!   `StateMachine` is adapted into a `Machine` by [`StateMachineRunner`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{short_type_name, Event};
+use crate::monitor::AsAny;
+use crate::runtime::Context;
+
+/// Identifier of a machine instance within one execution.
+///
+/// Ids are assigned sequentially in creation order, which makes them
+/// deterministic across replays of the same schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(u64);
+
+impl MachineId {
+    /// Creates an id from its raw index. Exposed for trace (de)serialization
+    /// and for tests; ordinarily ids are produced by the runtime.
+    pub fn from_raw(raw: u64) -> Self {
+        MachineId(raw)
+    }
+
+    /// The raw index of this id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An actor with private state that handles one event at a time.
+///
+/// # Examples
+///
+/// ```
+/// use psharp::prelude::*;
+///
+/// #[derive(Debug)]
+/// struct Ping;
+///
+/// struct Counter {
+///     count: u32,
+/// }
+///
+/// impl Machine for Counter {
+///     fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+///         if event.is::<Ping>() {
+///             self.count += 1;
+///             ctx.assert(self.count < 3, "too many pings");
+///         }
+///     }
+/// }
+/// ```
+pub trait Machine: AsAny + 'static {
+    /// Invoked once, before the machine handles its first event.
+    ///
+    /// The default implementation does nothing.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Handles one event dequeued from the machine's mailbox.
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event);
+
+    /// The machine's display name, used in traces and bug reports.
+    ///
+    /// Defaults to the implementing type's short name.
+    fn name(&self) -> &str {
+        short_type_name::<Self>()
+    }
+}
+
+/// The outcome of handling an event in a [`StateMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition<S> {
+    /// Remain in the current state.
+    Stay,
+    /// Move to a new state. The runner records the transition so harness
+    /// statistics (the paper's `#ST`) can be derived.
+    Goto(S),
+    /// Halt this machine; it will not handle further events.
+    Halt,
+}
+
+/// A declarative machine with named states.
+///
+/// This mirrors P# machine declarations, where each state registers actions
+/// for the events it handles. The current state is tracked by the
+/// [`StateMachineRunner`] adapter; handlers receive it explicitly and return a
+/// [`Transition`].
+pub trait StateMachine: 'static {
+    /// The state space of this machine.
+    type State: Copy + Eq + fmt::Debug + 'static;
+
+    /// The state the machine starts in.
+    fn initial_state(&self) -> Self::State;
+
+    /// Invoked once before the first event is handled.
+    fn on_start(&mut self, ctx: &mut Context<'_>) -> Transition<Self::State> {
+        let _ = ctx;
+        Transition::Stay
+    }
+
+    /// Handles `event` while in `state`, returning the state transition.
+    fn handle_in(
+        &mut self,
+        state: Self::State,
+        ctx: &mut Context<'_>,
+        event: Event,
+    ) -> Transition<Self::State>;
+
+    /// The machine's display name.
+    fn name(&self) -> &str {
+        short_type_name::<Self>()
+    }
+}
+
+/// Adapter that runs a [`StateMachine`] as a [`Machine`], tracking its current
+/// state and counting state transitions.
+pub struct StateMachineRunner<M: StateMachine> {
+    inner: M,
+    state: M::State,
+    transitions: usize,
+}
+
+impl<M: StateMachine> StateMachineRunner<M> {
+    /// Wraps a state machine, placing it in its initial state.
+    pub fn new(inner: M) -> Self {
+        let state = inner.initial_state();
+        StateMachineRunner {
+            inner,
+            state,
+            transitions: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> M::State {
+        self.state
+    }
+
+    /// The number of state transitions taken so far.
+    pub fn transitions(&self) -> usize {
+        self.transitions
+    }
+
+    /// Borrows the wrapped state machine.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    fn apply(&mut self, ctx: &mut Context<'_>, transition: Transition<M::State>) {
+        match transition {
+            Transition::Stay => {}
+            Transition::Goto(next) => {
+                if next != self.state {
+                    self.transitions += 1;
+                }
+                self.state = next;
+            }
+            Transition::Halt => ctx.halt(),
+        }
+    }
+}
+
+impl<M: StateMachine> Machine for StateMachineRunner<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let t = self.inner.on_start(ctx);
+        self.apply(ctx, t);
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        let t = self.inner.handle_in(self.state, ctx, event);
+        self.apply(ctx, t);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_id_display_and_raw() {
+        let id = MachineId::from_raw(4);
+        assert_eq!(id.to_string(), "#4");
+        assert_eq!(id.raw(), 4);
+    }
+
+    #[test]
+    fn machine_id_ordering_follows_creation_order() {
+        assert!(MachineId::from_raw(1) < MachineId::from_raw(2));
+    }
+
+    #[test]
+    fn machine_id_serde_round_trip() {
+        let id = MachineId::from_raw(9);
+        let json = serde_json::to_string(&id).expect("serialize");
+        let back: MachineId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(id, back);
+    }
+
+    // The StateMachineRunner transition accounting is exercised without a full
+    // runtime in the runtime module's tests (a Context is required to call
+    // handlers), so here we only check construction invariants.
+    struct Trivial;
+
+    impl StateMachine for Trivial {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn handle_in(&mut self, _s: u8, _ctx: &mut Context<'_>, _e: Event) -> Transition<u8> {
+            Transition::Goto(1)
+        }
+    }
+
+    #[test]
+    fn runner_starts_in_initial_state() {
+        let runner = StateMachineRunner::new(Trivial);
+        assert_eq!(runner.state(), 0);
+        assert_eq!(runner.transitions(), 0);
+        assert_eq!(Machine::name(&runner), "Trivial");
+    }
+}

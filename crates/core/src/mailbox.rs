@@ -1,0 +1,97 @@
+//! Per-machine FIFO event queues.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// The FIFO queue of events waiting to be handled by one machine.
+///
+/// Sends are non-blocking: the event is appended to the target's mailbox and
+/// handled later, when the scheduler next picks the target machine. Delivery
+/// order between two sends to the same machine follows the order in which the
+/// sends executed; nondeterminism in message ordering arises from the
+/// scheduler interleaving the *senders*.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: VecDeque<Event>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn enqueue(&mut self, event: Event) {
+        self.queue.push_back(event);
+    }
+
+    /// Removes and returns the oldest event, if any.
+    pub fn dequeue(&mut self) -> Option<Event> {
+        self.queue.pop_front()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Name of the oldest pending event, if any (used for trace annotation).
+    pub fn peek_name(&self) -> Option<&'static str> {
+        self.queue.front().map(Event::name)
+    }
+
+    /// Drops all pending events (used when a machine halts).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct A(u32);
+    #[derive(Debug)]
+    struct B;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut mb = Mailbox::new();
+        mb.enqueue(Event::new(A(1)));
+        mb.enqueue(Event::new(B));
+        mb.enqueue(Event::new(A(2)));
+        assert_eq!(mb.len(), 3);
+        assert_eq!(mb.dequeue().unwrap().downcast::<A>().unwrap().0, 1);
+        assert_eq!(mb.dequeue().unwrap().name(), "B");
+        assert_eq!(mb.dequeue().unwrap().downcast::<A>().unwrap().0, 2);
+        assert!(mb.dequeue().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut mb = Mailbox::new();
+        mb.enqueue(Event::new(B));
+        assert_eq!(mb.peek_name(), Some("B"));
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut mb = Mailbox::new();
+        mb.enqueue(Event::new(B));
+        mb.enqueue(Event::new(B));
+        mb.clear();
+        assert!(mb.is_empty());
+        assert_eq!(mb.peek_name(), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! A small, self-contained deterministic pseudo random number generator.
+//!
+//! The systematic testing engine must make *exactly* the same sequence of
+//! decisions when re-run with the same seed, across platforms and across
+//! releases of third-party crates. To guarantee that, the schedulers use this
+//! in-crate SplitMix64 generator rather than an external RNG whose stream
+//! could change between versions.
+
+/// Deterministic 64-bit SplitMix64 generator.
+///
+/// Not cryptographically secure; used only for schedule and value choices.
+///
+/// # Examples
+///
+/// ```
+/// use psharp::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next pseudo random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        // Debiased modulo is unnecessary for testing purposes: the bias for
+        // bounds far below 2^64 is negligible.
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Returns a pseudo random boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    pub fn next_bool_ratio(&mut self, numerator: u64, denominator: u64) -> bool {
+        assert!(denominator > 0, "denominator must be positive");
+        self.next_u64() % denominator < numerator
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = SplitMix64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.next_below(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should appear");
+    }
+
+    #[test]
+    fn bool_ratio_extremes() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..50 {
+            assert!(rng.next_bool_ratio(1, 1));
+            assert!(!rng.next_bool_ratio(0, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

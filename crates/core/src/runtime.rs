@@ -1,0 +1,852 @@
+//! The serialized execution core.
+//!
+//! A [`Runtime`] owns every machine, monitor and mailbox of one execution of
+//! the system-under-test. Execution proceeds in *steps*: at each step the
+//! scheduler picks one enabled machine, which dequeues and handles exactly one
+//! event (or runs its `on_start` handler). All nondeterminism — the schedule
+//! and every `random_*` choice — is resolved by the scheduler and recorded in
+//! the [`Trace`], which makes executions deterministic and replayable.
+//!
+//! An execution ends when:
+//!
+//! * a safety violation, liveness violation, panic or unhandled-event bug is
+//!   detected;
+//! * no machine is enabled (quiescence); or
+//! * the configured step bound is reached — the bounded approximation of an
+//!   "infinite" execution used for liveness checking (§2.5 of the paper).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::{Bug, BugKind, ReplayError};
+use crate::event::Event;
+use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner};
+use crate::mailbox::Mailbox;
+use crate::monitor::{Monitor, MonitorContext, Temperature};
+use crate::scheduler::Scheduler;
+use crate::trace::{Decision, Trace, TraceStep};
+
+/// How an execution of the system-under-test ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionOutcome {
+    /// A property violation was found; the bug is available via
+    /// [`Runtime::bug`].
+    BugFound(Bug),
+    /// No machine was enabled any more and no property was violated.
+    Quiescent,
+    /// The step bound was reached without a violation.
+    MaxStepsReached,
+}
+
+/// Execution parameters of a single run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Maximum number of machine steps before the execution is treated as an
+    /// "infinite" execution and liveness is checked.
+    pub max_steps: usize,
+    /// Whether to also check liveness monitors when the system quiesces
+    /// (no machine enabled). Enabled by default.
+    pub check_liveness_at_quiescence: bool,
+    /// Whether panics inside machine handlers are caught and reported as
+    /// [`BugKind::Panic`] bugs (default) or propagated.
+    pub catch_panics: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_steps: 5_000,
+            check_liveness_at_quiescence: true,
+            catch_panics: true,
+        }
+    }
+}
+
+struct MachineSlot {
+    machine: Option<Box<dyn Machine>>,
+    mailbox: Mailbox,
+    name: String,
+    started: bool,
+    halted: bool,
+}
+
+impl MachineSlot {
+    fn is_enabled(&self) -> bool {
+        !self.halted && (!self.started || !self.mailbox.is_empty())
+    }
+}
+
+struct MonitorSlot {
+    monitor: Option<Box<dyn Monitor>>,
+    name: String,
+}
+
+/// One execution of the system-under-test: machines, monitors, scheduler and
+/// the recorded trace.
+pub struct Runtime {
+    slots: Vec<MachineSlot>,
+    monitors: Vec<MonitorSlot>,
+    monitor_index: HashMap<std::any::TypeId, usize>,
+    scheduler: Box<dyn Scheduler>,
+    config: RuntimeConfig,
+    trace: Trace,
+    bug: Option<Bug>,
+    steps: usize,
+}
+
+impl Runtime {
+    /// Creates a runtime driven by the given scheduler.
+    pub fn new(scheduler: Box<dyn Scheduler>, config: RuntimeConfig, seed: u64) -> Self {
+        Runtime {
+            slots: Vec::new(),
+            monitors: Vec::new(),
+            monitor_index: HashMap::new(),
+            scheduler,
+            config,
+            trace: Trace::new(seed),
+            bug: None,
+            steps: 0,
+        }
+    }
+
+    /// Creates a machine and returns its id. The machine's `on_start` runs
+    /// when the scheduler first picks it.
+    pub fn create_machine<M: Machine>(&mut self, machine: M) -> MachineId {
+        let id = MachineId::from_raw(self.slots.len() as u64);
+        let name = machine.name().to_string();
+        self.slots.push(MachineSlot {
+            machine: Some(Box::new(machine)),
+            mailbox: Mailbox::new(),
+            name,
+            started: false,
+            halted: false,
+        });
+        id
+    }
+
+    /// Creates a machine from a declarative [`StateMachine`].
+    pub fn create_state_machine<M: StateMachine>(&mut self, machine: M) -> MachineId {
+        self.create_machine(StateMachineRunner::new(machine))
+    }
+
+    /// Registers a monitor. At most one monitor of each concrete type can be
+    /// registered; machines notify it by type via
+    /// [`Context::notify_monitor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a monitor of the same type is already registered.
+    pub fn add_monitor<M: Monitor>(&mut self, monitor: M) {
+        let type_id = std::any::TypeId::of::<M>();
+        assert!(
+            !self.monitor_index.contains_key(&type_id),
+            "monitor type already registered"
+        );
+        let name = monitor.name().to_string();
+        self.monitor_index.insert(type_id, self.monitors.len());
+        self.monitors.push(MonitorSlot {
+            monitor: Some(Box::new(monitor)),
+            name,
+        });
+    }
+
+    /// Sends an event to a machine from outside the system (the test
+    /// harness). Events sent to halted machines are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` was not created by this runtime.
+    pub fn send(&mut self, target: MachineId, event: Event) {
+        let slot = self
+            .slots
+            .get_mut(target.raw() as usize)
+            .expect("send target must be a machine created by this runtime");
+        if !slot.halted {
+            slot.mailbox.enqueue(event);
+        }
+    }
+
+    /// Notifies a registered monitor from outside the system.
+    pub fn notify_monitor<M: Monitor>(&mut self, event: Event) {
+        let step = self.steps;
+        self.deliver_to_monitor::<M>(&event, step);
+    }
+
+    /// Runs the execution to completion and returns how it ended.
+    pub fn run(&mut self) -> ExecutionOutcome {
+        loop {
+            if let Some(bug) = &self.bug {
+                return ExecutionOutcome::BugFound(bug.clone());
+            }
+            if self.steps >= self.config.max_steps {
+                self.check_liveness();
+                return match &self.bug {
+                    Some(bug) => ExecutionOutcome::BugFound(bug.clone()),
+                    None => ExecutionOutcome::MaxStepsReached,
+                };
+            }
+            let enabled: Vec<MachineId> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_enabled())
+                .map(|(i, _)| MachineId::from_raw(i as u64))
+                .collect();
+            if enabled.is_empty() {
+                if self.config.check_liveness_at_quiescence {
+                    self.check_liveness();
+                }
+                return match &self.bug {
+                    Some(bug) => ExecutionOutcome::BugFound(bug.clone()),
+                    None => ExecutionOutcome::Quiescent,
+                };
+            }
+            let chosen = self.scheduler.next_machine(&enabled, self.steps);
+            let chosen = if enabled.contains(&chosen) {
+                chosen
+            } else {
+                // Defensive: a misbehaving scheduler must not wedge the run.
+                enabled[0]
+            };
+            self.trace.push_decision(Decision::Schedule(chosen));
+            self.step_machine(chosen);
+            self.steps += 1;
+        }
+    }
+
+    fn step_machine(&mut self, id: MachineId) {
+        let index = id.raw() as usize;
+        let (mut machine, event, event_name, name) = {
+            let slot = &mut self.slots[index];
+            let machine = slot.machine.take().expect("machine is present when scheduled");
+            if !slot.started {
+                slot.started = true;
+                (machine, None, "start".to_string(), slot.name.clone())
+            } else {
+                let event = slot.mailbox.dequeue().expect("enabled machine has an event");
+                let event_name = event.name().to_string();
+                (machine, Some(event), event_name, slot.name.clone())
+            }
+        };
+        self.trace.push_step(TraceStep {
+            step: self.steps,
+            machine: id,
+            machine_name: name.clone(),
+            event: event_name.clone(),
+        });
+
+        let catch = self.config.catch_panics;
+        let run_handler = |rt: &mut Runtime| {
+            let mut ctx = Context { rt, id };
+            match event {
+                None => machine.on_start(&mut ctx),
+                Some(ev) => machine.handle(&mut ctx, ev),
+            }
+        };
+        if catch {
+            let result = catch_unwind(AssertUnwindSafe(|| run_handler(self)));
+            if let Err(payload) = result {
+                let message = panic_message(payload.as_ref());
+                if self.bug.is_none() {
+                    self.bug = Some(
+                        Bug::new(
+                            BugKind::Panic,
+                            format!("machine '{name}' panicked while handling '{event_name}': {message}"),
+                        )
+                        .with_source(name.clone())
+                        .with_step(self.steps),
+                    );
+                }
+            }
+        } else {
+            run_handler(self);
+        }
+
+        let slot = &mut self.slots[index];
+        slot.machine = Some(machine);
+        if slot.halted {
+            slot.mailbox.clear();
+        }
+    }
+
+    fn check_liveness(&mut self) {
+        if self.bug.is_some() {
+            return;
+        }
+        for slot in &self.monitors {
+            let monitor = slot
+                .monitor
+                .as_ref()
+                .expect("monitor is present outside of observe calls");
+            if monitor.temperature() == Temperature::Hot {
+                self.bug = Some(
+                    Bug::new(BugKind::LivenessViolation, monitor.hot_message())
+                        .with_source(slot.name.clone())
+                        .with_step(self.steps),
+                );
+                return;
+            }
+        }
+    }
+
+    fn deliver_to_monitor<M: Monitor>(&mut self, event: &Event, step: usize) {
+        let type_id = std::any::TypeId::of::<M>();
+        let Some(&index) = self.monitor_index.get(&type_id) else {
+            // Notifying an unregistered monitor is a no-op: harnesses can be
+            // run with or without their specifications attached.
+            return;
+        };
+        let mut monitor = self.monitors[index]
+            .monitor
+            .take()
+            .expect("monitor is present outside of observe calls");
+        let name = self.monitors[index].name.clone();
+        {
+            let mut ctx = MonitorContext::new(&mut self.bug, &name, step);
+            monitor.observe(&mut ctx, event);
+        }
+        self.monitors[index].monitor = Some(monitor);
+    }
+
+    /// The first property violation found during this execution, if any.
+    pub fn bug(&self) -> Option<&Bug> {
+        self.bug.as_ref()
+    }
+
+    /// The recorded trace of this execution.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of machine steps executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of machines created (including halted ones).
+    pub fn machine_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when the given machine has halted.
+    pub fn is_halted(&self, id: MachineId) -> bool {
+        self.slots
+            .get(id.raw() as usize)
+            .map(|s| s.halted)
+            .unwrap_or(false)
+    }
+
+    /// Borrows a registered monitor for inspection (used by tests and
+    /// harnesses to read instrumentation state after a run).
+    pub fn monitor_ref<M: Monitor>(&self) -> Option<&M> {
+        let type_id = std::any::TypeId::of::<M>();
+        let index = *self.monitor_index.get(&type_id)?;
+        self.monitors[index]
+            .monitor
+            .as_ref()
+            .and_then(|m| (**m).as_any().downcast_ref::<M>())
+    }
+
+    /// Borrows a machine for inspection after a run.
+    ///
+    /// Returns `None` if the id is unknown or the machine has a different
+    /// concrete type.
+    pub fn machine_ref<M: Machine>(&self, id: MachineId) -> Option<&M> {
+        let slot = self.slots.get(id.raw() as usize)?;
+        let machine = slot.machine.as_ref()?;
+        (**machine).as_any().downcast_ref::<M>()
+    }
+
+    /// The replay divergence error, when this runtime was driven by a
+    /// [`ReplayScheduler`](crate::scheduler::ReplayScheduler) and the
+    /// execution did not follow the recording.
+    pub fn replay_error(&self) -> Option<ReplayError> {
+        self.scheduler.replay_error().cloned()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The capabilities available to a machine while it handles an event.
+///
+/// A context is the machine's window onto the runtime: sending events,
+/// creating machines, making controlled nondeterministic choices, asserting
+/// local safety properties, notifying monitors and halting.
+pub struct Context<'r> {
+    rt: &'r mut Runtime,
+    id: MachineId,
+}
+
+impl<'r> Context<'r> {
+    /// The id of the machine currently executing.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// The current execution step.
+    pub fn step(&self) -> usize {
+        self.rt.steps
+    }
+
+    /// Sends an event to another machine (or to self). Non-blocking; events
+    /// sent to halted machines are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a machine of this runtime.
+    pub fn send(&mut self, target: MachineId, event: Event) {
+        self.rt.send(target, event);
+    }
+
+    /// Sends an event to the machine itself.
+    pub fn send_to_self(&mut self, event: Event) {
+        self.rt.send(self.id, event);
+    }
+
+    /// Creates a new machine and returns its id.
+    pub fn create<M: Machine>(&mut self, machine: M) -> MachineId {
+        self.rt.create_machine(machine)
+    }
+
+    /// Creates a new machine from a declarative [`StateMachine`].
+    pub fn create_state_machine<M: StateMachine>(&mut self, machine: M) -> MachineId {
+        self.rt.create_state_machine(machine)
+    }
+
+    /// Resolves a controlled nondeterministic boolean (P#'s `Nondet()`).
+    pub fn random_bool(&mut self) -> bool {
+        let value = self.rt.scheduler.next_bool();
+        self.rt.trace.push_decision(Decision::Bool(value));
+        value
+    }
+
+    /// Resolves a controlled nondeterministic integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        let value = self.rt.scheduler.next_int(bound).min(bound - 1);
+        self.rt.trace.push_decision(Decision::Int(value));
+        value
+    }
+
+    /// Nondeterministically chooses one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.random_index(items.len())]
+    }
+
+    /// Halts the current machine after this handler returns. Pending and
+    /// future events for the machine are dropped.
+    pub fn halt(&mut self) {
+        let slot = &mut self.rt.slots[self.id.raw() as usize];
+        slot.halted = true;
+    }
+
+    /// Flags a safety violation when `condition` is false, attributing it to
+    /// the current machine.
+    pub fn assert(&mut self, condition: bool, message: impl Into<String>) {
+        if !condition {
+            self.report_bug(BugKind::SafetyViolation, message);
+        }
+    }
+
+    /// Unconditionally reports a bug of the given kind, attributed to the
+    /// current machine.
+    pub fn report_bug(&mut self, kind: BugKind, message: impl Into<String>) {
+        if self.rt.bug.is_none() {
+            let name = self.rt.slots[self.id.raw() as usize].name.clone();
+            self.rt.bug = Some(
+                Bug::new(kind, message)
+                    .with_source(name)
+                    .with_step(self.rt.steps),
+            );
+        }
+    }
+
+    /// Publishes an event to the monitor of type `M`, if one is registered.
+    pub fn notify_monitor<M: Monitor>(&mut self, event: Event) {
+        let step = self.rt.steps;
+        self.rt.deliver_to_monitor::<M>(&event, step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Transition;
+    use crate::scheduler::{
+        RandomScheduler, ReplayScheduler, RoundRobinScheduler, SchedulerKind,
+    };
+
+    fn runtime(seed: u64) -> Runtime {
+        Runtime::new(
+            Box::new(RandomScheduler::new(seed)),
+            RuntimeConfig::default(),
+            seed,
+        )
+    }
+
+    #[derive(Debug)]
+    struct Ping(MachineId);
+    #[derive(Debug)]
+    struct Pong;
+    #[derive(Debug)]
+    struct Kick;
+
+    struct Responder;
+    impl Machine for Responder {
+        fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+            if let Some(ping) = event.downcast_ref::<Ping>() {
+                ctx.send(ping.0, Event::new(Pong));
+            }
+        }
+    }
+
+    struct Requester {
+        responder: MachineId,
+        pongs: usize,
+    }
+    impl Machine for Requester {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let me = ctx.id();
+            ctx.send(self.responder, Event::new(Ping(me)));
+        }
+        fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+            if event.is::<Pong>() {
+                self.pongs += 1;
+                if self.pongs < 3 {
+                    let me = ctx.id();
+                    ctx.send(self.responder, Event::new(Ping(me)));
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_runs_to_quiescence() {
+        let mut rt = runtime(1);
+        let responder = rt.create_machine(Responder);
+        rt.create_machine(Requester {
+            responder,
+            pongs: 0,
+        });
+        let outcome = rt.run();
+        assert_eq!(outcome, ExecutionOutcome::Quiescent);
+        assert!(rt.bug().is_none());
+        // 2 starts + 3 pings + 3 pongs handled = 8 steps.
+        assert_eq!(rt.steps(), 8);
+    }
+
+    #[test]
+    fn machine_assert_reports_safety_bug() {
+        struct Asserter;
+        impl Machine for Asserter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.assert(false, "always fails");
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(2);
+        rt.create_machine(Asserter);
+        let outcome = rt.run();
+        match outcome {
+            ExecutionOutcome::BugFound(bug) => {
+                assert_eq!(bug.kind, BugKind::SafetyViolation);
+                assert_eq!(bug.source.as_deref(), Some("Asserter"));
+            }
+            other => panic!("expected a bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_handler_is_reported_as_bug() {
+        struct Panicker;
+        impl Machine for Panicker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send_to_self(Event::new(Kick));
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {
+                panic!("simulated null reference");
+            }
+        }
+        let mut rt = runtime(3);
+        rt.create_machine(Panicker);
+        match rt.run() {
+            ExecutionOutcome::BugFound(bug) => {
+                assert_eq!(bug.kind, BugKind::Panic);
+                assert!(bug.message.contains("simulated null reference"));
+            }
+            other => panic!("expected a panic bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halted_machine_drops_pending_events() {
+        struct Stopper;
+        impl Machine for Stopper {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.halt();
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {
+                panic!("must never handle an event");
+            }
+        }
+        let mut rt = runtime(4);
+        let stopper = rt.create_machine(Stopper);
+        rt.send(stopper, Event::new(Kick));
+        rt.send(stopper, Event::new(Kick));
+        let outcome = rt.run();
+        assert_eq!(outcome, ExecutionOutcome::Quiescent);
+        assert!(rt.is_halted(stopper));
+        assert!(rt.bug().is_none());
+    }
+
+    #[test]
+    fn send_to_halted_machine_is_dropped() {
+        struct Idle;
+        impl Machine for Idle {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.halt();
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(5);
+        let idle = rt.create_machine(Idle);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        rt.send(idle, Event::new(Kick));
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+    }
+
+    #[test]
+    fn max_steps_bound_terminates_looping_system() {
+        struct Looper;
+        impl Machine for Looper {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send_to_self(Event::new(Kick));
+            }
+            fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+                ctx.send_to_self(Event::new(Kick));
+            }
+        }
+        let mut rt = Runtime::new(
+            Box::new(RandomScheduler::new(0)),
+            RuntimeConfig {
+                max_steps: 50,
+                ..RuntimeConfig::default()
+            },
+            0,
+        );
+        rt.create_machine(Looper);
+        assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
+        assert_eq!(rt.steps(), 50);
+    }
+
+    struct HotUntilPong {
+        hot: bool,
+    }
+    impl Monitor for HotUntilPong {
+        fn observe(&mut self, _ctx: &mut MonitorContext<'_>, event: &Event) {
+            if event.is::<Ping>() {
+                self.hot = true;
+            } else if event.is::<Pong>() {
+                self.hot = false;
+            }
+        }
+        fn temperature(&self) -> Temperature {
+            if self.hot {
+                Temperature::Hot
+            } else {
+                Temperature::Cold
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_violation_detected_at_quiescence() {
+        struct OnlyPing;
+        impl Machine for OnlyPing {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.id();
+                ctx.notify_monitor::<HotUntilPong>(Event::new(Ping(me)));
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(6);
+        rt.add_monitor(HotUntilPong { hot: false });
+        rt.create_machine(OnlyPing);
+        match rt.run() {
+            ExecutionOutcome::BugFound(bug) => {
+                assert_eq!(bug.kind, BugKind::LivenessViolation);
+                assert_eq!(bug.source.as_deref(), Some("HotUntilPong"));
+            }
+            other => panic!("expected liveness violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn liveness_monitor_that_cools_down_is_not_a_violation() {
+        struct PingThenPong;
+        impl Machine for PingThenPong {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let me = ctx.id();
+                ctx.notify_monitor::<HotUntilPong>(Event::new(Ping(me)));
+                ctx.notify_monitor::<HotUntilPong>(Event::new(Pong));
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(7);
+        rt.add_monitor(HotUntilPong { hot: false });
+        rt.create_machine(PingThenPong);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        assert!(rt.bug().is_none());
+    }
+
+    #[test]
+    fn notify_unregistered_monitor_is_noop() {
+        struct Notifier;
+        impl Machine for Notifier {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.notify_monitor::<HotUntilPong>(Event::new(Pong));
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(8);
+        rt.create_machine(Notifier);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+    }
+
+    #[test]
+    fn monitor_ref_allows_state_inspection() {
+        let mut rt = runtime(9);
+        rt.add_monitor(HotUntilPong { hot: false });
+        rt.notify_monitor::<HotUntilPong>(Event::new(Ping(MachineId::from_raw(0))));
+        let monitor = rt.monitor_ref::<HotUntilPong>().expect("registered");
+        assert!(monitor.hot);
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor type already registered")]
+    fn duplicate_monitor_registration_panics() {
+        let mut rt = runtime(10);
+        rt.add_monitor(HotUntilPong { hot: false });
+        rt.add_monitor(HotUntilPong { hot: true });
+    }
+
+    #[test]
+    fn nondet_choices_are_recorded_in_trace() {
+        struct Chooser;
+        impl Machine for Chooser {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let _ = ctx.random_bool();
+                let _ = ctx.random_index(5);
+                let _ = ctx.choose(&[10, 20, 30]);
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(11);
+        rt.create_machine(Chooser);
+        rt.run();
+        let decisions = &rt.trace().decisions;
+        // 1 schedule + 1 bool + 2 ints.
+        assert_eq!(decisions.len(), 4);
+        assert!(matches!(decisions[1], Decision::Bool(_)));
+        assert!(matches!(decisions[2], Decision::Int(v) if v < 5));
+        assert!(matches!(decisions[3], Decision::Int(v) if v < 3));
+    }
+
+    #[test]
+    fn state_machine_transitions_are_counted() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        enum Phase {
+            Idle,
+            Busy,
+        }
+        struct Worker;
+        impl StateMachine for Worker {
+            type State = Phase;
+            fn initial_state(&self) -> Phase {
+                Phase::Idle
+            }
+            fn on_start(&mut self, ctx: &mut Context<'_>) -> Transition<Phase> {
+                ctx.send_to_self(Event::new(Kick));
+                Transition::Stay
+            }
+            fn handle_in(
+                &mut self,
+                state: Phase,
+                _ctx: &mut Context<'_>,
+                _event: Event,
+            ) -> Transition<Phase> {
+                match state {
+                    Phase::Idle => Transition::Goto(Phase::Busy),
+                    Phase::Busy => Transition::Halt,
+                }
+            }
+        }
+        let mut rt = runtime(12);
+        let id = rt.create_state_machine(Worker);
+        rt.send(id, Event::new(Kick));
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        let runner = rt
+            .machine_ref::<StateMachineRunner<Worker>>(id)
+            .expect("machine exists");
+        assert_eq!(runner.state(), Phase::Busy);
+        assert_eq!(runner.transitions(), 1);
+        assert!(rt.is_halted(id));
+    }
+
+    #[test]
+    fn round_robin_execution_is_reproducible() {
+        let build = || {
+            let mut rt = Runtime::new(
+                Box::new(RoundRobinScheduler::new()),
+                RuntimeConfig::default(),
+                0,
+            );
+            let responder = rt.create_machine(Responder);
+            rt.create_machine(Requester {
+                responder,
+                pongs: 0,
+            });
+            rt.run();
+            rt.trace().clone()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn replay_reproduces_random_execution() {
+        let build = |scheduler: Box<dyn Scheduler>| {
+            let mut rt = Runtime::new(scheduler, RuntimeConfig::default(), 77);
+            let responder = rt.create_machine(Responder);
+            rt.create_machine(Requester {
+                responder,
+                pongs: 0,
+            });
+            rt.run();
+            rt
+        };
+        let recorded = build(SchedulerKind::Random.build(77, 5_000));
+        let trace = recorded.trace().clone();
+        let replayed = build(Box::new(ReplayScheduler::from_trace(&trace)));
+        assert_eq!(replayed.trace().decisions, trace.decisions);
+        assert!(replayed.replay_error().is_none());
+    }
+}

@@ -1,0 +1,526 @@
+//! Controlled schedulers that decide every nondeterministic choice.
+//!
+//! During testing the runtime creates a *scheduling point* each time a
+//! nondeterministic choice has to be taken: which enabled machine executes
+//! next, and the value of every `random_bool` / `random_index` call. A
+//! [`Scheduler`] resolves those choices. Four strategies are provided:
+//!
+//! * [`RandomScheduler`] — uniformly random choices (the paper's "random
+//!   scheduler"), effective for most concurrency bugs.
+//! * [`PctScheduler`] — randomized priority-based scheduling after
+//!   Burckhardt et al. (ASPLOS'10), the paper's "priority-based scheduler";
+//!   it maintains machine priorities, always runs the highest-priority
+//!   enabled machine and changes priorities at a small number of random
+//!   steps per execution.
+//! * [`RoundRobinScheduler`] — deterministic round-robin, useful as a
+//!   baseline ablation and for smoke tests.
+//! * [`ReplayScheduler`] — replays a recorded [`Trace`] decision-for-decision
+//!   so a bug can be reproduced deterministically.
+
+use std::collections::HashMap;
+
+use crate::error::ReplayError;
+use crate::machine::MachineId;
+use crate::rng::SplitMix64;
+use crate::trace::{Decision, Trace};
+
+/// Resolves every nondeterministic choice of an execution.
+///
+/// Implementations must be deterministic functions of their seed and the
+/// sequence of queries made so far, so that recorded traces replay exactly.
+pub trait Scheduler {
+    /// Short human-readable name ("random", "pct", ...).
+    fn name(&self) -> &'static str;
+
+    /// Picks which of the `enabled` machines executes the next step.
+    ///
+    /// `enabled` is never empty and is sorted by machine id.
+    fn next_machine(&mut self, enabled: &[MachineId], step: usize) -> MachineId;
+
+    /// Resolves a nondeterministic boolean choice.
+    fn next_bool(&mut self) -> bool;
+
+    /// Resolves a nondeterministic integer choice in `[0, bound)`.
+    ///
+    /// `bound` is always at least 1.
+    fn next_int(&mut self, bound: usize) -> usize;
+
+    /// The replay divergence error, when this scheduler replays a recording
+    /// and the execution did not follow it. `None` for all other schedulers.
+    fn replay_error(&self) -> Option<&ReplayError> {
+        None
+    }
+}
+
+/// Identifies which scheduling strategy a [`TestEngine`](crate::engine::TestEngine)
+/// should use, together with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Uniformly random scheduling.
+    Random,
+    /// Priority-based (PCT) scheduling with the given number of priority
+    /// change points per execution (the paper uses 2).
+    Pct {
+        /// Number of random priority change switches per execution.
+        change_points: usize,
+    },
+    /// Deterministic round-robin over enabled machines.
+    RoundRobin,
+}
+
+impl SchedulerKind {
+    /// Builds a scheduler of this kind for one execution.
+    ///
+    /// `seed` parameterizes the random choices; `max_steps` is used by PCT to
+    /// place its priority change points.
+    pub fn build(self, seed: u64, max_steps: usize) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Random => Box::new(RandomScheduler::new(seed)),
+            SchedulerKind::Pct { change_points } => {
+                Box::new(PctScheduler::new(seed, change_points, max_steps))
+            }
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+        }
+    }
+
+    /// The short name of the scheduler this kind builds.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Random => "random",
+            SchedulerKind::Pct { .. } => "pct",
+            SchedulerKind::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Uniformly random scheduler.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: SplitMix64,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], _step: usize) -> MachineId {
+        enabled[self.rng.next_below(enabled.len())]
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    fn next_int(&mut self, bound: usize) -> usize {
+        self.rng.next_below(bound)
+    }
+}
+
+/// Randomized priority-based scheduler (PCT).
+///
+/// Every machine receives a random priority when first seen. The scheduler
+/// always runs the highest-priority enabled machine. At `change_points`
+/// randomly chosen steps of the execution, the priority of the currently
+/// highest-priority enabled machine is dropped below all others, forcing a
+/// context switch at an adversarial moment.
+///
+/// Strict priority scheduling is unfair: one machine can monopolise the whole
+/// bounded execution, which would make every liveness property look violated.
+/// Like P#'s liveness checking, the scheduler therefore switches to a *fair*
+/// (uniformly random) tail for the second half of the step bound, so that a
+/// hot liveness monitor at the bound reflects a genuine lack of progress
+/// rather than scheduler starvation.
+#[derive(Debug, Clone)]
+pub struct PctScheduler {
+    rng: SplitMix64,
+    priorities: HashMap<MachineId, u64>,
+    change_steps: Vec<usize>,
+    next_change: usize,
+    next_low_priority: u64,
+    fair_after: usize,
+}
+
+impl PctScheduler {
+    /// Creates a PCT scheduler with `change_points` priority change switches
+    /// placed uniformly over an execution of at most `max_steps` steps.
+    pub fn new(seed: u64, change_points: usize, max_steps: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let horizon = max_steps.max(1);
+        let mut change_steps: Vec<usize> =
+            (0..change_points).map(|_| rng.next_below(horizon)).collect();
+        change_steps.sort_unstable();
+        PctScheduler {
+            rng,
+            priorities: HashMap::new(),
+            change_steps,
+            next_change: 0,
+            next_low_priority: 0,
+            fair_after: horizon / 2,
+        }
+    }
+
+    fn priority_of(&mut self, id: MachineId) -> u64 {
+        if let Some(&p) = self.priorities.get(&id) {
+            return p;
+        }
+        // New machines receive a random high priority band so they can
+        // preempt or be preempted; the low band is reserved for change points.
+        let p = 1_000_000 + self.rng.next_below(1_000_000) as u64;
+        self.priorities.insert(id, p);
+        p
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn name(&self) -> &'static str {
+        "pct"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], step: usize) -> MachineId {
+        if step >= self.fair_after {
+            // Fair tail: see the type-level documentation.
+            return enabled[self.rng.next_below(enabled.len())];
+        }
+        // Make sure all enabled machines have priorities assigned.
+        for &id in enabled {
+            self.priority_of(id);
+        }
+        // At a change point, deprioritize the currently highest enabled
+        // machine. Each change point is consumed exactly once.
+        if self.next_change < self.change_steps.len() && step >= self.change_steps[self.next_change]
+        {
+            self.next_change += 1;
+            if let Some(&top) = enabled
+                .iter()
+                .max_by_key(|&&id| self.priorities.get(&id).copied().unwrap_or(0))
+            {
+                let low = self.next_low_priority;
+                self.next_low_priority += 1;
+                self.priorities.insert(top, low);
+            }
+        }
+        *enabled
+            .iter()
+            .max_by_key(|&&id| self.priorities.get(&id).copied().unwrap_or(0))
+            .expect("enabled set is never empty")
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    fn next_int(&mut self, bound: usize) -> usize {
+        self.rng.next_below(bound)
+    }
+}
+
+/// Deterministic round-robin scheduler.
+///
+/// Used as an ablation baseline; it explores only one schedule per
+/// configuration so it rarely exposes ordering bugs, but its nondeterministic
+/// value choices still vary via the cursor-free deterministic pattern
+/// (alternating booleans, zero integers).
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinScheduler {
+    cursor: u64,
+    flip: bool,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], _step: usize) -> MachineId {
+        // Pick the first enabled machine with id >= cursor, wrapping around.
+        let chosen = enabled
+            .iter()
+            .copied()
+            .find(|id| id.raw() >= self.cursor)
+            .unwrap_or(enabled[0]);
+        self.cursor = chosen.raw() + 1;
+        chosen
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.flip = !self.flip;
+        self.flip
+    }
+
+    fn next_int(&mut self, _bound: usize) -> usize {
+        0
+    }
+}
+
+/// Scheduler that replays a previously recorded [`Trace`].
+///
+/// If the program diverges from the recording (for example because the
+/// system-under-test changed since the trace was captured), the divergence is
+/// recorded and the scheduler falls back to deterministic defaults so the
+/// execution can still terminate; callers should check [`ReplayScheduler::error`]
+/// via [`Runtime::replay_error`](crate::runtime::Runtime::replay_error).
+#[derive(Debug, Clone)]
+pub struct ReplayScheduler {
+    decisions: Vec<Decision>,
+    position: usize,
+    error: Option<ReplayError>,
+}
+
+impl ReplayScheduler {
+    /// Creates a replay scheduler from a recorded trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        ReplayScheduler {
+            decisions: trace.decisions.clone(),
+            position: 0,
+            error: None,
+        }
+    }
+
+    /// The divergence error, if replay did not follow the recording.
+    pub fn error(&self) -> Option<&ReplayError> {
+        self.error.as_ref()
+    }
+
+    fn record_divergence(&mut self, message: String) {
+        if self.error.is_none() {
+            self.error = Some(ReplayError {
+                message,
+                decision_index: self.position,
+            });
+        }
+    }
+
+    fn next_decision(&mut self) -> Option<Decision> {
+        let d = self.decisions.get(self.position).copied();
+        self.position += 1;
+        d
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], _step: usize) -> MachineId {
+        match self.next_decision() {
+            Some(Decision::Schedule(id)) if enabled.contains(&id) => id,
+            Some(Decision::Schedule(id)) => {
+                self.record_divergence(format!(
+                    "recorded machine {id} is not enabled during replay"
+                ));
+                enabled[0]
+            }
+            other => {
+                self.record_divergence(format!(
+                    "expected a Schedule decision, recording has {other:?}"
+                ));
+                enabled[0]
+            }
+        }
+    }
+
+    fn next_bool(&mut self) -> bool {
+        match self.next_decision() {
+            Some(Decision::Bool(b)) => b,
+            other => {
+                self.record_divergence(format!(
+                    "expected a Bool decision, recording has {other:?}"
+                ));
+                false
+            }
+        }
+    }
+
+    fn replay_error(&self) -> Option<&ReplayError> {
+        self.error.as_ref()
+    }
+
+    fn next_int(&mut self, bound: usize) -> usize {
+        match self.next_decision() {
+            Some(Decision::Int(v)) if v < bound => v,
+            Some(Decision::Int(v)) => {
+                self.record_divergence(format!(
+                    "recorded int {v} is out of bounds (bound {bound})"
+                ));
+                0
+            }
+            other => {
+                self.record_divergence(format!(
+                    "expected an Int decision, recording has {other:?}"
+                ));
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u64]) -> Vec<MachineId> {
+        raw.iter().copied().map(MachineId::from_raw).collect()
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let enabled = ids(&[0, 1, 2, 3]);
+        let mut a = RandomScheduler::new(12);
+        let mut b = RandomScheduler::new(12);
+        for step in 0..50 {
+            assert_eq!(
+                a.next_machine(&enabled, step),
+                b.next_machine(&enabled, step)
+            );
+            assert_eq!(a.next_bool(), b.next_bool());
+            assert_eq!(a.next_int(10), b.next_int(10));
+        }
+    }
+
+    #[test]
+    fn random_scheduler_only_picks_enabled() {
+        let enabled = ids(&[2, 5, 9]);
+        let mut s = RandomScheduler::new(3);
+        for step in 0..100 {
+            assert!(enabled.contains(&s.next_machine(&enabled, step)));
+        }
+    }
+
+    #[test]
+    fn random_scheduler_eventually_picks_every_machine() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = RandomScheduler::new(1);
+        let mut seen = [false; 3];
+        for step in 0..200 {
+            seen[s.next_machine(&enabled, step).raw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn pct_scheduler_prefers_one_machine_between_change_points() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = PctScheduler::new(7, 0, 1_000);
+        let first = s.next_machine(&enabled, 0);
+        for step in 1..20 {
+            assert_eq!(s.next_machine(&enabled, step), first);
+        }
+    }
+
+    #[test]
+    fn pct_switches_at_most_once_per_change_point_in_the_priority_prefix() {
+        let enabled = ids(&[0, 1, 2]);
+        // Steps 0..100 lie within the priority-driven prefix of a 1000-step
+        // execution (the fair tail only starts at step 500).
+        let count_switches = |change_points: usize| {
+            let mut s = PctScheduler::new(7, change_points, 1_000);
+            let picks: Vec<MachineId> = (0..100).map(|step| s.next_machine(&enabled, step)).collect();
+            picks.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        assert_eq!(count_switches(0), 0, "no change points means no switches");
+        assert!(count_switches(1) <= 1);
+        assert!(count_switches(3) <= 3);
+    }
+
+    #[test]
+    fn pct_fair_tail_eventually_schedules_every_machine() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = PctScheduler::new(7, 0, 100);
+        let mut seen = [false; 3];
+        // Steps beyond max_steps / 2 use the fair tail.
+        for step in 50..300 {
+            seen[s.next_machine(&enabled, step).raw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "the fair tail must not starve machines");
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_even_when_others_enabled() {
+        let enabled_all = ids(&[0, 1, 2]);
+        let mut s = PctScheduler::new(11, 0, 1_000);
+        let preferred = s.next_machine(&enabled_all, 0);
+        // When the preferred machine is disabled the next one is chosen, and
+        // when it is re-enabled it is preferred again.
+        let without: Vec<MachineId> = enabled_all
+            .iter()
+            .copied()
+            .filter(|&m| m != preferred)
+            .collect();
+        let fallback = s.next_machine(&without, 1);
+        assert_ne!(fallback, preferred);
+        assert_eq!(s.next_machine(&enabled_all, 2), preferred);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_machines() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = RoundRobinScheduler::new();
+        let picks: Vec<u64> = (0..6).map(|i| s.next_machine(&enabled, i).raw()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn replay_returns_recorded_decisions() {
+        let mut trace = Trace::new(0);
+        trace.push_decision(Decision::Schedule(MachineId::from_raw(1)));
+        trace.push_decision(Decision::Bool(true));
+        trace.push_decision(Decision::Int(4));
+        let mut s = ReplayScheduler::from_trace(&trace);
+        let enabled = ids(&[0, 1]);
+        assert_eq!(s.next_machine(&enabled, 0), MachineId::from_raw(1));
+        assert!(s.next_bool());
+        assert_eq!(s.next_int(10), 4);
+        assert!(s.error().is_none());
+    }
+
+    #[test]
+    fn replay_records_divergence_on_mismatch() {
+        let mut trace = Trace::new(0);
+        trace.push_decision(Decision::Bool(true));
+        let mut s = ReplayScheduler::from_trace(&trace);
+        let enabled = ids(&[0]);
+        // Asking for a machine when a Bool was recorded diverges.
+        let picked = s.next_machine(&enabled, 0);
+        assert_eq!(picked, MachineId::from_raw(0));
+        assert!(s.error().is_some());
+    }
+
+    #[test]
+    fn replay_records_divergence_when_machine_not_enabled() {
+        let mut trace = Trace::new(0);
+        trace.push_decision(Decision::Schedule(MachineId::from_raw(9)));
+        let mut s = ReplayScheduler::from_trace(&trace);
+        let enabled = ids(&[0, 1]);
+        s.next_machine(&enabled, 0);
+        assert!(s.error().is_some());
+    }
+
+    #[test]
+    fn scheduler_kind_builds_expected_names() {
+        assert_eq!(SchedulerKind::Random.build(0, 10).name(), "random");
+        assert_eq!(
+            SchedulerKind::Pct { change_points: 2 }.build(0, 10).name(),
+            "pct"
+        );
+        assert_eq!(SchedulerKind::RoundRobin.build(0, 10).name(), "round-robin");
+        assert_eq!(SchedulerKind::Pct { change_points: 2 }.label(), "pct");
+    }
+}

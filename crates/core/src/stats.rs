@@ -1,0 +1,174 @@
+//! Model statistics, used to regenerate Table 1 of the paper.
+//!
+//! Each case-study harness reports how large its environment model is:
+//! number of machines, declared state transitions and action handlers,
+//! together with the size of the system-under-test and the number of bugs the
+//! methodology found in it.
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Modeling-cost statistics of one case study (one row of Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Case study name ("vNext Extent Manager", "MigratingTable", ...).
+    pub case_study: String,
+    /// Lines of code of the system-under-test.
+    pub system_loc: usize,
+    /// Number of bugs found in the system-under-test.
+    pub bugs_found: usize,
+    /// Lines of code of the test harness.
+    pub harness_loc: usize,
+    /// Number of machines in the test harness.
+    pub machines: usize,
+    /// Number of state transitions declared by harness machines.
+    pub state_transitions: usize,
+    /// Number of action handlers declared by harness machines.
+    pub action_handlers: usize,
+}
+
+impl ModelStats {
+    /// Creates a statistics row with zero line counts; use
+    /// [`ModelStats::with_loc`] or [`count_loc`] to fill them in.
+    pub fn new(case_study: impl Into<String>) -> Self {
+        ModelStats {
+            case_study: case_study.into(),
+            system_loc: 0,
+            bugs_found: 0,
+            harness_loc: 0,
+            machines: 0,
+            state_transitions: 0,
+            action_handlers: 0,
+        }
+    }
+
+    /// Sets the line counts.
+    pub fn with_loc(mut self, system_loc: usize, harness_loc: usize) -> Self {
+        self.system_loc = system_loc;
+        self.harness_loc = harness_loc;
+        self
+    }
+
+    /// Sets the number of bugs found.
+    pub fn with_bugs(mut self, bugs_found: usize) -> Self {
+        self.bugs_found = bugs_found;
+        self
+    }
+
+    /// Sets the machine/state-transition/action-handler counts.
+    pub fn with_model(
+        mut self,
+        machines: usize,
+        state_transitions: usize,
+        action_handlers: usize,
+    ) -> Self {
+        self.machines = machines;
+        self.state_transitions = state_transitions;
+        self.action_handlers = action_handlers;
+        self
+    }
+
+    /// Renders the Table 1 header row.
+    pub fn table_header() -> String {
+        format!(
+            "{:<28} {:>10} {:>4} {:>12} {:>4} {:>4} {:>4}",
+            "System-under-test", "Sys #LoC", "#B", "Harness #LoC", "#M", "#ST", "#AH"
+        )
+    }
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>10} {:>4} {:>12} {:>4} {:>4} {:>4}",
+            self.case_study,
+            self.system_loc,
+            self.bugs_found,
+            self.harness_loc,
+            self.machines,
+            self.state_transitions,
+            self.action_handlers
+        )
+    }
+}
+
+/// Counts non-empty, non-comment lines of Rust code under a directory tree.
+///
+/// Used by the Table 1 harness to measure the size of each case-study crate
+/// the same way the paper reports lines of code. Comment-only lines (starting
+/// with `//`) and blank lines are excluded.
+pub fn count_loc(dir: &Path) -> usize {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += count_loc(&path);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                total += text
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with("//"))
+                    .count();
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let stats = ModelStats::new("vNext Extent Manager")
+            .with_loc(19_775, 684)
+            .with_bugs(1)
+            .with_model(5, 11, 17);
+        assert_eq!(stats.case_study, "vNext Extent Manager");
+        assert_eq!(stats.system_loc, 19_775);
+        assert_eq!(stats.harness_loc, 684);
+        assert_eq!(stats.bugs_found, 1);
+        assert_eq!(stats.machines, 5);
+        assert_eq!(stats.state_transitions, 11);
+        assert_eq!(stats.action_handlers, 17);
+    }
+
+    #[test]
+    fn display_aligns_with_header() {
+        let header = ModelStats::table_header();
+        let row = ModelStats::new("MigratingTable")
+            .with_loc(2_267, 2_275)
+            .with_bugs(11)
+            .with_model(3, 5, 10)
+            .to_string();
+        assert_eq!(header.len(), row.len());
+        assert!(row.contains("MigratingTable"));
+    }
+
+    #[test]
+    fn count_loc_of_this_crate_is_nonzero() {
+        let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        assert!(count_loc(&src) > 100);
+    }
+
+    #[test]
+    fn count_loc_missing_dir_is_zero() {
+        assert_eq!(count_loc(Path::new("/definitely/not/a/real/path")), 0);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let stats = ModelStats::new("Fabric").with_model(13, 21, 87);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ModelStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

@@ -1,0 +1,155 @@
+//! Recorded schedules and nondeterministic choices, for replay and debugging.
+//!
+//! Every nondeterministic decision made while executing the system-under-test
+//! is appended to a [`Trace`]: which machine was scheduled to take the next
+//! step, every boolean and integer choice requested via
+//! [`Context::random_bool`](crate::runtime::Context::random_bool) and
+//! friends. Given the trace of a buggy execution, the
+//! [`ReplayScheduler`](crate::scheduler::ReplayScheduler) re-executes the
+//! exact same schedule, so the bug reproduces deterministically — the property
+//! the paper identifies as the key productivity advantage over production
+//! logs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineId;
+
+/// A single nondeterministic decision made during an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// The scheduler picked this machine to take the next step.
+    Schedule(MachineId),
+    /// A nondeterministic boolean choice (`Context::random_bool`).
+    Bool(bool),
+    /// A nondeterministic integer choice in `[0, bound)`
+    /// (`Context::random_index`), recording the chosen value.
+    Int(usize),
+}
+
+/// An annotated step of an execution, used for human-readable bug reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Index of the step in the execution.
+    pub step: usize,
+    /// The machine that executed.
+    pub machine: MachineId,
+    /// The machine's name.
+    pub machine_name: String,
+    /// The name of the event that was handled (or `"start"`).
+    pub event: String,
+}
+
+/// The full record of one execution: every decision plus an annotated,
+/// human-readable schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The seed that parameterized the scheduler for this execution.
+    pub seed: u64,
+    /// Every nondeterministic decision, in order.
+    pub decisions: Vec<Decision>,
+    /// Human readable schedule: one entry per machine step.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace for an execution driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Trace {
+            seed,
+            decisions: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Number of nondeterministic choices recorded (the paper's `#NDC`).
+    pub fn decision_count(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Appends a decision.
+    pub fn push_decision(&mut self, decision: Decision) {
+        self.decisions.push(decision);
+    }
+
+    /// Appends an annotated machine step.
+    pub fn push_step(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// Serializes the trace to pretty JSON for storage alongside a bug report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (it cannot for well-formed
+    /// traces; the `Result` is kept for API stability).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a trace previously produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the JSON does not describe a trace.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Renders the annotated schedule as indented text, one line per step.
+    pub fn render_schedule(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            out.push_str(&format!(
+                "[{:>5}] {} ({}) <- {}\n",
+                step.step, step.machine_name, step.machine, step.event
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(99);
+        t.push_decision(Decision::Schedule(MachineId::from_raw(0)));
+        t.push_decision(Decision::Bool(true));
+        t.push_decision(Decision::Int(3));
+        t.push_step(TraceStep {
+            step: 0,
+            machine: MachineId::from_raw(0),
+            machine_name: "Server".to_string(),
+            event: "ClientReq".to_string(),
+        });
+        t
+    }
+
+    #[test]
+    fn decision_count_counts_all_decisions() {
+        assert_eq!(sample_trace().decision_count(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_trace();
+        let json = t.to_json().expect("serialize");
+        let back = Trace::from_json(&json).expect("deserialize");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn render_schedule_mentions_machine_and_event() {
+        let rendered = sample_trace().render_schedule();
+        assert!(rendered.contains("Server"));
+        assert!(rendered.contains("ClientReq"));
+    }
+
+    #[test]
+    fn empty_trace_has_no_decisions() {
+        let t = Trace::new(0);
+        assert_eq!(t.decision_count(), 0);
+        assert!(t.render_schedule().is_empty());
+    }
+}

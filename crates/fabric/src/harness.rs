@@ -1,0 +1,195 @@
+//! The Fabric test harness: scenarios, configuration and the builder.
+
+use psharp::prelude::*;
+use psharp::timer::Timer;
+
+use crate::cluster::{
+    ClusterManagerMachine, ConsistencyMonitor, FabricBugs, FabricClient, InjectorTick,
+    PrimaryFailureInjector,
+};
+use crate::pipeline::{Configurator, PipelineDriver, StageOne, StageTwo};
+
+/// Which Fabric scenario to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricScenario {
+    /// A replicated counter service with a nondeterministic primary failure
+    /// (the scenario that exposes the promotion-during-copy bug).
+    Failover,
+    /// The CScale-like two-stage stream pipeline running on the model.
+    Pipeline,
+}
+
+/// Configuration of the Fabric harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// The scenario to drive.
+    pub scenario: FabricScenario,
+    /// Number of active secondaries in the replica set.
+    pub secondaries: usize,
+    /// Number of client requests (failover scenario) or raw records
+    /// (pipeline scenario).
+    pub requests: usize,
+    /// Seeded defects.
+    pub bugs: FabricBugs,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            scenario: FabricScenario::Failover,
+            secondaries: 2,
+            requests: 3,
+            bugs: FabricBugs::default(),
+        }
+    }
+}
+
+impl FabricConfig {
+    /// The failover scenario with the §5 promotion bug re-introduced.
+    pub fn with_promotion_bug() -> Self {
+        FabricConfig {
+            bugs: FabricBugs {
+                promote_pending_copy_on_failover: true,
+                uninitialized_pipeline_config: false,
+            },
+            ..FabricConfig::default()
+        }
+    }
+
+    /// The pipeline scenario with the CScale-style defect re-introduced.
+    pub fn with_pipeline_bug() -> Self {
+        FabricConfig {
+            scenario: FabricScenario::Pipeline,
+            bugs: FabricBugs {
+                promote_pending_copy_on_failover: false,
+                uninitialized_pipeline_config: true,
+            },
+            ..FabricConfig::default()
+        }
+    }
+}
+
+/// Ids of the machines created by [`build_harness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricHarness {
+    /// The cluster manager (failover scenario) if created.
+    pub manager: Option<MachineId>,
+    /// The second pipeline stage (pipeline scenario) if created.
+    pub stage_two: Option<MachineId>,
+}
+
+/// Builds the configured Fabric scenario into `rt`.
+pub fn build_harness(rt: &mut Runtime, config: &FabricConfig) -> FabricHarness {
+    match config.scenario {
+        FabricScenario::Failover => {
+            rt.add_monitor(ConsistencyMonitor::new());
+            let manager =
+                rt.create_machine(ClusterManagerMachine::new(config.secondaries, config.bugs));
+            rt.create_machine(FabricClient::new(manager, config.requests));
+            let injector = rt.create_machine(PrimaryFailureInjector::new(manager));
+            rt.create_machine(
+                Timer::with_event(injector, || Event::new(InjectorTick)).with_max_ticks(8),
+            );
+            FabricHarness {
+                manager: Some(manager),
+                stage_two: None,
+            }
+        }
+        FabricScenario::Pipeline => {
+            let stage_two = rt.create_machine(StageTwo::new(
+                !config.bugs.uninitialized_pipeline_config,
+            ));
+            let stage_one = rt.create_machine(StageOne::new(stage_two, 10));
+            rt.create_machine(Configurator::new(stage_two, 2));
+            rt.create_machine(PipelineDriver::new(stage_one, config.requests));
+            FabricHarness {
+                manager: None,
+                stage_two: Some(stage_two),
+            }
+        }
+    }
+}
+
+/// Model statistics of this harness, for the Table 1 reproduction.
+pub fn model_stats() -> ModelStats {
+    let config = FabricConfig::default();
+    // Manager + primary + secondaries + replacement idle secondary + client +
+    // injector + injector timer, plus the three pipeline machines.
+    let machines = 1 + 1 + config.secondaries + 1 + 1 + 1 + 1 + 3;
+    // Handlers: replica {SetSecondaries, ClientRequest, Replicate,
+    // CopyStateRequest, CopyState, BecomeRole, FailPrimary}, manager
+    // {ClientRequest, CopyStateRequest, CopyCompleted, FailPrimary,
+    // ReplicaFailed}, client {NextRequest}, injector {tick}, pipeline {config,
+    // derived, raw, driver start}, monitor {applied}.
+    let action_handlers = 7 + 5 + 1 + 1 + 4 + 1;
+    // State transitions: replica role changes (3 roles), manager failover,
+    // injector armed->fired, pipeline configured/unconfigured.
+    let state_transitions = 6 + 1 + 1 + 1;
+    ModelStats::new("Fabric user services")
+        .with_bugs(2)
+        .with_model(machines, state_transitions, action_handlers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_failover_scenario_is_clean() {
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(150)
+                .with_max_steps(5_000)
+                .with_seed(2),
+        );
+        let config = FabricConfig::default();
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        assert!(
+            !report.found_bug(),
+            "fixed fabric scenario flagged: {:?}",
+            report.bug.map(|b| b.bug)
+        );
+    }
+
+    #[test]
+    fn promotion_bug_is_found_by_the_engine() {
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(2_000)
+                .with_max_steps(5_000)
+                .with_seed(3),
+        );
+        let config = FabricConfig::with_promotion_bug();
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        let bug = report.bug.expect("promotion bug");
+        assert_eq!(bug.bug.kind, BugKind::SafetyViolation);
+        assert!(bug.bug.message.contains("promoted"));
+    }
+
+    #[test]
+    fn pipeline_bug_is_found_by_the_engine() {
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(500)
+                .with_max_steps(2_000)
+                .with_seed(4),
+        );
+        let config = FabricConfig::with_pipeline_bug();
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        let bug = report.bug.expect("pipeline bug");
+        assert_eq!(bug.bug.kind, BugKind::Panic);
+    }
+
+    #[test]
+    fn model_stats_report_the_harness_size() {
+        let stats = model_stats();
+        assert!(stats.machines >= 10);
+        assert_eq!(stats.bugs_found, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Events exchanged in the replication example, and the notifications sent to
+//! its monitors.
+
+use psharp::prelude::MachineId;
+
+/// Client request asking the server to replicate `data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientReq {
+    /// The value to replicate.
+    pub data: u64,
+}
+
+/// Acknowledgement from the server to the client that the current request has
+/// been replicated to the target number of storage nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack;
+
+/// Replication request from the server to a storage node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplReq {
+    /// The value to store.
+    pub data: u64,
+}
+
+/// Periodic synchronization message from a storage node to the server,
+/// carrying the node's full storage log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sync {
+    /// The storage node sending the report.
+    pub node: MachineId,
+    /// The node's storage log, oldest value first.
+    pub log: Vec<u64>,
+}
+
+/// Timeout delivered to a storage node by its modeled timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout;
+
+/// Monitor notification: the server accepted a new client request for `data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyClientReq {
+    /// The value the client asked to replicate.
+    pub data: u64,
+}
+
+/// Monitor notification: storage node `node` now holds `data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyReplica {
+    /// The storage node that stored the value.
+    pub node: MachineId,
+    /// The stored value.
+    pub data: u64,
+}
+
+/// Monitor notification: the server acknowledged the current client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyAck;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psharp::prelude::Event;
+
+    #[test]
+    fn events_have_short_names() {
+        assert_eq!(Event::new(ClientReq { data: 1 }).name(), "ClientReq");
+        assert_eq!(Event::new(Ack).name(), "Ack");
+        assert_eq!(
+            Event::new(Sync {
+                node: MachineId::from_raw(0),
+                log: vec![]
+            })
+            .name(),
+            "Sync"
+        );
+    }
+
+    #[test]
+    fn sync_carries_log() {
+        let sync = Sync {
+            node: MachineId::from_raw(2),
+            log: vec![1, 2, 3],
+        };
+        let event = Event::new(sync.clone());
+        assert_eq!(event.downcast_ref::<Sync>(), Some(&sync));
+    }
+}

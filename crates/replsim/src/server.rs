@@ -1,0 +1,279 @@
+//! The server: the "real component" under test in the running example.
+//!
+//! The server is deliberately written in the buggy-or-fixed style of Figure 1
+//! of the paper: the two bugs described in §2.2 can be re-introduced
+//! individually through [`ServerBugs`].
+
+use std::collections::HashSet;
+
+use psharp::prelude::*;
+
+use crate::events::{Ack, ClientReq, NotifyAck, NotifyClientReq, ReplReq, Sync};
+use crate::monitors::{AckLivenessMonitor, ReplicaSafetyMonitor};
+
+/// Which of the paper's two seeded bugs are active in the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerBugs {
+    /// Bug 1 (safety): count every up-to-date sync towards the replica
+    /// target, even if the syncing storage node was already counted.
+    pub count_duplicate_replicas: bool,
+    /// Bug 2 (liveness): do not reset the replica counter when a replication
+    /// round completes (neither after sending an `Ack` nor when the next
+    /// request begins), so later requests are never acknowledged.
+    pub no_counter_reset: bool,
+}
+
+/// Wiring information delivered to the server before the first request.
+///
+/// The harness creates the server first (so that the client and storage
+/// nodes can be constructed with its id) and then sends this event; mailbox
+/// FIFO ordering guarantees it is handled before any client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInit {
+    /// The client to acknowledge.
+    pub client: MachineId,
+    /// The storage nodes to replicate to.
+    pub nodes: Vec<MachineId>,
+}
+
+/// The replication server.
+pub struct Server {
+    client: Option<MachineId>,
+    nodes: Vec<MachineId>,
+    replica_target: usize,
+    bugs: ServerBugs,
+    /// The data of the current in-flight client request.
+    data: Option<u64>,
+    /// Replica counter, as in the paper's pseudocode.
+    replica_count: usize,
+    /// Set of unique up-to-date replicas (used by the fixed version).
+    replicas: HashSet<MachineId>,
+    /// Total acknowledgements issued (exposed for tests).
+    acks_sent: usize,
+}
+
+impl Server {
+    /// Creates a server that acknowledges after `replica_target` replicas.
+    ///
+    /// The client and storage-node ids arrive later in a [`ServerInit`]
+    /// event.
+    pub fn new(replica_target: usize, bugs: ServerBugs) -> Self {
+        Server {
+            client: None,
+            nodes: Vec::new(),
+            replica_target,
+            bugs,
+            data: None,
+            replica_count: 0,
+            replicas: HashSet::new(),
+            acks_sent: 0,
+        }
+    }
+
+    /// Number of acknowledgements the server has issued.
+    pub fn acks_sent(&self) -> usize {
+        self.acks_sent
+    }
+
+    /// Current replica counter value (exposed for tests).
+    pub fn replica_count(&self) -> usize {
+        self.replica_count
+    }
+
+    fn is_up_to_date(&self, log: &[u64]) -> bool {
+        match self.data {
+            Some(data) => log.last() == Some(&data),
+            None => false,
+        }
+    }
+
+    fn handle_client_req(&mut self, ctx: &mut Context<'_>, req: &ClientReq) {
+        self.data = Some(req.data);
+        if !self.bugs.no_counter_reset {
+            // A new request starts a new replication round: replica tracking
+            // from the previous round must not leak into it.
+            self.replica_count = 0;
+            self.replicas.clear();
+        }
+        ctx.notify_monitor::<ReplicaSafetyMonitor>(Event::new(NotifyClientReq { data: req.data }));
+        ctx.notify_monitor::<AckLivenessMonitor>(Event::new(NotifyClientReq { data: req.data }));
+        for &node in &self.nodes.clone() {
+            ctx.send(node, Event::new(ReplReq { data: req.data }));
+        }
+    }
+
+    fn handle_sync(&mut self, ctx: &mut Context<'_>, sync: &Sync) {
+        let Some(data) = self.data else {
+            // No request in flight; nothing to do with the report.
+            return;
+        };
+        if !self.is_up_to_date(&sync.log) {
+            ctx.send(sync.node, Event::new(ReplReq { data }));
+            return;
+        }
+        let counted = if self.bugs.count_duplicate_replicas {
+            // Buggy: every up-to-date sync increments the counter.
+            self.replica_count += 1;
+            true
+        } else if self.replicas.insert(sync.node) {
+            self.replica_count += 1;
+            true
+        } else {
+            false
+        };
+        // As in the paper's pseudocode, the acknowledgement check happens
+        // right after an increment ("if (this.NumReplicas == 3) send Ack").
+        if counted && self.replica_count == self.replica_target {
+            self.acks_sent += 1;
+            if let Some(client) = self.client {
+                ctx.send(client, Event::new(Ack));
+            }
+            ctx.notify_monitor::<ReplicaSafetyMonitor>(Event::new(NotifyAck));
+            ctx.notify_monitor::<AckLivenessMonitor>(Event::new(NotifyAck));
+            if !self.bugs.no_counter_reset {
+                self.replica_count = 0;
+                self.replicas.clear();
+            }
+        }
+    }
+}
+
+impl Machine for Server {
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        if let Some(init) = event.downcast_ref::<ServerInit>() {
+            self.client = Some(init.client);
+            self.nodes = init.nodes.clone();
+        } else if let Some(req) = event.downcast_ref::<ClientReq>() {
+            self.handle_client_req(ctx, req);
+        } else if let Some(sync) = event.downcast_ref::<Sync>() {
+            self.handle_sync(ctx, sync);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Server"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psharp::runtime::{Runtime, RuntimeConfig};
+    use psharp::scheduler::RandomScheduler;
+
+    fn sync(node: u64, log: Vec<u64>) -> Sync {
+        Sync {
+            node: MachineId::from_raw(node),
+            log,
+        }
+    }
+
+    /// Drives a server directly (with sink client and storage-node machines)
+    /// by injecting events from the harness side, so the counting logic can
+    /// be unit tested without the full harness.
+    fn run_server_with_nodes(bugs: ServerBugs, syncs: Vec<Sync>) -> (usize, usize) {
+        let mut rt = Runtime::new(
+            Box::new(RandomScheduler::new(1)),
+            RuntimeConfig::default(),
+            1,
+        );
+        struct Sink;
+        impl Machine for Sink {
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let server_id = rt.create_machine(Server::new(3, bugs));
+        let client = rt.create_machine(Sink);
+        let n0 = rt.create_machine(Sink);
+        let n1 = rt.create_machine(Sink);
+        let n2 = rt.create_machine(Sink);
+        rt.send(
+            server_id,
+            Event::new(ServerInit {
+                client,
+                nodes: vec![n0, n1, n2],
+            }),
+        );
+        rt.send(server_id, Event::new(ClientReq { data: 7 }));
+        for sync in syncs {
+            rt.send(server_id, Event::new(sync));
+        }
+        rt.run();
+        let server = rt.machine_ref::<Server>(server_id).expect("server exists");
+        (server.acks_sent(), server.replica_count())
+    }
+
+    #[test]
+    fn fixed_server_counts_unique_replicas_only() {
+        let (acks, count) = run_server_with_nodes(
+            ServerBugs::default(),
+            vec![
+                sync(2, vec![7]),
+                sync(2, vec![7]),
+                sync(2, vec![7]),
+                sync(3, vec![7]),
+            ],
+        );
+        assert_eq!(acks, 0, "two unique replicas must not be acknowledged");
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn buggy_server_acks_after_duplicate_syncs() {
+        let (acks, _) = run_server_with_nodes(
+            ServerBugs {
+                count_duplicate_replicas: true,
+                no_counter_reset: false,
+            },
+            vec![sync(2, vec![7]), sync(2, vec![7]), sync(2, vec![7])],
+        );
+        assert_eq!(acks, 1, "three duplicate syncs reach the target when buggy");
+    }
+
+    #[test]
+    fn fixed_server_acknowledges_three_unique_replicas() {
+        let (acks, count) = run_server_with_nodes(
+            ServerBugs::default(),
+            vec![sync(2, vec![7]), sync(3, vec![7]), sync(4, vec![7])],
+        );
+        assert_eq!(acks, 1);
+        assert_eq!(count, 0, "the fixed server resets its counter after an ack");
+    }
+
+    #[test]
+    fn buggy_no_reset_server_keeps_counter_after_ack() {
+        let (acks, count) = run_server_with_nodes(
+            ServerBugs {
+                count_duplicate_replicas: false,
+                no_counter_reset: true,
+            },
+            vec![sync(2, vec![7]), sync(3, vec![7]), sync(4, vec![7])],
+        );
+        assert_eq!(acks, 1);
+        assert_eq!(count, 3, "the buggy server never resets the counter");
+    }
+
+    #[test]
+    fn out_of_date_sync_triggers_re_replication_not_counting() {
+        let (acks, count) = run_server_with_nodes(
+            ServerBugs::default(),
+            vec![sync(2, vec![]), sync(2, vec![3]), sync(3, vec![7])],
+        );
+        assert_eq!(acks, 0);
+        assert_eq!(count, 1, "only the up-to-date node counts");
+    }
+
+    #[test]
+    fn sync_before_any_request_is_ignored() {
+        let mut rt = Runtime::new(
+            Box::new(RandomScheduler::new(1)),
+            RuntimeConfig::default(),
+            1,
+        );
+        let server_id = rt.create_machine(Server::new(3, ServerBugs::default()));
+        rt.send(server_id, Event::new(sync(0, vec![1])));
+        rt.run();
+        let server = rt.machine_ref::<Server>(server_id).expect("server exists");
+        assert_eq!(server.replica_count(), 0);
+        assert_eq!(server.acks_sent(), 0);
+    }
+}

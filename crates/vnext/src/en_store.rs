@@ -1,0 +1,88 @@
+//! Extent bookkeeping on the Extent Node side.
+//!
+//! This is the "real vNext component" that the paper's modeled EN re-uses
+//! ("the P# test harness leverages components of the real vNext system
+//! whenever it is appropriate"): the store tracks which extents an EN holds
+//! and produces the periodic sync report.
+
+use std::collections::BTreeSet;
+
+use crate::types::ExtentId;
+
+/// The set of extents stored on one Extent Node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnExtentStore {
+    extents: BTreeSet<ExtentId>,
+}
+
+impl EnExtentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EnExtentStore::default()
+    }
+
+    /// Creates a store pre-populated with `extents` (initial placement).
+    pub fn with_extents(extents: impl IntoIterator<Item = ExtentId>) -> Self {
+        EnExtentStore {
+            extents: extents.into_iter().collect(),
+        }
+    }
+
+    /// Adds an extent replica (e.g. after a successful copy). Returns `true`
+    /// when the extent was not already stored.
+    pub fn add(&mut self, extent: ExtentId) -> bool {
+        self.extents.insert(extent)
+    }
+
+    /// Removes an extent replica. Returns `true` when it was present.
+    pub fn remove(&mut self, extent: ExtentId) -> bool {
+        self.extents.remove(&extent)
+    }
+
+    /// Returns `true` when the EN holds a replica of `extent`.
+    pub fn contains(&self, extent: ExtentId) -> bool {
+        self.extents.contains(&extent)
+    }
+
+    /// Produces the content of a sync report: every extent stored on the EN.
+    pub fn sync_report(&self) -> Vec<ExtentId> {
+        self.extents.iter().copied().collect()
+    }
+
+    /// Number of extents stored.
+    pub fn len(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Returns `true` when the EN stores no extents.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut store = EnExtentStore::new();
+        assert!(store.is_empty());
+        assert!(store.add(ExtentId(1)));
+        assert!(!store.add(ExtentId(1)), "double add reports already present");
+        assert!(store.contains(ExtentId(1)));
+        assert!(store.remove(ExtentId(1)));
+        assert!(!store.remove(ExtentId(1)));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn sync_report_lists_all_extents_in_order() {
+        let store = EnExtentStore::with_extents([ExtentId(3), ExtentId(1), ExtentId(2)]);
+        assert_eq!(
+            store.sync_report(),
+            vec![ExtentId(1), ExtentId(2), ExtentId(3)]
+        );
+        assert_eq!(store.len(), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Events exchanged inside the vNext test harness.
+//!
+//! EN → ExtMgr messages ([`EnToManager`]) are sent directly to the wrapper
+//! machine, as in Figure 8 of the paper; intercepted ExtMgr → EN messages
+//! ([`ManagerToEn`]) go through the
+//! [`TestingDriver`](crate::machines::driver::TestingDriver), which plays the
+//! role of the modeled network engine's dispatch path. The §3.6 liveness bug
+//! arises when the controlled timers starve an EN of heartbeat ticks long
+//! enough for the expiration loop to remove it while one of its sync reports
+//! is still queued behind those expiration ticks.
+
+use psharp::prelude::MachineId;
+
+use crate::types::{EnMessage, ExtMgrMessage, ExtentId};
+
+/// An EN → ExtMgr message (heartbeat or sync report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnToManager {
+    /// The payload produced by the EN.
+    pub message: EnMessage,
+}
+
+/// An ExtMgr → EN message intercepted by the modeled network engine and
+/// relayed through the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManagerToEn {
+    /// The EN the manager addressed.
+    pub target: crate::types::EnId,
+    /// The payload produced by the manager.
+    pub message: ExtMgrMessage,
+}
+
+/// Tick that drives the Extent Manager's expiration and repair loops
+/// (replacing its disabled internal timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerTick;
+
+/// Tick that drives an EN's periodic heartbeat / sync-report behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnTick;
+
+/// Tick that drives the testing driver's failure-injection logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverTick;
+
+/// Repair request delivered to an EN: copy `extent` from the EN hosted by
+/// `source_machine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairRequest {
+    /// The extent to repair.
+    pub extent: ExtentId,
+    /// The machine hosting a replica to copy from.
+    pub source_machine: MachineId,
+}
+
+/// Request to copy `extent` from the receiving EN back to `requester`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentCopyRequest {
+    /// The extent to copy.
+    pub extent: ExtentId,
+    /// The machine of the EN asking for the copy.
+    pub requester: MachineId,
+}
+
+/// Response to an [`ExtentCopyRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentCopyResponse {
+    /// The extent that was requested.
+    pub extent: ExtentId,
+    /// Whether the source still held a replica and the copy succeeded.
+    pub success: bool,
+}
+
+/// Failure injected into an EN by the testing driver; the EN notifies the
+/// monitor and halts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent;
+
+/// Monitor notification: a (real) replica of `extent` now exists on `en`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyReplicaAdded {
+    /// The EN holding the new replica.
+    pub en: crate::types::EnId,
+    /// The extent.
+    pub extent: ExtentId,
+}
+
+/// Monitor notification: the EN `en` has failed, all its replicas are lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyEnFailed {
+    /// The failed EN.
+    pub en: crate::types::EnId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EnId;
+    use psharp::prelude::Event;
+
+    #[test]
+    fn events_have_short_names() {
+        assert_eq!(
+            Event::new(EnToManager {
+                message: EnMessage::Heartbeat { en: EnId(1) }
+            })
+            .name(),
+            "EnToManager"
+        );
+        assert_eq!(Event::new(ManagerTick).name(), "ManagerTick");
+        assert_eq!(Event::new(FailureEvent).name(), "FailureEvent");
+    }
+
+    #[test]
+    fn repair_request_payload_round_trips() {
+        let event = Event::new(RepairRequest {
+            extent: ExtentId(4),
+            source_machine: MachineId::from_raw(9),
+        });
+        let req = event.downcast_ref::<RepairRequest>().expect("payload");
+        assert_eq!(req.extent, ExtentId(4));
+        assert_eq!(req.source_machine, MachineId::from_raw(9));
+    }
+}

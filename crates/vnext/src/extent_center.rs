@@ -1,0 +1,206 @@
+//! The Extent Manager's two core data structures (Figure 6 of the paper):
+//! the [`ExtentCenter`], mapping extents to the ENs believed to hold them,
+//! and the [`ExtentNodeMap`], mapping ENs to their latest heartbeat time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::types::{EnId, ExtentId};
+
+/// Maps every managed extent to the set of ENs believed to host a replica.
+///
+/// Updated from periodic EN sync reports, which carry the ground truth of a
+/// single EN, and pruned when ENs are expired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtentCenter {
+    locations: BTreeMap<ExtentId, BTreeSet<EnId>>,
+}
+
+impl ExtentCenter {
+    /// Creates an empty extent center.
+    pub fn new() -> Self {
+        ExtentCenter::default()
+    }
+
+    /// Registers an extent with no known replicas (used when the ExtMgr is
+    /// told it manages an extent before any sync report arrives).
+    pub fn register_extent(&mut self, extent: ExtentId) {
+        self.locations.entry(extent).or_default();
+    }
+
+    /// Applies a sync report from `en`: `extents` is the complete list of
+    /// extents stored on that EN, so the EN is added as a replica of each
+    /// listed extent and removed from every extent it no longer reports.
+    pub fn apply_sync_report(&mut self, en: EnId, extents: &[ExtentId]) {
+        let reported: BTreeSet<ExtentId> = extents.iter().copied().collect();
+        for extent in &reported {
+            self.locations.entry(*extent).or_default().insert(en);
+        }
+        for (extent, replicas) in &mut self.locations {
+            if !reported.contains(extent) {
+                replicas.remove(&en);
+            }
+        }
+    }
+
+    /// Removes `en` from every extent's replica set (used when an EN is
+    /// expired).
+    pub fn remove_en(&mut self, en: EnId) {
+        for replicas in self.locations.values_mut() {
+            replicas.remove(&en);
+        }
+    }
+
+    /// The ENs currently believed to hold a replica of `extent`.
+    pub fn replicas(&self, extent: ExtentId) -> Vec<EnId> {
+        self.locations
+            .get(&extent)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of replicas currently believed to exist for `extent`.
+    pub fn replica_count(&self, extent: ExtentId) -> usize {
+        self.locations.get(&extent).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Iterates over all managed extents and their replica sets.
+    pub fn iter(&self) -> impl Iterator<Item = (ExtentId, &BTreeSet<EnId>)> {
+        self.locations.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of managed extents.
+    pub fn extent_count(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+/// Maps every live EN to the logical time of its latest heartbeat.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtentNodeMap {
+    heartbeats: BTreeMap<EnId, u64>,
+}
+
+impl ExtentNodeMap {
+    /// Creates an empty node map.
+    pub fn new() -> Self {
+        ExtentNodeMap::default()
+    }
+
+    /// Records a heartbeat from `en` at logical time `now`. Unknown ENs are
+    /// added (this is how newly launched ENs join).
+    pub fn record_heartbeat(&mut self, en: EnId, now: u64) {
+        self.heartbeats.insert(en, now);
+    }
+
+    /// Returns `true` when `en` is currently considered live.
+    pub fn contains(&self, en: EnId) -> bool {
+        self.heartbeats.contains_key(&en)
+    }
+
+    /// Removes and returns every EN whose last heartbeat is older than
+    /// `expiry` ticks before `now`.
+    pub fn expire(&mut self, now: u64, expiry: u64) -> Vec<EnId> {
+        let expired: Vec<EnId> = self
+            .heartbeats
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) > expiry)
+            .map(|(&en, _)| en)
+            .collect();
+        for en in &expired {
+            self.heartbeats.remove(en);
+        }
+        expired
+    }
+
+    /// The ENs currently considered live.
+    pub fn live_ens(&self) -> Vec<EnId> {
+        self.heartbeats.keys().copied().collect()
+    }
+
+    /// Number of live ENs.
+    pub fn len(&self) -> usize {
+        self.heartbeats.len()
+    }
+
+    /// Returns `true` when no EN is known.
+    pub fn is_empty(&self) -> bool {
+        self.heartbeats.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_report_adds_and_removes_replicas() {
+        let mut center = ExtentCenter::new();
+        center.apply_sync_report(EnId(1), &[ExtentId(10), ExtentId(11)]);
+        assert_eq!(center.replica_count(ExtentId(10)), 1);
+        assert_eq!(center.replica_count(ExtentId(11)), 1);
+        // The next report no longer lists extent 11: the EN must be removed
+        // from it.
+        center.apply_sync_report(EnId(1), &[ExtentId(10)]);
+        assert_eq!(center.replica_count(ExtentId(10)), 1);
+        assert_eq!(center.replica_count(ExtentId(11)), 0);
+    }
+
+    #[test]
+    fn sync_reports_from_multiple_ens_accumulate() {
+        let mut center = ExtentCenter::new();
+        center.apply_sync_report(EnId(1), &[ExtentId(5)]);
+        center.apply_sync_report(EnId(2), &[ExtentId(5)]);
+        center.apply_sync_report(EnId(3), &[ExtentId(5)]);
+        assert_eq!(center.replica_count(ExtentId(5)), 3);
+        assert_eq!(
+            center.replicas(ExtentId(5)),
+            vec![EnId(1), EnId(2), EnId(3)]
+        );
+    }
+
+    #[test]
+    fn remove_en_prunes_all_extents() {
+        let mut center = ExtentCenter::new();
+        center.apply_sync_report(EnId(1), &[ExtentId(1), ExtentId(2)]);
+        center.apply_sync_report(EnId(2), &[ExtentId(1)]);
+        center.remove_en(EnId(1));
+        assert_eq!(center.replica_count(ExtentId(1)), 1);
+        assert_eq!(center.replica_count(ExtentId(2)), 0);
+    }
+
+    #[test]
+    fn register_extent_starts_with_zero_replicas() {
+        let mut center = ExtentCenter::new();
+        center.register_extent(ExtentId(9));
+        assert_eq!(center.replica_count(ExtentId(9)), 0);
+        assert_eq!(center.extent_count(), 1);
+    }
+
+    #[test]
+    fn node_map_expires_only_stale_ens() {
+        let mut map = ExtentNodeMap::new();
+        map.record_heartbeat(EnId(1), 0);
+        map.record_heartbeat(EnId(2), 5);
+        let expired = map.expire(8, 3);
+        assert_eq!(expired, vec![EnId(1)]);
+        assert!(!map.contains(EnId(1)));
+        assert!(map.contains(EnId(2)));
+    }
+
+    #[test]
+    fn node_map_heartbeat_refresh_prevents_expiry() {
+        let mut map = ExtentNodeMap::new();
+        map.record_heartbeat(EnId(1), 0);
+        map.record_heartbeat(EnId(1), 9);
+        assert!(map.expire(10, 3).is_empty());
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn new_en_joins_via_heartbeat() {
+        let mut map = ExtentNodeMap::new();
+        assert!(map.is_empty());
+        map.record_heartbeat(EnId(7), 42);
+        assert_eq!(map.live_ens(), vec![EnId(7)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! The `TestingDriver` machine (Figure 10 of the paper).
+//!
+//! The driver plays two roles:
+//!
+//! * **dispatching intercepted manager output** — repair requests captured by
+//!   the modeled network engine name ENs by their cluster id; the driver
+//!   translates them to the corresponding EN machines;
+//! * **failure injection** — it nondeterministically chooses an EN, fails it,
+//!   and launches a replacement EN (the paper's second testing scenario).
+
+use std::collections::BTreeMap;
+
+use psharp::prelude::*;
+use psharp::timer::Timer;
+
+use crate::en_store::EnExtentStore;
+use crate::events::{DriverTick, EnTick, FailureEvent, ManagerToEn, RepairRequest};
+use crate::machines::extent_node::ExtentNodeMachine;
+use crate::types::{EnId, ExtMgrMessage};
+
+/// Wiring event delivered to the driver before the run starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverInit {
+    /// The EN machines in the initial cluster.
+    pub ens: Vec<(EnId, MachineId)>,
+}
+
+/// The testing driver machine.
+pub struct TestingDriver {
+    manager: MachineId,
+    ens: BTreeMap<EnId, MachineId>,
+    next_en_id: u64,
+    inject_failure: bool,
+    failure_injected: bool,
+    relayed_to_ens: usize,
+}
+
+impl TestingDriver {
+    /// Creates a driver that dispatches intercepted output of `manager` and,
+    /// when `inject_failure` is set, fails one EN and launches a replacement.
+    pub fn new(manager: MachineId, inject_failure: bool) -> Self {
+        TestingDriver {
+            manager,
+            ens: BTreeMap::new(),
+            next_en_id: 0,
+            inject_failure,
+            failure_injected: false,
+            relayed_to_ens: 0,
+        }
+    }
+
+    /// Whether the failure has already been injected (exposed for tests).
+    pub fn failure_injected(&self) -> bool {
+        self.failure_injected
+    }
+
+    /// Number of manager → EN messages dispatched (exposed for tests).
+    pub fn relayed_to_ens(&self) -> usize {
+        self.relayed_to_ens
+    }
+
+    fn inject_node_failure(&mut self, ctx: &mut Context<'_>) {
+        let candidates: Vec<(EnId, MachineId)> = self.ens.iter().map(|(&k, &v)| (k, v)).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // Nondeterministically choose which EN fails.
+        let victim = *ctx.choose(&candidates);
+        self.failure_injected = true;
+        ctx.send(victim.1, Event::new(FailureEvent));
+
+        // Launch a replacement EN with an empty store, plus its modeled timer.
+        let new_en_id = EnId(self.next_en_id);
+        self.next_en_id += 1;
+        let new_en = ctx.create(ExtentNodeMachine::new(
+            new_en_id,
+            self.manager,
+            EnExtentStore::new(),
+        ));
+        ctx.create(Timer::with_event(new_en, || Event::new(EnTick)));
+        self.ens.insert(new_en_id, new_en);
+    }
+}
+
+impl Machine for TestingDriver {
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        if let Some(init) = event.downcast_ref::<DriverInit>() {
+            for &(en_id, machine) in &init.ens {
+                self.ens.insert(en_id, machine);
+                self.next_en_id = self.next_en_id.max(en_id.0 + 1);
+            }
+        } else if let Some(outbound) = event.downcast_ref::<ManagerToEn>() {
+            self.relayed_to_ens += 1;
+            let ExtMgrMessage::RepairRequest { extent, source } = outbound.message;
+            let (Some(&target_machine), Some(&source_machine)) =
+                (self.ens.get(&outbound.target), self.ens.get(&source))
+            else {
+                // The manager addressed an EN the harness never created (it
+                // can only happen after the manager's view diverged from the
+                // cluster); the message is dropped like a network would.
+                return;
+            };
+            ctx.send(
+                target_machine,
+                Event::new(RepairRequest {
+                    extent,
+                    source_machine,
+                }),
+            );
+        } else if event.is::<DriverTick>() || event.is::<TimerTick>() {
+            // Failure injection happens at a nondeterministically chosen tick.
+            if self.inject_failure && !self.failure_injected && ctx.random_bool() {
+                self.inject_node_failure(ctx);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "TestingDriver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ExtentId;
+    use psharp::runtime::{Runtime, RuntimeConfig};
+    use psharp::scheduler::{RandomScheduler, RoundRobinScheduler};
+
+    /// Sink standing in for the Extent Manager wrapper machine.
+    #[derive(Default)]
+    struct ManagerStub;
+    impl Machine for ManagerStub {
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+
+    fn new_runtime(max_steps: usize) -> Runtime {
+        Runtime::new(
+            Box::new(RoundRobinScheduler::new()),
+            RuntimeConfig {
+                max_steps,
+                ..RuntimeConfig::default()
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn driver_translates_repair_requests_to_en_machines() {
+        let mut rt = new_runtime(1_000);
+        let manager = rt.create_machine(ManagerStub::default());
+        let driver = rt.create_machine(TestingDriver::new(manager, false));
+        let source = rt.create_machine(ExtentNodeMachine::new(
+            EnId(0),
+            manager,
+            EnExtentStore::with_extents([ExtentId(1)]),
+        ));
+        let target = rt.create_machine(ExtentNodeMachine::new(
+            EnId(1),
+            manager,
+            EnExtentStore::new(),
+        ));
+        rt.send(
+            driver,
+            Event::new(DriverInit {
+                ens: vec![(EnId(0), source), (EnId(1), target)],
+            }),
+        );
+        rt.send(
+            driver,
+            Event::new(ManagerToEn {
+                target: EnId(1),
+                message: ExtMgrMessage::RepairRequest {
+                    extent: ExtentId(1),
+                    source: EnId(0),
+                },
+            }),
+        );
+        rt.run();
+        let target_ref = rt.machine_ref::<ExtentNodeMachine>(target).unwrap();
+        assert!(target_ref.store().contains(ExtentId(1)));
+    }
+
+    #[test]
+    fn repair_request_for_unknown_en_is_dropped() {
+        let mut rt = new_runtime(1_000);
+        let manager = rt.create_machine(ManagerStub::default());
+        let driver = rt.create_machine(TestingDriver::new(manager, false));
+        rt.send(
+            driver,
+            Event::new(ManagerToEn {
+                target: EnId(9),
+                message: ExtMgrMessage::RepairRequest {
+                    extent: ExtentId(1),
+                    source: EnId(8),
+                },
+            }),
+        );
+        rt.run();
+        assert!(rt.bug().is_none());
+        assert_eq!(
+            rt.machine_ref::<TestingDriver>(driver)
+                .unwrap()
+                .relayed_to_ens(),
+            1
+        );
+    }
+
+    #[test]
+    fn driver_eventually_injects_exactly_one_failure() {
+        let mut rt = Runtime::new(
+            Box::new(RandomScheduler::new(5)),
+            RuntimeConfig {
+                max_steps: 400,
+                ..RuntimeConfig::default()
+            },
+            5,
+        );
+        let manager = rt.create_machine(ManagerStub::default());
+        let driver = rt.create_machine(TestingDriver::new(manager, true));
+        let en = rt.create_machine(ExtentNodeMachine::new(
+            EnId(0),
+            manager,
+            EnExtentStore::new(),
+        ));
+        rt.send(driver, Event::new(DriverInit { ens: vec![(EnId(0), en)] }));
+        for _ in 0..32 {
+            rt.send(driver, Event::new(DriverTick));
+        }
+        rt.run();
+        let driver_ref = rt.machine_ref::<TestingDriver>(driver).unwrap();
+        assert!(driver_ref.failure_injected());
+        assert!(rt.is_halted(en));
+        // A replacement EN and its timer were created.
+        assert_eq!(rt.machine_count(), 5);
+    }
+
+    #[test]
+    fn driver_without_failure_injection_never_fails_nodes() {
+        let mut rt = new_runtime(1_000);
+        let manager = rt.create_machine(ManagerStub::default());
+        let driver = rt.create_machine(TestingDriver::new(manager, false));
+        let en = rt.create_machine(ExtentNodeMachine::new(
+            EnId(0),
+            manager,
+            EnExtentStore::new(),
+        ));
+        rt.send(driver, Event::new(DriverInit { ens: vec![(EnId(0), en)] }));
+        for _ in 0..8 {
+            rt.send(driver, Event::new(DriverTick));
+        }
+        rt.run();
+        assert!(!rt
+            .machine_ref::<TestingDriver>(driver)
+            .unwrap()
+            .failure_injected());
+        assert!(!rt.is_halted(en));
+    }
+}

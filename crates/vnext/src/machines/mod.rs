@@ -1,0 +1,12 @@
+//! The P# test harness machines for the vNext case study (Figure 4 of the
+//! paper): the wrapper around the real Extent Manager, the modeled Extent
+//! Nodes, and the testing driver that relays messages and injects failures.
+//! Timers are the generic modeled [`psharp::timer::Timer`] machines.
+
+pub mod driver;
+pub mod extent_node;
+pub mod manager;
+
+pub use driver::TestingDriver;
+pub use extent_node::ExtentNodeMachine;
+pub use manager::ExtentManagerMachine;

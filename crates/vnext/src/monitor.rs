@@ -1,0 +1,164 @@
+//! The `RepairMonitor` liveness specification (§3.5 of the paper).
+//!
+//! The monitor tracks, per extent, which ENs *really* hold a replica: it is
+//! told about initial placement and completed repairs via
+//! [`NotifyReplicaAdded`] and about failures via [`NotifyEnFailed`]. Whenever
+//! any extent has fewer real replicas than the target, the monitor is in the
+//! hot *repairing* state; once every extent is back at the target it returns
+//! to the cold *repaired* state. An execution that ends while the monitor is
+//! still hot is a liveness violation: some extent was never repaired.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use psharp::prelude::*;
+
+use crate::events::{NotifyEnFailed, NotifyReplicaAdded};
+use crate::types::{EnId, ExtentId};
+
+/// Liveness monitor checking that lost extent replicas are eventually
+/// repaired.
+#[derive(Debug)]
+pub struct RepairMonitor {
+    replica_target: usize,
+    replicas: BTreeMap<ExtentId, BTreeSet<EnId>>,
+    failures_observed: usize,
+    repairs_observed: usize,
+}
+
+impl RepairMonitor {
+    /// Creates a monitor for the given replica target.
+    pub fn new(replica_target: usize) -> Self {
+        RepairMonitor {
+            replica_target,
+            replicas: BTreeMap::new(),
+            failures_observed: 0,
+            repairs_observed: 0,
+        }
+    }
+
+    /// Number of EN failures observed.
+    pub fn failures_observed(&self) -> usize {
+        self.failures_observed
+    }
+
+    /// Number of replica-added notifications observed.
+    pub fn repairs_observed(&self) -> usize {
+        self.repairs_observed
+    }
+
+    /// Real replica count of `extent`.
+    pub fn replica_count(&self, extent: ExtentId) -> usize {
+        self.replicas.get(&extent).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    fn under_replicated(&self) -> Option<(ExtentId, usize)> {
+        self.replicas
+            .iter()
+            .find(|(_, ens)| ens.len() < self.replica_target)
+            .map(|(extent, ens)| (*extent, ens.len()))
+    }
+}
+
+impl Monitor for RepairMonitor {
+    fn observe(&mut self, _ctx: &mut MonitorContext<'_>, event: &Event) {
+        if let Some(added) = event.downcast_ref::<NotifyReplicaAdded>() {
+            self.repairs_observed += 1;
+            self.replicas
+                .entry(added.extent)
+                .or_default()
+                .insert(added.en);
+        } else if let Some(failed) = event.downcast_ref::<NotifyEnFailed>() {
+            self.failures_observed += 1;
+            for ens in self.replicas.values_mut() {
+                ens.remove(&failed.en);
+            }
+        }
+    }
+
+    fn temperature(&self) -> Temperature {
+        if self.under_replicated().is_some() {
+            Temperature::Hot
+        } else {
+            Temperature::Cold
+        }
+    }
+
+    fn hot_message(&self) -> String {
+        match self.under_replicated() {
+            Some((extent, count)) => format!(
+                "{extent} still has {count} of {} replicas: a lost replica was never repaired",
+                self.replica_target
+            ),
+            None => "repair monitor is hot".to_string(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "RepairMonitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe(monitor: &mut RepairMonitor, event: Event) {
+        let mut bug = None;
+        let mut ctx = MonitorContext::new_for_tests(&mut bug);
+        monitor.observe(&mut ctx, &event);
+        assert!(bug.is_none(), "the repair monitor never flags safety bugs");
+    }
+
+    fn replica(monitor: &mut RepairMonitor, en: u64, extent: u64) {
+        observe(
+            monitor,
+            Event::new(NotifyReplicaAdded {
+                en: EnId(en),
+                extent: ExtentId(extent),
+            }),
+        );
+    }
+
+    #[test]
+    fn monitor_is_hot_until_target_reached() {
+        let mut monitor = RepairMonitor::new(3);
+        assert_eq!(monitor.temperature(), Temperature::Cold, "no extents yet");
+        replica(&mut monitor, 1, 10);
+        assert_eq!(monitor.temperature(), Temperature::Hot);
+        replica(&mut monitor, 2, 10);
+        replica(&mut monitor, 3, 10);
+        assert_eq!(monitor.temperature(), Temperature::Cold);
+    }
+
+    #[test]
+    fn failure_reheats_the_monitor_until_repair() {
+        let mut monitor = RepairMonitor::new(3);
+        for en in 1..=3 {
+            replica(&mut monitor, en, 10);
+        }
+        observe(&mut monitor, Event::new(NotifyEnFailed { en: EnId(2) }));
+        assert_eq!(monitor.temperature(), Temperature::Hot);
+        assert_eq!(monitor.replica_count(ExtentId(10)), 2);
+        replica(&mut monitor, 4, 10);
+        assert_eq!(monitor.temperature(), Temperature::Cold);
+        assert!(monitor.hot_message().contains("repair"));
+    }
+
+    #[test]
+    fn failure_of_unknown_en_is_harmless() {
+        let mut monitor = RepairMonitor::new(2);
+        replica(&mut monitor, 1, 5);
+        replica(&mut monitor, 2, 5);
+        observe(&mut monitor, Event::new(NotifyEnFailed { en: EnId(99) }));
+        assert_eq!(monitor.temperature(), Temperature::Cold);
+        assert_eq!(monitor.failures_observed(), 1);
+    }
+
+    #[test]
+    fn hot_message_names_the_under_replicated_extent() {
+        let mut monitor = RepairMonitor::new(3);
+        replica(&mut monitor, 1, 7);
+        assert!(monitor.hot_message().contains("extent-7"));
+        assert!(monitor.hot_message().contains("1 of 3"));
+    }
+}

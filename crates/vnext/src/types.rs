@@ -1,0 +1,98 @@
+//! Identifiers and message types shared between the Extent Manager and the
+//! Extent Nodes.
+
+use std::fmt;
+
+/// Identifier of an extent (a multi-gigabyte replicated data container).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExtentId(pub u64);
+
+impl fmt::Display for ExtentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extent-{}", self.0)
+    }
+}
+
+/// Identifier of an Extent Node, assigned by the cluster (not a machine id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnId(pub u64);
+
+impl fmt::Display for EnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "en-{}", self.0)
+    }
+}
+
+/// Messages sent by Extent Nodes to the Extent Manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnMessage {
+    /// Frequent keep-alive; missing heartbeats cause the EN to be expired.
+    Heartbeat {
+        /// The reporting EN.
+        en: EnId,
+    },
+    /// Less frequent full report of every extent stored on the EN. Its
+    /// purpose is to replace the ExtMgr's possibly out-of-date view of the EN
+    /// with the ground truth.
+    SyncReport {
+        /// The reporting EN.
+        en: EnId,
+        /// Every extent currently stored on the EN.
+        extents: Vec<ExtentId>,
+    },
+}
+
+impl EnMessage {
+    /// The EN that sent this message.
+    pub fn sender(&self) -> EnId {
+        match self {
+            EnMessage::Heartbeat { en } => *en,
+            EnMessage::SyncReport { en, .. } => *en,
+        }
+    }
+}
+
+/// Messages sent by the Extent Manager to Extent Nodes (through its network
+/// engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtMgrMessage {
+    /// Ask `target` (the message recipient) to repair `extent` by copying it
+    /// from `source`, an EN believed to hold a replica.
+    RepairRequest {
+        /// The extent missing replicas.
+        extent: ExtentId,
+        /// An EN that holds a replica to copy from.
+        source: EnId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_readable() {
+        assert_eq!(ExtentId(3).to_string(), "extent-3");
+        assert_eq!(EnId(7).to_string(), "en-7");
+    }
+
+    #[test]
+    fn en_message_sender_is_extracted() {
+        assert_eq!(EnMessage::Heartbeat { en: EnId(1) }.sender(), EnId(1));
+        assert_eq!(
+            EnMessage::SyncReport {
+                en: EnId(2),
+                extents: vec![ExtentId(0)]
+            }
+            .sender(),
+            EnId(2)
+        );
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<EnId> = [EnId(3), EnId(1), EnId(2)].into_iter().collect();
+        assert_eq!(set.into_iter().next(), Some(EnId(1)));
+    }
+}

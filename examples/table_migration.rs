@@ -1,0 +1,49 @@
+//! The Live Table Migration case study (§4): re-introduce named bugs from
+//! Table 2 and let the systematic tester find them by comparing the system
+//! against the reference model.
+//!
+//! Run with: `cargo run --release --example table_migration [BugName]`
+
+use chaintable::{build_harness, named_bugs, ChainConfig};
+use psharp::prelude::*;
+
+fn hunt(config: ChainConfig, scheduler: SchedulerKind) {
+    let engine = TestEngine::new(
+        TestConfig::new()
+            .with_iterations(20_000)
+            .with_max_steps(10_000)
+            .with_seed(2016)
+            .with_scheduler(scheduler),
+    );
+    let report = engine.run(move |rt| {
+        build_harness(rt, &config);
+    });
+    println!("  [{}] {}", scheduler.label(), report.summary());
+}
+
+fn main() {
+    let only: Option<String> = std::env::args().nth(1);
+
+    for (name, config) in named_bugs() {
+        if let Some(filter) = &only {
+            if name != filter {
+                continue;
+            }
+        }
+        println!("-- {name} --");
+        hunt(config, SchedulerKind::Random);
+        hunt(config, SchedulerKind::Pct { change_points: 2 });
+    }
+
+    println!("-- fixed MigratingTable --");
+    let engine = TestEngine::new(
+        TestConfig::new()
+            .with_iterations(2_000)
+            .with_max_steps(10_000)
+            .with_seed(7),
+    );
+    let report = engine.run(|rt| {
+        build_harness(rt, &ChainConfig::fixed());
+    });
+    println!("  {}", report.summary());
+}

@@ -1,0 +1,17 @@
+//! Workspace root crate of the P# FAST'16 reproduction.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the implementation lives in the
+//! workspace member crates, re-exported here for convenience:
+//!
+//! * [`psharp`] — the systematic testing runtime (the paper's contribution).
+//! * [`replsim`] — the §2 example replication system.
+//! * [`vnext`] — the Azure Storage vNext extent-management case study (§3).
+//! * [`chaintable`] — the Live Table Migration case study (§4).
+//! * [`fabric`] — the Azure Service Fabric case study (§5).
+
+pub use chaintable;
+pub use fabric;
+pub use psharp;
+pub use replsim;
+pub use vnext;

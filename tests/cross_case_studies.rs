@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: every case study harness runs under the
+//! same systematic testing engine, every seeded bug is findable, every fixed
+//! variant stays clean, and buggy traces replay deterministically.
+
+use psharp::prelude::*;
+
+fn engine(iterations: u64, max_steps: usize, seed: u64, scheduler: SchedulerKind) -> TestEngine {
+    TestEngine::new(
+        TestConfig::new()
+            .with_iterations(iterations)
+            .with_max_steps(max_steps)
+            .with_seed(seed)
+            .with_scheduler(scheduler),
+    )
+}
+
+#[test]
+fn every_fixed_case_study_is_clean_under_both_schedulers() {
+    // The random scheduler is the paper's primary configuration for liveness
+    // checking; the PCT scheduler is checked for the absence of safety
+    // violations (its strict-priority prefix can starve a system long enough
+    // that the bounded liveness heuristic reports scheduler starvation rather
+    // than a real bug — see EXPERIMENTS.md).
+    let clean = |report: &TestReport, scheduler: SchedulerKind| match scheduler {
+        SchedulerKind::Random => !report.found_bug(),
+        _ => !matches!(
+            report.bug.as_ref().map(|b| b.bug.kind),
+            Some(BugKind::SafetyViolation) | Some(BugKind::Panic)
+        ),
+    };
+    for scheduler in [SchedulerKind::Random, SchedulerKind::Pct { change_points: 2 }] {
+        let report = engine(50, 2_500, 1, scheduler).run(|rt| {
+            replsim::build_harness(rt, &replsim::ReplConfig::default());
+        });
+        assert!(clean(&report, scheduler), "replsim/{:?}: {:?}", scheduler, report.bug);
+
+        let report = engine(50, 3_000, 1, scheduler).run(|rt| {
+            vnext::build_harness(rt, &vnext::VnextConfig::default());
+        });
+        assert!(clean(&report, scheduler), "vnext/{:?}: {:?}", scheduler, report.bug);
+
+        let report = engine(50, 10_000, 1, scheduler).run(|rt| {
+            chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
+        });
+        assert!(clean(&report, scheduler), "chaintable/{:?}: {:?}", scheduler, report.bug);
+
+        let report = engine(50, 5_000, 1, scheduler).run(|rt| {
+            fabric::build_harness(rt, &fabric::FabricConfig::default());
+        });
+        assert!(clean(&report, scheduler), "fabric/{:?}: {:?}", scheduler, report.bug);
+    }
+}
+
+#[test]
+fn replsim_safety_bug_is_found_and_replays() {
+    let engine = engine(5_000, 2_000, 7, SchedulerKind::Random);
+    let config = replsim::ReplConfig::with_duplicate_counting_bug();
+    let report = engine.run(move |rt| {
+        replsim::build_harness(rt, &config);
+    });
+    let bug = report.bug.expect("safety bug");
+    assert_eq!(bug.bug.kind, BugKind::SafetyViolation);
+
+    let replayed = engine
+        .replay(&bug.trace, move |rt| {
+            replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
+        })
+        .expect("replay reproduces the bug");
+    assert_eq!(replayed.message, bug.bug.message);
+}
+
+#[test]
+fn vnext_liveness_bug_is_found_by_both_schedulers() {
+    for scheduler in [SchedulerKind::Random, SchedulerKind::Pct { change_points: 2 }] {
+        let report = engine(3_000, 3_000, 2016, scheduler).run(|rt| {
+            vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+        });
+        let bug = report.bug.unwrap_or_else(|| panic!("{scheduler:?} should find the bug"));
+        assert_eq!(bug.bug.kind, BugKind::LivenessViolation);
+    }
+}
+
+#[test]
+fn chaintable_named_bugs_are_all_findable() {
+    // Each of the eleven Table 2 bugs must be findable by at least one of the
+    // two schedulers within a modest execution budget.
+    for (name, config) in chaintable::named_bugs() {
+        let found = [SchedulerKind::Random, SchedulerKind::Pct { change_points: 2 }]
+            .into_iter()
+            .any(|scheduler| {
+                engine(2_000, 10_000, 2016, scheduler)
+                    .run(move |rt| {
+                        chaintable::build_harness(rt, &config);
+                    })
+                    .found_bug()
+            });
+        assert!(found, "bug {name} was not found by either scheduler");
+    }
+}
+
+#[test]
+fn fabric_bugs_are_found() {
+    let report = engine(3_000, 5_000, 2016, SchedulerKind::Random).run(|rt| {
+        fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
+    });
+    assert_eq!(
+        report.bug.expect("promotion bug").bug.kind,
+        BugKind::SafetyViolation
+    );
+
+    let report = engine(2_000, 2_000, 2016, SchedulerKind::Random).run(|rt| {
+        fabric::build_harness(rt, &fabric::FabricConfig::with_pipeline_bug());
+    });
+    assert_eq!(report.bug.expect("pipeline bug").bug.kind, BugKind::Panic);
+}
+
+#[test]
+fn traces_of_found_bugs_serialize_and_replay_across_crates() {
+    let engine = engine(3_000, 10_000, 5, SchedulerKind::Random);
+    let config = chaintable::ChainConfig::for_named_bug("DeletePrimaryKey").expect("known bug");
+    let report = engine.run(move |rt| {
+        chaintable::build_harness(rt, &config);
+    });
+    let bug = report.bug.expect("bug found");
+    let json = bug.trace.to_json().expect("serialize trace");
+    let restored = Trace::from_json(&json).expect("parse trace");
+    let config = chaintable::ChainConfig::for_named_bug("DeletePrimaryKey").expect("known bug");
+    let replayed = engine
+        .replay(&restored, move |rt| {
+            chaintable::build_harness(rt, &config);
+        })
+        .expect("replay reproduces the bug");
+    assert_eq!(replayed.kind, bug.bug.kind);
+}
