@@ -1,10 +1,21 @@
-//! Criterion benches measuring the cost of systematic testing (§6.2):
-//! executions per unit of time for each case-study harness, and the scheduler
-//! ablations called out in DESIGN.md (random vs PCT vs round-robin, PCT
-//! priority-change budget, liveness step bound).
+//! Benches measuring the cost of systematic testing (§6.2): executions per
+//! unit of time for each case-study harness, the scheduler ablations (random
+//! vs PCT vs round-robin, PCT priority-change budget, liveness step bound),
+//! and the serial vs parallel portfolio engine comparison.
+//!
+//! This is a plain `harness = false` bench (no Criterion: the build
+//! environment is hermetic). Each case runs a few timed repetitions and
+//! prints the median wall-clock time plus executions/second.
+//!
+//! Run with `cargo bench -p bench` — or directly:
+//! `cargo run --release -p bench --bench schedulers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use psharp::engine::ParallelTestEngine;
 use psharp::prelude::*;
+
+const REPS: usize = 5;
 
 fn run_iterations<F>(iterations: u64, max_steps: usize, scheduler: SchedulerKind, build: F) -> u64
 where
@@ -20,115 +31,136 @@ where
     engine.run(build).total_steps
 }
 
+/// Times `body` over [`REPS`] repetitions and reports the median.
+fn bench<F: FnMut() -> u64>(group: &str, name: &str, executions: u64, mut body: F) {
+    let mut times: Vec<Duration> = Vec::with_capacity(REPS);
+    let mut last_steps = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        last_steps = body();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let execs_per_sec = executions as f64 / median.as_secs_f64().max(1e-9);
+    println!(
+        "{group:<32} {name:<24} median {:>9.3}ms  {:>10.0} exec/s  {last_steps:>8} steps",
+        median.as_secs_f64() * 1e3,
+        execs_per_sec,
+    );
+}
+
 /// Executions/second of each harness under the random scheduler (the cost the
 /// paper's §6.2 reports as "time to bug" denominators).
-fn harness_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executions_per_harness");
-    group.sample_size(10);
-
-    group.bench_function("replsim_fixed_10_execs", |b| {
-        b.iter(|| {
-            run_iterations(10, 1_500, SchedulerKind::Random, |rt| {
-                replsim::build_harness(rt, &replsim::ReplConfig::default());
-            })
+fn harness_throughput() {
+    let group = "executions_per_harness";
+    bench(group, "replsim_fixed_10_execs", 10, || {
+        run_iterations(10, 1_500, SchedulerKind::Random, |rt| {
+            replsim::build_harness(rt, &replsim::ReplConfig::default());
         })
     });
-    group.bench_function("vnext_fixed_10_execs", |b| {
-        b.iter(|| {
-            run_iterations(10, 2_000, SchedulerKind::Random, |rt| {
-                vnext::build_harness(rt, &vnext::VnextConfig::default());
-            })
+    bench(group, "vnext_fixed_10_execs", 10, || {
+        run_iterations(10, 2_000, SchedulerKind::Random, |rt| {
+            vnext::build_harness(rt, &vnext::VnextConfig::default());
         })
     });
-    group.bench_function("chaintable_fixed_10_execs", |b| {
-        b.iter(|| {
-            run_iterations(10, 10_000, SchedulerKind::Random, |rt| {
-                chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
-            })
+    bench(group, "chaintable_fixed_10_execs", 10, || {
+        run_iterations(10, 10_000, SchedulerKind::Random, |rt| {
+            chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
         })
     });
-    group.bench_function("fabric_fixed_10_execs", |b| {
-        b.iter(|| {
-            run_iterations(10, 5_000, SchedulerKind::Random, |rt| {
-                fabric::build_harness(rt, &fabric::FabricConfig::default());
-            })
+    bench(group, "fabric_fixed_10_execs", 10, || {
+        run_iterations(10, 5_000, SchedulerKind::Random, |rt| {
+            fabric::build_harness(rt, &fabric::FabricConfig::default());
         })
     });
-    group.finish();
 }
 
 /// Ablation: scheduler strategy on the same buggy harness (time to explore a
 /// fixed execution budget).
-fn scheduler_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler_ablation_replsim_bug1");
-    group.sample_size(10);
+fn scheduler_ablation() {
+    let group = "scheduler_ablation_replsim";
     let schedulers = [
         ("random", SchedulerKind::Random),
         ("pct2", SchedulerKind::Pct { change_points: 2 }),
         ("round_robin", SchedulerKind::RoundRobin),
     ];
     for (label, scheduler) in schedulers {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &scheduler, |b, &s| {
-            b.iter(|| {
-                run_iterations(20, 1_500, s, |rt| {
-                    replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
-                })
+        bench(group, label, 20, || {
+            run_iterations(20, 1_500, scheduler, |rt| {
+                replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
             })
         });
     }
-    group.finish();
 }
 
 /// Ablation: PCT priority-change budget on the vNext liveness bug.
-fn pct_budget_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pct_change_points_vnext");
-    group.sample_size(10);
+fn pct_budget_ablation() {
+    let group = "pct_change_points_vnext";
     for change_points in [0usize, 2, 5] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(change_points),
-            &change_points,
-            |b, &cp| {
-                b.iter(|| {
-                    run_iterations(
-                        5,
-                        3_000,
-                        SchedulerKind::Pct { change_points: cp },
-                        |rt| {
-                            vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
-                        },
-                    )
-                })
-            },
-        );
+        bench(group, &format!("cp{change_points}"), 5, || {
+            run_iterations(5, 3_000, SchedulerKind::Pct { change_points }, |rt| {
+                vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+            })
+        });
     }
-    group.finish();
 }
 
 /// Ablation: the liveness "infinite execution" step bound (§2.5 heuristic).
-fn liveness_bound_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("liveness_step_bound_vnext");
-    group.sample_size(10);
+fn liveness_bound_ablation() {
+    let group = "liveness_step_bound_vnext";
     for max_steps in [1_000usize, 3_000, 6_000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_steps),
-            &max_steps,
-            |b, &bound| {
-                b.iter(|| {
-                    run_iterations(5, bound, SchedulerKind::Random, |rt| {
-                        vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
-                    })
-                })
-            },
-        );
+        bench(group, &format!("bound{max_steps}"), 5, || {
+            run_iterations(5, max_steps, SchedulerKind::Random, |rt| {
+                vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+            })
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    harness_throughput,
-    scheduler_ablation,
-    pct_budget_ablation,
-    liveness_bound_ablation
-);
-criterion_main!(benches);
+/// Serial vs parallel portfolio engine over the same bug-free exploration
+/// budget, demonstrating the throughput multiplier of
+/// [`ParallelTestEngine`] on multi-core hosts.
+fn parallel_engine_comparison() {
+    let group = "parallel_vs_serial_chaintable";
+    let iterations = 40;
+    let config = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(2_000)
+        .with_seed(42);
+    let build = |rt: &mut Runtime| {
+        chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
+    };
+    bench(group, "serial_1_worker", iterations, || {
+        TestEngine::new(config.clone()).run(build).total_steps
+    });
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    bench(
+        group,
+        &format!("parallel_{workers}_workers"),
+        iterations,
+        || {
+            ParallelTestEngine::new(config.clone().with_workers(workers))
+                .run(build)
+                .total_steps
+        },
+    );
+    // One untimed run for the summary line (printing inside the timed closure
+    // would charge terminal I/O to the parallel measurement only).
+    let report = ParallelTestEngine::new(config.with_workers(workers)).run(build);
+    println!(
+        "    parallel portfolio: {:.0} exec/s over {workers} workers ({})",
+        report.executions_per_second(),
+        report.summary()
+    );
+}
+
+fn main() {
+    harness_throughput();
+    scheduler_ablation();
+    pct_budget_ablation();
+    liveness_bound_ablation();
+    parallel_engine_comparison();
+}

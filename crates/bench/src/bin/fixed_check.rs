@@ -2,23 +2,41 @@
 //! configurable number of executions — the paper's "no bugs were found during
 //! 100,000 executions" check after the fixes were applied (§3.6).
 //!
-//! Usage: `fixed_check [--iterations N]` (default 2,000).
+//! Usage: `fixed_check [--iterations N] [--workers W|max]` (defaults: 2,000
+//! executions, 1 worker).
 
-use bench::verify_fixed;
+use bench::verify_fixed_parallel;
 
 fn main() {
     let mut iterations: u64 = 2_000;
+    let mut workers: usize = 1;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
-        if flag == "--iterations" {
-            iterations = argv
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--iterations requires a number");
+        match flag.as_str() {
+            "--iterations" => {
+                iterations = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iterations requires a number");
+            }
+            "--workers" => {
+                workers = match argv.next().as_deref() {
+                    Some("max") => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    Some(value) => value
+                        .parse::<usize>()
+                        .expect("--workers requires a number or 'max'")
+                        .max(1),
+                    None => panic!("--workers requires a number or 'max'"),
+                };
+            }
+            other => panic!("unknown argument {other:?}"),
         }
     }
 
-    let checks: Vec<(&str, Box<dyn Fn(&mut psharp::runtime::Runtime)>, usize)> = vec![
+    type Build = Box<dyn Fn(&mut psharp::runtime::Runtime) + Send + Sync>;
+    let checks: Vec<(&str, Build, usize)> = vec![
         (
             "replsim (fixed server)",
             Box::new(|rt: &mut psharp::runtime::Runtime| {
@@ -49,13 +67,15 @@ fn main() {
         ),
     ];
 
-    println!("Fixed-system verification over {iterations} executions each:\n");
+    println!(
+        "Fixed-system verification over {iterations} executions each ({workers} worker(s)):\n"
+    );
     let mut clean = true;
     for (name, build, max_steps) in checks {
         let start = std::time::Instant::now();
-        match verify_fixed(|rt| build(rt), iterations, max_steps, 99) {
+        match verify_fixed_parallel(|rt| build(rt), iterations, max_steps, 99, workers) {
             None => println!(
-                "  {name:<32} clean ({iterations} executions, {})s",
+                "  {name:<32} clean ({iterations} executions, {}s)",
                 bench::seconds(start.elapsed())
             ),
             Some(bug) => {

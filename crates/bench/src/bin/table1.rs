@@ -50,12 +50,32 @@ fn main() {
         (
             replsim::model_stats(),
             loc("replsim", &["server.rs"]),
-            loc("replsim", &["client.rs", "storage_node.rs", "monitors.rs", "harness.rs", "events.rs"]),
+            loc(
+                "replsim",
+                &[
+                    "client.rs",
+                    "storage_node.rs",
+                    "monitors.rs",
+                    "harness.rs",
+                    "events.rs",
+                ],
+            ),
         ),
         (
             vnext::model_stats(),
-            loc("vnext", &["extent_manager.rs", "extent_center.rs", "en_store.rs", "types.rs"]),
-            loc("vnext", &["machines", "monitor.rs", "harness.rs", "events.rs"]),
+            loc(
+                "vnext",
+                &[
+                    "extent_manager.rs",
+                    "extent_center.rs",
+                    "en_store.rs",
+                    "types.rs",
+                ],
+            ),
+            loc(
+                "vnext",
+                &["machines", "monitor.rs", "harness.rs", "events.rs"],
+            ),
         ),
         (
             chaintable::model_stats(),

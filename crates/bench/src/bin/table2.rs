@@ -6,7 +6,7 @@
 //! Usage:
 //!
 //! ```text
-//! table2 [--iterations N] [--seed S] [--scheduler random|pct|both] [--json PATH]
+//! table2 [--iterations N] [--seed S] [--scheduler random|pct|both] [--json PATH] [--workers W]
 //! ```
 //!
 //! The paper uses 100,000 executions per cell; the default here is 2,000 so
@@ -15,7 +15,8 @@
 
 use std::fs;
 
-use bench::{bug_cases, hunt, BugHuntResult};
+use bench::{bug_cases, hunt_parallel, BugHuntResult};
+use psharp::json::{Json, ToJson};
 use psharp::prelude::SchedulerKind;
 
 struct Args {
@@ -23,6 +24,7 @@ struct Args {
     seed: u64,
     schedulers: Vec<SchedulerKind>,
     json: Option<String>,
+    workers: usize,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +36,7 @@ fn parse_args() -> Args {
             SchedulerKind::Pct { change_points: 2 },
         ],
         json: None,
+        workers: 1,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -57,6 +60,18 @@ fn parse_args() -> Args {
                 other => panic!("unknown scheduler {other:?}"),
             },
             "--json" => args.json = argv.next(),
+            "--workers" => {
+                args.workers = match argv.next().as_deref() {
+                    Some("max") => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    Some(value) => value
+                        .parse::<usize>()
+                        .expect("--workers requires a number or 'max'")
+                        .max(1),
+                    None => panic!("--workers requires a number or 'max'"),
+                };
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -66,15 +81,15 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     println!(
-        "Table 2: systematic testing results ({} executions per bug and scheduler, seed {})\n",
-        args.iterations, args.seed
+        "Table 2: systematic testing results ({} executions per bug and scheduler, seed {}, {} worker(s))\n",
+        args.iterations, args.seed, args.workers
     );
     println!("{}", BugHuntResult::table_header());
 
     let mut results: Vec<BugHuntResult> = Vec::new();
     for case in bug_cases() {
         for &scheduler in &args.schedulers {
-            let result = hunt(&case, scheduler, args.iterations, args.seed);
+            let result = hunt_parallel(&case, scheduler, args.iterations, args.seed, args.workers);
             println!("{}", result.table_row());
             results.push(result);
         }
@@ -87,7 +102,8 @@ fn main() {
         results.len()
     );
     if let Some(path) = args.json {
-        let json = serde_json::to_string_pretty(&results).expect("serialize results");
+        let json =
+            Json::Array(results.iter().map(ToJson::to_json_value).collect()).to_string_pretty();
         fs::write(&path, json).expect("write results file");
         println!("results written to {path}");
     }

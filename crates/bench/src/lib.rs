@@ -6,8 +6,8 @@
 
 use std::time::Duration;
 
+use psharp::json::{Json, ToJson};
 use psharp::prelude::*;
-use serde::Serialize;
 
 /// One named, re-introducible bug together with the harness that exposes it.
 pub struct BugCase {
@@ -72,7 +72,7 @@ pub fn bug_cases() -> Vec<BugCase> {
 
 /// The outcome of hunting one bug with one scheduler (one cell group of
 /// Table 2).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BugHuntResult {
     /// The case-study index.
     pub case_study: u8,
@@ -88,6 +88,32 @@ pub struct BugHuntResult {
     pub ndc: Option<usize>,
     /// Number of executions explored.
     pub executions: u64,
+}
+
+impl ToJson for BugHuntResult {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("case_study", Json::UInt(self.case_study as u64)),
+            ("bug", Json::Str(self.bug.clone())),
+            ("scheduler", Json::Str(self.scheduler.clone())),
+            ("found", Json::Bool(self.found)),
+            (
+                "time_to_bug_seconds",
+                match self.time_to_bug_seconds {
+                    Some(t) => Json::Float(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "ndc",
+                match self.ndc {
+                    Some(n) => Json::UInt(n as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("executions", Json::UInt(self.executions)),
+        ])
+    }
 }
 
 impl BugHuntResult {
@@ -119,13 +145,31 @@ impl BugHuntResult {
 
 /// Runs one bug hunt: explores up to `iterations` executions of `case` under
 /// `scheduler` and reports whether (and how fast) the bug was found.
+///
+/// Equivalent to [`hunt_parallel`] with one worker.
 pub fn hunt(case: &BugCase, scheduler: SchedulerKind, iterations: u64, seed: u64) -> BugHuntResult {
+    hunt_parallel(case, scheduler, iterations, seed, 1)
+}
+
+/// Runs one bug hunt with the iteration space sharded over `workers` threads.
+///
+/// One worker reproduces the serial [`hunt`] bit for bit; more workers
+/// explore the identical seed set faster and stop as soon as any worker hits
+/// the bug.
+pub fn hunt_parallel(
+    case: &BugCase,
+    scheduler: SchedulerKind,
+    iterations: u64,
+    seed: u64,
+    workers: usize,
+) -> BugHuntResult {
     let config = TestConfig::new()
         .with_iterations(iterations)
         .with_max_steps(case.max_steps)
         .with_seed(seed)
-        .with_scheduler(scheduler);
-    let engine = TestEngine::new(config);
+        .with_scheduler(scheduler)
+        .with_workers(workers);
+    let engine = ParallelTestEngine::new(config);
     let build = &case.build;
     let report = engine.run(|rt| build(rt));
     BugHuntResult {
@@ -133,10 +177,7 @@ pub fn hunt(case: &BugCase, scheduler: SchedulerKind, iterations: u64, seed: u64
         bug: case.name.to_string(),
         scheduler: scheduler.label().to_string(),
         found: report.found_bug(),
-        time_to_bug_seconds: report
-            .bug
-            .as_ref()
-            .map(|b| b.time_to_bug.as_secs_f64()),
+        time_to_bug_seconds: report.bug.as_ref().map(|b| b.time_to_bug.as_secs_f64()),
         ndc: report.bug.as_ref().map(|b| b.ndc),
         executions: report.iterations_run,
     }
@@ -144,15 +185,33 @@ pub fn hunt(case: &BugCase, scheduler: SchedulerKind, iterations: u64, seed: u64
 
 /// Verifies that a fixed (bug-free) harness stays clean for `iterations`
 /// executions; returns the violation if one is found.
+///
+/// Equivalent to [`verify_fixed_parallel`] with one worker.
 pub fn verify_fixed<F>(build: F, iterations: u64, max_steps: usize, seed: u64) -> Option<Bug>
 where
-    F: Fn(&mut Runtime),
+    F: Fn(&mut Runtime) + Send + Sync,
 {
-    let engine = TestEngine::new(
+    verify_fixed_parallel(build, iterations, max_steps, seed, 1)
+}
+
+/// Verifies a fixed harness over `workers` threads, covering the same seed
+/// set as [`verify_fixed`] at full core count.
+pub fn verify_fixed_parallel<F>(
+    build: F,
+    iterations: u64,
+    max_steps: usize,
+    seed: u64,
+    workers: usize,
+) -> Option<Bug>
+where
+    F: Fn(&mut Runtime) + Send + Sync,
+{
+    let engine = ParallelTestEngine::new(
         TestConfig::new()
             .with_iterations(iterations)
             .with_max_steps(max_steps)
-            .with_seed(seed),
+            .with_seed(seed)
+            .with_workers(workers),
     );
     engine.run(build).bug.map(|b| b.bug)
 }

@@ -182,6 +182,17 @@ pub fn build_harness(rt: &mut Runtime, config: &ChainConfig) -> ChainHarness {
     }
 }
 
+/// Hunts for bugs in this harness with a parallel (optionally portfolio)
+/// run: the iteration space of `test` is sharded over
+/// [`TestConfig::workers`] threads, each execution keeping the seed it would
+/// have had serially.
+pub fn portfolio_hunt(config: &ChainConfig, test: TestConfig) -> TestReport {
+    let config = *config;
+    ParallelTestEngine::new(test).run(move |rt| {
+        build_harness(rt, &config);
+    })
+}
+
 /// Model statistics of this harness, for the Table 1 reproduction.
 pub fn model_stats() -> ModelStats {
     let config = ChainConfig::default();
@@ -195,9 +206,11 @@ pub fn model_stats() -> ModelStats {
     // State transitions: service op-state machine (idle -> write/atomic/
     // stream and back), migrator phase plan (6 steps).
     let state_transitions = 7 + 6;
-    ModelStats::new("MigratingTable")
-        .with_bugs(11)
-        .with_model(machines, state_transitions, action_handlers)
+    ModelStats::new("MigratingTable").with_bugs(11).with_model(
+        machines,
+        state_transitions,
+        action_handlers,
+    )
 }
 
 #[cfg(test)]

@@ -30,5 +30,7 @@ pub mod migrate;
 pub mod spec;
 pub mod table;
 
-pub use harness::{build_harness, model_stats, named_bugs, ChainConfig, ChainHarness};
+pub use harness::{
+    build_harness, model_stats, named_bugs, portfolio_hunt, ChainConfig, ChainHarness,
+};
 pub use migrate::{ChainBugs, Phase};

@@ -8,13 +8,9 @@ use std::collections::BTreeMap;
 
 use psharp::prelude::*;
 
-use crate::migrate::{
-    is_tombstone, merge_atomic, Backend, ChainBugs, MigratingStore, Phase,
-};
+use crate::migrate::{is_tombstone, merge_atomic, Backend, ChainBugs, MigratingStore, Phase};
 use crate::spec::{SpecModel, VersionSnapshot};
-use crate::table::{
-    ETag, ETagMatch, Filter, OpResult, Row, StoredRow, TableError, TableOperation,
-};
+use crate::table::{ETag, ETagMatch, Filter, OpResult, Row, StoredRow, TableError, TableOperation};
 
 /// Identifier of one logical query, unique within an execution.
 pub type QueryId = (u64, u64);
@@ -306,7 +302,8 @@ impl Monitor for SpecMonitor {
             self.queries_checked += 1;
             if let Some(started) = self.open_queries.remove(&result.qid) {
                 if let Some(violation) =
-                    self.model.check_query(&started, &result.filter, &result.rows)
+                    self.model
+                        .check_query(&started, &result.filter, &result.rows)
                 {
                     ctx.report_violation(violation);
                 }
@@ -430,7 +427,9 @@ impl ServiceMachine {
         }
         self.ops_remaining -= 1;
         match ctx.random_index(6) {
-            0 => self.start_write(ctx, |this, ctx| TableOperation::Insert(this.random_row(ctx))),
+            0 => self.start_write(ctx, |this, ctx| {
+                TableOperation::Insert(this.random_row(ctx))
+            }),
             1 => self.start_write(ctx, |this, ctx| {
                 let row = this.random_row(ctx);
                 let condition = this.random_condition(ctx, &row.key);
@@ -527,7 +526,13 @@ impl ServiceMachine {
         self.start_next_op(ctx);
     }
 
-    fn complete_query(&mut self, ctx: &mut Context<'_>, qid: QueryId, filter: Filter, rows: Vec<Row>) {
+    fn complete_query(
+        &mut self,
+        ctx: &mut Context<'_>,
+        qid: QueryId,
+        filter: Filter,
+        rows: Vec<Row>,
+    ) {
         ctx.notify_monitor::<SpecMonitor>(Event::new(NotifyQueryResult { qid, filter, rows }));
         self.finish_op(ctx);
     }
@@ -599,8 +604,8 @@ impl ServiceMachine {
                 stream.cursor = format!("{}\u{0}", stored.row.key);
                 // Tombstones are never emitted; non-matching rows are skipped
                 // (the fixed path fetches unfiltered rows and filters here).
-                let emit = !(from_new && is_tombstone(&stored.row))
-                    && stream.filter.matches(&stored.row);
+                let emit =
+                    !(from_new && is_tombstone(&stored.row)) && stream.filter.matches(&stored.row);
                 if emit {
                     stream.collected.push(stored.row);
                 }
@@ -846,11 +851,10 @@ impl Machine for MigratorMachine {
                     self.step += 1;
                 }
             }
-            Some(MigrationStep::CleanPass) => {
-                if !response.progressed {
-                    self.step += 1;
-                }
+            Some(MigrationStep::CleanPass) if !response.progressed => {
+                self.step += 1;
             }
+            Some(MigrationStep::CleanPass) => {}
             Some(_) => {
                 self.step += 1;
             }

@@ -23,9 +23,10 @@ use crate::table::{
 pub const TOMBSTONE_PROPERTY: &str = "__tombstone";
 
 /// The migration phases, in order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Before migration: everything uses the old table.
+    #[default]
     UseOld,
     /// Clients have been told the new table exists; writes still go to the
     /// old table, reads prefer the old table.
@@ -172,12 +173,6 @@ pub struct MigratingStore {
     bugs: ChainBugs,
 }
 
-impl Default for Phase {
-    fn default() -> Self {
-        Phase::UseOld
-    }
-}
-
 impl MigratingStore {
     /// Creates an empty store in [`Phase::UseOld`] with the given bug flags.
     ///
@@ -211,8 +206,16 @@ impl MigratingStore {
     /// Reads the virtual-table row for `key` under the current phase,
     /// resolving shadowing and tombstones.
     pub fn virtual_read(&self, key: &str) -> Option<StoredRow> {
-        let new_row = if self.phase.reads_new() { self.new.read(key) } else { None };
-        let old_row = if self.phase.reads_old() { self.old.read(key) } else { None };
+        let new_row = if self.phase.reads_new() {
+            self.new.read(key)
+        } else {
+            None
+        };
+        let old_row = if self.phase.reads_old() {
+            self.old.read(key)
+        } else {
+            None
+        };
         match (new_row, old_row) {
             (Some(new), Some(old)) => {
                 if self.phase.old_wins() {
@@ -323,7 +326,9 @@ impl MigratingStore {
                 };
                 let result = self
                     .new
-                    .execute(TableOperation::InsertOrReplace(tombstone_row(&tombstone_key)))?;
+                    .execute(TableOperation::InsertOrReplace(tombstone_row(
+                        &tombstone_key,
+                    )))?;
                 if self.bugs.tombstone_output_etag {
                     // BUG: the caller sees the tombstone row's ETag instead of
                     // the delete-result contract (no ETag).
@@ -441,11 +446,7 @@ impl MigratingStore {
 ///
 /// `old_rows` and `new_rows` must be sorted by key (as returned by the
 /// backends). Tombstones and shadowed old rows are resolved per `phase`.
-pub fn merge_atomic(
-    phase: Phase,
-    old_rows: &[StoredRow],
-    new_rows: &[StoredRow],
-) -> Vec<Row> {
+pub fn merge_atomic(phase: Phase, old_rows: &[StoredRow], new_rows: &[StoredRow]) -> Vec<Row> {
     let mut by_key: BTreeMap<String, Row> = BTreeMap::new();
     if phase.reads_old() {
         for stored in old_rows {
@@ -499,7 +500,9 @@ mod tests {
     #[test]
     fn writes_in_early_phases_go_to_the_old_table() {
         let mut store = store_in(Phase::PreferOld, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         assert!(store.old.read("a").is_some());
         assert!(store.new.read("a").is_none());
     }
@@ -507,7 +510,9 @@ mod tests {
     #[test]
     fn writes_in_tombstone_phase_go_to_the_new_table() {
         let mut store = store_in(Phase::UseNewWithTombstones, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         assert!(store.old.read("a").is_none());
         assert!(store.new.read("a").is_some());
     }
@@ -515,7 +520,9 @@ mod tests {
     #[test]
     fn delete_in_tombstone_phase_hides_the_old_row() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         store.set_phase(Phase::UseNewWithTombstones);
         let result = store
             .execute_write(&TableOperation::Delete("a".to_string(), ETagMatch::Any))
@@ -528,7 +535,9 @@ mod tests {
     #[test]
     fn replace_over_old_row_shadows_it_in_new_table() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         store.set_phase(Phase::UseNewWithTombstones);
         store
             .execute_write(&TableOperation::Replace(row("a", 2), ETagMatch::Any))
@@ -540,7 +549,9 @@ mod tests {
     #[test]
     fn conditional_write_checks_the_virtual_etag() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
-        let first = store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        let first = store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         store.set_phase(Phase::UseNewWithTombstones);
         // Using the etag from the old-table insert is valid until someone
         // writes the row again.
@@ -563,7 +574,9 @@ mod tests {
     #[test]
     fn buggy_delete_ignores_the_etag_precondition() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
-        let first = store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        let first = store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         let mut store2 = store_in(
             Phase::UseNewWithTombstones,
             ChainBugs {
@@ -588,7 +601,9 @@ mod tests {
     #[test]
     fn buggy_delete_primary_key_leaves_the_row_visible() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         let mut buggy = store_in(
             Phase::UseNewWithTombstones,
             ChainBugs {
@@ -615,7 +630,9 @@ mod tests {
                 ..ChainBugs::none()
             },
         );
-        buggy.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        buggy
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         let result = buggy
             .execute_write(&TableOperation::Delete("a".to_string(), ETagMatch::Any))
             .unwrap();
@@ -631,7 +648,9 @@ mod tests {
                 ..ChainBugs::none()
             },
         );
-        buggy.execute_write(&TableOperation::Insert(row("z", 1))).unwrap();
+        buggy
+            .execute_write(&TableOperation::Insert(row("z", 1)))
+            .unwrap();
         assert!(buggy.old.read("z").is_some());
         assert!(buggy.new.read("z").is_none());
     }
@@ -639,11 +658,15 @@ mod tests {
     #[test]
     fn insert_over_tombstone_succeeds() {
         let mut store = store_in(Phase::UseNewWithTombstones, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         store
             .execute_write(&TableOperation::Delete("a".to_string(), ETagMatch::Any))
             .unwrap();
-        store.execute_write(&TableOperation::Insert(row("a", 2))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 2)))
+            .unwrap();
         assert_eq!(store.virtual_read("a").unwrap().row, row("a", 2));
     }
 
@@ -651,7 +674,9 @@ mod tests {
     fn migrator_copy_preserves_virtual_rows_and_can_delete_old() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
         for (k, v) in [("a", 1), ("b", 2)] {
-            store.execute_write(&TableOperation::Insert(row(k, v))).unwrap();
+            store
+                .execute_write(&TableOperation::Insert(row(k, v)))
+                .unwrap();
         }
         store.set_phase(Phase::UseNewWithTombstones);
         let mut cursor = String::new();
@@ -666,7 +691,9 @@ mod tests {
     #[test]
     fn migrator_copy_does_not_resurrect_tombstoned_rows() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
         store.set_phase(Phase::UseNewWithTombstones);
         store
             .execute_write(&TableOperation::Delete("a".to_string(), ETagMatch::Any))
@@ -678,8 +705,12 @@ mod tests {
     #[test]
     fn tombstone_cleanup_removes_all_tombstones() {
         let mut store = store_in(Phase::UseNewWithTombstones, ChainBugs::none());
-        store.execute_write(&TableOperation::Insert(row("a", 1))).unwrap();
-        store.execute_write(&TableOperation::Insert(row("b", 2))).unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("a", 1)))
+            .unwrap();
+        store
+            .execute_write(&TableOperation::Insert(row("b", 2)))
+            .unwrap();
         store
             .execute_write(&TableOperation::Delete("a".to_string(), ETagMatch::Any))
             .unwrap();
@@ -732,7 +763,9 @@ mod tests {
     fn virtual_snapshot_matches_merge_of_full_backends() {
         let mut store = store_in(Phase::UseOld, ChainBugs::none());
         for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
-            store.execute_write(&TableOperation::Insert(row(k, v))).unwrap();
+            store
+                .execute_write(&TableOperation::Insert(row(k, v)))
+                .unwrap();
         }
         store.set_phase(Phase::UseNewWithTombstones);
         store

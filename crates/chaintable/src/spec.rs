@@ -121,10 +121,9 @@ impl SpecModel {
                     ExpectedOutcome::Success { returns_etag: true }
                 }
             }
-            TableOperation::Replace(row, condition) | TableOperation::Merge(row, condition) => {
-                self.check_condition(&row.key, *condition)
-                    .unwrap_or(ExpectedOutcome::Success { returns_etag: true })
-            }
+            TableOperation::Replace(row, condition) | TableOperation::Merge(row, condition) => self
+                .check_condition(&row.key, *condition)
+                .unwrap_or(ExpectedOutcome::Success { returns_etag: true }),
             TableOperation::InsertOrReplace(_) => ExpectedOutcome::Success { returns_etag: true },
             TableOperation::Delete(key, condition) => self
                 .check_condition(key, *condition)
@@ -149,10 +148,13 @@ impl SpecModel {
                 self.bump(&row.key);
             }
             TableOperation::Merge(row, _) => {
-                let entry = self.rows.entry(row.key.clone()).or_insert_with(|| ModelRow {
-                    row: Row::empty(row.key.clone()),
-                    etag: result.etag,
-                });
+                let entry = self
+                    .rows
+                    .entry(row.key.clone())
+                    .or_insert_with(|| ModelRow {
+                        row: Row::empty(row.key.clone()),
+                        etag: result.etag,
+                    });
                 for (name, value) in &row.properties {
                     entry.row.properties.insert(name.clone(), value.clone());
                 }
@@ -339,11 +341,17 @@ mod tests {
             ExpectedOutcome::AlreadyExists
         );
         assert_eq!(
-            model.expected_outcome(&TableOperation::Replace(row("a", 2), ETagMatch::Exact(ETag(3)))),
+            model.expected_outcome(&TableOperation::Replace(
+                row("a", 2),
+                ETagMatch::Exact(ETag(3))
+            )),
             ExpectedOutcome::Success { returns_etag: true }
         );
         assert_eq!(
-            model.expected_outcome(&TableOperation::Replace(row("a", 2), ETagMatch::Exact(ETag(9)))),
+            model.expected_outcome(&TableOperation::Replace(
+                row("a", 2),
+                ETagMatch::Exact(ETag(9))
+            )),
             ExpectedOutcome::ConditionFailed
         );
         assert_eq!(
@@ -388,8 +396,12 @@ mod tests {
         );
         // The query may return the old value, the new value, or even miss the
         // key entirely without being flagged.
-        assert!(model.check_query(&snapshot, &Filter::All, &[row("a", 1)]).is_none());
-        assert!(model.check_query(&snapshot, &Filter::All, &[row("a", 9)]).is_none());
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[row("a", 1)])
+            .is_none());
+        assert!(model
+            .check_query(&snapshot, &Filter::All, &[row("a", 9)])
+            .is_none());
         assert!(model.check_query(&snapshot, &Filter::All, &[]).is_none());
     }
 

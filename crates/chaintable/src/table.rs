@@ -176,7 +176,9 @@ impl Filter {
     pub fn matches(&self, row: &Row) -> bool {
         match self {
             Filter::All => true,
-            Filter::KeyRange { from, to } => row.key.as_str() >= from.as_str() && row.key.as_str() <= to.as_str(),
+            Filter::KeyRange { from, to } => {
+                row.key.as_str() >= from.as_str() && row.key.as_str() <= to.as_str()
+            }
             Filter::PropertyEquals { name, value } => row.properties.get(name) == Some(value),
         }
     }
@@ -406,11 +408,17 @@ mod tests {
         let mut t = InMemoryTable::new();
         let first = t.execute(TableOperation::Insert(row("a", 1))).unwrap();
         let stale = first.etag.unwrap();
-        t.execute(TableOperation::Replace(row("a", 2), ETagMatch::Exact(stale)))
-            .unwrap();
+        t.execute(TableOperation::Replace(
+            row("a", 2),
+            ETagMatch::Exact(stale),
+        ))
+        .unwrap();
         // Replaying with the now-stale etag must fail.
         assert_eq!(
-            t.execute(TableOperation::Replace(row("a", 3), ETagMatch::Exact(stale))),
+            t.execute(TableOperation::Replace(
+                row("a", 3),
+                ETagMatch::Exact(stale)
+            )),
             Err(TableError::ConditionFailed("a".to_string()))
         );
         assert_eq!(t.read("a").unwrap().row, row("a", 2));
@@ -447,7 +455,10 @@ mod tests {
         let mut t = InMemoryTable::new();
         t.execute(TableOperation::Insert(row("a", 1))).unwrap();
         assert_eq!(
-            t.execute(TableOperation::Delete("a".to_string(), ETagMatch::Exact(ETag(999)))),
+            t.execute(TableOperation::Delete(
+                "a".to_string(),
+                ETagMatch::Exact(ETag(999))
+            )),
             Err(TableError::ConditionFailed("a".to_string()))
         );
         assert!(t.read("a").is_some());
@@ -512,7 +523,10 @@ mod tests {
             t.execute(TableOperation::Insert(row(k, v))).unwrap();
         }
         assert_eq!(
-            t.query_first_at_or_after("b", &Filter::All).unwrap().row.key,
+            t.query_first_at_or_after("b", &Filter::All)
+                .unwrap()
+                .row
+                .key,
             "b"
         );
         let filter = Filter::PropertyEquals {
@@ -530,7 +544,9 @@ mod tests {
     fn etags_are_unique_and_increasing() {
         let mut t = InMemoryTable::new();
         let a = t.execute(TableOperation::Insert(row("a", 1))).unwrap();
-        let b = t.execute(TableOperation::InsertOrReplace(row("a", 2))).unwrap();
+        let b = t
+            .execute(TableOperation::InsertOrReplace(row("a", 2)))
+            .unwrap();
         assert!(b.etag.unwrap() > a.etag.unwrap());
     }
 }

@@ -1,0 +1,104 @@
+//! Replay round-trip tests on the MigratingTable harness: a bug found by the
+//! random or the PCT scheduler re-reproduces exactly from its recorded trace,
+//! and a mutated trace is detected as a divergence.
+
+use psharp::prelude::*;
+use psharp::scheduler::ReplayScheduler;
+use psharp::trace::{Decision, Trace};
+
+use chaintable::{build_harness, ChainConfig};
+
+fn setup_for(config: ChainConfig) -> impl Fn(&mut Runtime) {
+    move |rt: &mut Runtime| {
+        build_harness(rt, &config);
+    }
+}
+
+fn find_bug(scheduler: SchedulerKind, iterations: u64, seed: u64) -> (TestEngine, BugReport) {
+    let config = ChainConfig::for_named_bug("DeletePrimaryKey").expect("known bug");
+    let engine = TestEngine::new(
+        TestConfig::new()
+            .with_iterations(iterations)
+            .with_max_steps(10_000)
+            .with_seed(seed)
+            .with_scheduler(scheduler),
+    );
+    let report = engine.run(setup_for(config));
+    let bug = report
+        .bug
+        .unwrap_or_else(|| panic!("{} must find DeletePrimaryKey", scheduler.label()));
+    (engine, bug)
+}
+
+fn assert_replay_roundtrip(scheduler: SchedulerKind, iterations: u64, seed: u64) {
+    let config = ChainConfig::for_named_bug("DeletePrimaryKey").expect("known bug");
+    let (engine, found) = find_bug(scheduler, iterations, seed);
+
+    // The trace survives its JSON round trip and replays to the same bug.
+    let json = found.trace.to_json().expect("serialize");
+    let restored = Trace::from_json(&json).expect("deserialize");
+    assert_eq!(found.trace, restored);
+
+    let replayed = engine
+        .replay(&restored, setup_for(config))
+        .expect("replay reproduces the bug");
+    assert_eq!(replayed.kind, found.bug.kind);
+    assert_eq!(replayed.message, found.bug.message);
+
+    // Replaying through a raw runtime reproduces the decision sequence
+    // exactly, with no divergence.
+    let mut rt = Runtime::new(
+        Box::new(ReplayScheduler::from_trace(&restored)),
+        RuntimeConfig {
+            max_steps: 10_000,
+            ..RuntimeConfig::default()
+        },
+        restored.seed,
+    );
+    build_harness(&mut rt, &config);
+    rt.run();
+    assert!(rt.replay_error().is_none(), "{:?}", rt.replay_error());
+    assert_eq!(rt.trace().decisions, restored.decisions);
+}
+
+#[test]
+fn random_scheduler_bug_replays_exactly() {
+    assert_replay_roundtrip(SchedulerKind::Random, 500, 11);
+}
+
+#[test]
+fn pct_scheduler_bug_replays_exactly() {
+    assert_replay_roundtrip(SchedulerKind::Pct { change_points: 2 }, 2_000, 13);
+}
+
+#[test]
+fn mutated_trace_is_detected_as_divergence() {
+    let config = ChainConfig::for_named_bug("DeletePrimaryKey").expect("known bug");
+    let (_, found) = find_bug(SchedulerKind::Random, 500, 11);
+
+    // Corrupt the first schedule decision so it names a machine that can
+    // never be enabled.
+    let mut mutated = found.trace.clone();
+    let position = mutated
+        .decisions
+        .iter()
+        .position(|d| matches!(d, Decision::Schedule(_)))
+        .expect("a schedule decision exists");
+    mutated.decisions[position] = Decision::Schedule(MachineId::from_raw(9_999));
+
+    let mut rt = Runtime::new(
+        Box::new(ReplayScheduler::from_trace(&mutated)),
+        RuntimeConfig {
+            max_steps: 10_000,
+            ..RuntimeConfig::default()
+        },
+        mutated.seed,
+    );
+    build_harness(&mut rt, &config);
+    rt.run();
+    let error = rt
+        .replay_error()
+        .expect("the divergence must be reported as a ReplayError");
+    assert_eq!(error.decision_index, position + 1);
+    assert!(error.message.contains("not enabled"));
+}

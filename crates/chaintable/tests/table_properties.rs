@@ -1,32 +1,44 @@
-//! Property-based tests of the chain-table implementation and the migration
+//! Property-style tests of the chain-table implementation and the migration
 //! protocol's key invariant: migration never changes what the virtual table
 //! contains.
+//!
+//! Written against the crate's own deterministic [`SplitMix64`] generator
+//! instead of `proptest` (the build environment is hermetic); each failing
+//! case names the seed that reproduces it.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use psharp::rng::SplitMix64;
 
 use chaintable::migrate::{ChainBugs, MigratingStore, Phase};
 use chaintable::table::{
     ChainTable, ChainTableExt, ETagMatch, Filter, InMemoryTable, Row, TableOperation,
 };
 
-fn arb_key() -> impl Strategy<Value = String> {
-    (0u8..6).prop_map(|k| format!("k{k}"))
+fn gen_key(rng: &mut SplitMix64) -> String {
+    format!("k{}", rng.next_below(6))
 }
 
-fn arb_row() -> impl Strategy<Value = Row> {
-    (arb_key(), 0i64..5).prop_map(|(key, v)| Row::with_int(key, "v", v))
+fn gen_row(rng: &mut SplitMix64) -> Row {
+    let key = gen_key(rng);
+    let v = rng.next_below(5) as i64;
+    Row::with_int(key, "v", v)
 }
 
-fn arb_op() -> impl Strategy<Value = TableOperation> {
-    prop_oneof![
-        arb_row().prop_map(TableOperation::Insert),
-        arb_row().prop_map(|r| TableOperation::Replace(r, ETagMatch::Any)),
-        arb_row().prop_map(|r| TableOperation::Merge(r, ETagMatch::Any)),
-        arb_row().prop_map(TableOperation::InsertOrReplace),
-        arb_key().prop_map(|k| TableOperation::Delete(k, ETagMatch::Any)),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> TableOperation {
+    match rng.next_below(5) {
+        0 => TableOperation::Insert(gen_row(rng)),
+        1 => TableOperation::Replace(gen_row(rng), ETagMatch::Any),
+        2 => TableOperation::Merge(gen_row(rng), ETagMatch::Any),
+        3 => TableOperation::InsertOrReplace(gen_row(rng)),
+        _ => TableOperation::Delete(gen_key(rng), ETagMatch::Any),
+    }
+}
+
+fn gen_ops(rng: &mut SplitMix64, max: usize) -> Vec<TableOperation> {
+    (0..rng.next_below(max.max(1)))
+        .map(|_| gen_op(rng))
+        .collect()
 }
 
 /// A trivial model of a table: key → value of the "v" property.
@@ -37,7 +49,9 @@ fn apply_to_model(model: &mut BTreeMap<String, i64>, op: &TableOperation) {
     };
     match op {
         TableOperation::Insert(row) => {
-            model.entry(row.key.clone()).or_insert_with(|| value_of(row));
+            model
+                .entry(row.key.clone())
+                .or_insert_with(|| value_of(row));
         }
         TableOperation::Replace(row, _) | TableOperation::Merge(row, _) => {
             if model.contains_key(&row.key) {
@@ -53,11 +67,13 @@ fn apply_to_model(model: &mut BTreeMap<String, i64>, op: &TableOperation) {
     }
 }
 
-proptest! {
-    /// The in-memory table agrees with a simple map model under arbitrary
-    /// unconditional operation sequences.
-    #[test]
-    fn in_memory_table_matches_map_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+/// The in-memory table agrees with a simple map model under arbitrary
+/// unconditional operation sequences.
+#[test]
+fn in_memory_table_matches_map_model() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0x7AB1E ^ case);
+        let ops = gen_ops(&mut rng, 60);
         let mut table = InMemoryTable::new();
         let mut model: BTreeMap<String, i64> = BTreeMap::new();
         for op in &ops {
@@ -65,40 +81,54 @@ proptest! {
             apply_to_model(&mut model, op);
         }
         let rows = table.query_atomic(&Filter::All);
-        prop_assert_eq!(rows.len(), model.len());
+        assert_eq!(rows.len(), model.len(), "case {case}");
         for stored in rows {
             let expected = model.get(&stored.row.key).copied();
             let actual = match stored.row.properties.get("v") {
                 Some(chaintable::table::Value::Int(v)) => Some(*v),
                 _ => Some(0),
             };
-            prop_assert_eq!(actual, expected);
+            assert_eq!(actual, expected, "case {case}");
         }
     }
+}
 
-    /// Query results are always sorted by key and respect the key-range filter.
-    #[test]
-    fn queries_are_sorted_and_filtered(ops in prop::collection::vec(arb_op(), 0..40), from in 0u8..6, to in 0u8..6) {
+/// Query results are always sorted by key and respect the key-range filter.
+#[test]
+fn queries_are_sorted_and_filtered() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0xF117E4 ^ case);
+        let ops = gen_ops(&mut rng, 40);
         let mut table = InMemoryTable::new();
         for op in &ops {
             let _ = table.execute(op.clone());
         }
-        let (from, to) = (from.min(to), from.max(to));
-        let filter = Filter::KeyRange { from: format!("k{from}"), to: format!("k{to}") };
+        let a = rng.next_below(6) as u8;
+        let b = rng.next_below(6) as u8;
+        let (from, to) = (a.min(b), a.max(b));
+        let filter = Filter::KeyRange {
+            from: format!("k{from}"),
+            to: format!("k{to}"),
+        };
         let rows = table.query_atomic(&filter);
         for pair in rows.windows(2) {
-            prop_assert!(pair[0].row.key < pair[1].row.key);
+            assert!(pair[0].row.key < pair[1].row.key, "case {case}");
         }
         for stored in &rows {
-            prop_assert!(filter.matches(&stored.row));
+            assert!(filter.matches(&stored.row), "case {case}");
         }
     }
+}
 
-    /// A full (fixed) migration pass never changes the virtual table: whatever
-    /// rows were written before the migration are still exactly the rows
-    /// visible after it, with the old table drained.
-    #[test]
-    fn migration_preserves_the_virtual_table(ops in prop::collection::vec(arb_op(), 0..40), delete_after_copy in any::<bool>()) {
+/// A full (fixed) migration pass never changes the virtual table: whatever
+/// rows were written before the migration are still exactly the rows visible
+/// after it, with the old table drained.
+#[test]
+fn migration_preserves_the_virtual_table() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0x416C4 ^ case);
+        let ops = gen_ops(&mut rng, 40);
+        let delete_after_copy = rng.next_bool();
         let mut store = MigratingStore::new(ChainBugs::none());
         for op in &ops {
             let _ = store.execute_write(op);
@@ -117,20 +147,25 @@ proptest! {
         store.set_phase(Phase::UseNew);
 
         let after = store.virtual_snapshot(&Filter::All);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    /// Conditional writes against the virtual table enforce ETag semantics in
-    /// every phase: a stale tag is rejected, the stored row is untouched.
-    #[test]
-    fn stale_etags_are_rejected_in_every_phase(value in 0i64..5, phase_index in 0usize..5) {
-        let phases = [
-            Phase::UseOld,
-            Phase::PreferOld,
-            Phase::UseNewWithTombstones,
-            Phase::UseNewHideTombstones,
-            Phase::UseNew,
-        ];
+/// Conditional writes against the virtual table enforce ETag semantics in
+/// every phase: a stale tag is rejected, the stored row is untouched.
+#[test]
+fn stale_etags_are_rejected_in_every_phase() {
+    let phases = [
+        Phase::UseOld,
+        Phase::PreferOld,
+        Phase::UseNewWithTombstones,
+        Phase::UseNewHideTombstones,
+        Phase::UseNew,
+    ];
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xE7A6 ^ case);
+        let value = rng.next_below(5) as i64;
+        let phase = phases[rng.next_below(phases.len())];
         let mut store = MigratingStore::new(ChainBugs::none());
         let first = store
             .execute_write(&TableOperation::Insert(Row::with_int("k0", "v", value)))
@@ -141,8 +176,8 @@ proptest! {
                 ETagMatch::Any,
             ))
             .expect("replace succeeds");
-        store.set_phase(phases[phase_index]);
-        if phases[phase_index] == Phase::UseNewWithTombstones {
+        store.set_phase(phase);
+        if phase == Phase::UseNewWithTombstones {
             // In the merge phase the row may live in either backend (here it
             // still lives in the old table); the stale tag from the very
             // first write must still be rejected.
@@ -150,9 +185,9 @@ proptest! {
                 Row::with_int("k0", "v", 99),
                 ETagMatch::Exact(first.etag.expect("insert returned an etag")),
             ));
-            prop_assert!(result.is_err());
+            assert!(result.is_err(), "case {case}");
             let visible = store.virtual_read("k0").expect("row still present");
-            prop_assert_eq!(Some(visible.etag), current.etag);
+            assert_eq!(Some(visible.etag), current.etag, "case {case}");
         }
     }
 }

@@ -6,12 +6,22 @@
 //! (number of executions) or it hits a safety or liveness property violation.
 //! On a violation it returns a [`BugReport`] containing the replayable
 //! [`Trace`] of the buggy execution.
+//!
+//! A [`ParallelTestEngine`] multiplies throughput by the host's core count:
+//! it shards the same iteration space over worker threads (each execution
+//! keeps the exact seed it would have had serially, so results are
+//! reproducible at any worker count) and can run a *portfolio* of scheduling
+//! strategies side by side, the parallel testing mode popularized by
+//! P#/Coyote.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::Bug;
 use crate::runtime::{ExecutionOutcome, Runtime, RuntimeConfig};
 use crate::scheduler::{ReplayScheduler, SchedulerKind};
+use crate::stats::StrategyStats;
 use crate::trace::Trace;
 
 /// Configuration of a systematic testing run.
@@ -30,6 +40,13 @@ pub struct TestConfig {
     pub check_liveness_at_quiescence: bool,
     /// Whether machine panics are caught and reported as bugs.
     pub catch_panics: bool,
+    /// Number of worker threads a [`ParallelTestEngine`] spreads the
+    /// iteration space over. `1` (the default) reproduces the serial
+    /// [`TestEngine`] bit for bit.
+    pub workers: usize,
+    /// Optional scheduler portfolio: worker `w` runs strategy
+    /// `portfolio[w % portfolio.len()]` instead of [`TestConfig::scheduler`].
+    pub portfolio: Option<Vec<SchedulerKind>>,
 }
 
 impl Default for TestConfig {
@@ -41,6 +58,8 @@ impl Default for TestConfig {
             scheduler: SchedulerKind::Random,
             check_liveness_at_quiescence: true,
             catch_panics: true,
+            workers: 1,
+            portfolio: None,
         }
     }
 }
@@ -73,6 +92,41 @@ impl TestConfig {
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Sets the number of worker threads used by [`ParallelTestEngine`].
+    ///
+    /// Zero is treated as one.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Assigns a scheduler portfolio: worker `w` runs
+    /// `portfolio[w % portfolio.len()]`. An empty portfolio is ignored.
+    pub fn with_portfolio(mut self, portfolio: Vec<SchedulerKind>) -> Self {
+        self.portfolio = if portfolio.is_empty() {
+            None
+        } else {
+            Some(portfolio)
+        };
+        self
+    }
+
+    /// Assigns the default portfolio
+    /// ([`SchedulerKind::default_portfolio`]): random, PCT with several
+    /// change-point budgets, and round-robin.
+    pub fn with_default_portfolio(self) -> Self {
+        self.with_portfolio(SchedulerKind::default_portfolio())
+    }
+
+    /// The scheduling strategy worker `worker` runs (the portfolio entry
+    /// when a portfolio is configured, the base scheduler otherwise).
+    pub fn scheduler_for_worker(&self, worker: usize) -> SchedulerKind {
+        match &self.portfolio {
+            Some(portfolio) if !portfolio.is_empty() => portfolio[worker % portfolio.len()],
+            _ => self.scheduler,
+        }
     }
 
     fn runtime_config(&self) -> RuntimeConfig {
@@ -118,8 +172,15 @@ pub struct TestReport {
     pub total_steps: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
-    /// Label of the scheduler that drove the run.
+    /// Label of the scheduler that drove the run. For a portfolio run this is
+    /// the strategy that found the bug, or `"portfolio"` when no bug was
+    /// found.
     pub scheduler: &'static str,
+    /// Number of worker threads that explored the iteration space.
+    pub workers: usize,
+    /// Exploration statistics per scheduling strategy (a single row for a
+    /// serial run, one row per distinct portfolio strategy otherwise).
+    pub per_strategy: Vec<StrategyStats>,
 }
 
 impl TestReport {
@@ -136,6 +197,19 @@ impl TestReport {
         } else {
             self.iterations_run as f64 / secs
         }
+    }
+
+    /// Renders the per-strategy attribution as an aligned table, one line per
+    /// strategy.
+    pub fn strategy_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&StrategyStats::table_header());
+        out.push('\n');
+        for row in &self.per_strategy {
+            out.push_str(&row.to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// Renders a short human-readable summary.
@@ -213,6 +287,7 @@ impl TestEngine {
         F: Fn(&mut Runtime),
     {
         let start = Instant::now();
+        let label = self.config.scheduler.label();
         let mut total_steps: u64 = 0;
         for iteration in 0..self.config.iterations {
             let seed = self.config.seed_for_iteration(iteration);
@@ -234,7 +309,15 @@ impl TestEngine {
                     iterations_run: iteration + 1,
                     total_steps,
                     elapsed,
-                    scheduler: self.config.scheduler.label(),
+                    scheduler: label,
+                    workers: 1,
+                    per_strategy: vec![StrategyStats {
+                        scheduler: self.config.scheduler.describe(),
+                        workers: 1,
+                        iterations_run: iteration + 1,
+                        total_steps,
+                        bugs_found: 1,
+                    }],
                 };
             }
         }
@@ -243,7 +326,15 @@ impl TestEngine {
             iterations_run: self.config.iterations,
             total_steps,
             elapsed: start.elapsed(),
-            scheduler: self.config.scheduler.label(),
+            scheduler: label,
+            workers: 1,
+            per_strategy: vec![StrategyStats {
+                scheduler: self.config.scheduler.describe(),
+                workers: 1,
+                iterations_run: self.config.iterations,
+                total_steps,
+                bugs_found: 0,
+            }],
         }
     }
 
@@ -262,6 +353,207 @@ impl TestEngine {
         match runtime.run() {
             ExecutionOutcome::BugFound(bug) => Some(bug),
             _ => None,
+        }
+    }
+}
+
+/// One worker's private tally, merged into the final [`TestReport`] after all
+/// workers join. `scheduler` is the strategy's full description
+/// ([`SchedulerKind::describe`]), so differently-parameterized PCT workers
+/// keep separate attribution rows.
+struct WorkerTally {
+    scheduler: String,
+    iterations_run: u64,
+    total_steps: u64,
+    bugs_found: u64,
+}
+
+/// The first bug found across all workers, with the strategy that found it.
+struct FirstBug {
+    report: BugReport,
+    scheduler: &'static str,
+}
+
+/// Parallel portfolio testing engine.
+///
+/// Shards the iteration space of a [`TestConfig`] over
+/// [`TestConfig::workers`] threads. Worker `w` of `W` explores exactly the
+/// global iterations `w, w + W, w + 2W, …`, and every iteration keeps the
+/// seed [`TestConfig::seed_for_iteration`] assigns it — so a single-worker
+/// parallel run explores the identical sequence of executions as the serial
+/// [`TestEngine`], and an `N`-worker run explores the identical *set* of
+/// (iteration, seed) pairs, just faster.
+///
+/// With [`TestConfig::with_portfolio`] each worker additionally runs its own
+/// scheduling strategy (portfolio testing): a mix of random, PCT with several
+/// priority-change budgets, and round-robin attacks the same harness from
+/// different angles, and the per-strategy attribution in
+/// [`TestReport::per_strategy`] shows which strategy earned the bug.
+///
+/// The first property violation stops the whole run: every other worker
+/// cancels at its next iteration boundary (executions are bounded by
+/// [`TestConfig::max_steps`], so cancellation latency is at most one bounded
+/// execution).
+///
+/// # Examples
+///
+/// ```
+/// use psharp::prelude::*;
+///
+/// struct Flaky;
+/// impl Machine for Flaky {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         let unlucky = ctx.random_bool();
+///         ctx.assert(!unlucky, "the unlucky path was taken");
+///     }
+///     fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+/// }
+///
+/// let config = TestConfig::new()
+///     .with_iterations(100)
+///     .with_workers(4)
+///     .with_default_portfolio();
+/// let report = ParallelTestEngine::new(config).run(|rt| {
+///     rt.create_machine(Flaky);
+/// });
+/// assert!(report.found_bug());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelTestEngine {
+    config: TestConfig,
+}
+
+impl ParallelTestEngine {
+    /// Creates a parallel engine with the given configuration.
+    pub fn new(config: TestConfig) -> Self {
+        ParallelTestEngine { config }
+    }
+
+    /// An engine that uses every available core and the default portfolio.
+    pub fn portfolio(config: TestConfig) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelTestEngine::new(config.with_workers(workers).with_default_portfolio())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TestConfig {
+        &self.config
+    }
+
+    /// Runs up to `iterations` executions of the harness built by `setup`
+    /// across the configured workers, stopping all workers at the first
+    /// property violation.
+    ///
+    /// Unlike [`TestEngine::run`], `setup` must be `Send + Sync`: each worker
+    /// invokes it (one invocation per execution) from its own thread. Each
+    /// individual execution still runs serialized on exactly one thread —
+    /// machines never observe intra-execution parallelism.
+    pub fn run<F>(&self, setup: F) -> TestReport
+    where
+        F: Fn(&mut Runtime) + Send + Sync,
+    {
+        let workers = self.config.workers.max(1);
+        let start = Instant::now();
+        let stop = AtomicBool::new(false);
+        let first_bug: Mutex<Option<FirstBug>> = Mutex::new(None);
+        let config = &self.config;
+
+        let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let setup = &setup;
+                    let stop = &stop;
+                    let first_bug = &first_bug;
+                    scope.spawn(move || {
+                        let kind = config.scheduler_for_worker(worker);
+                        let mut tally = WorkerTally {
+                            scheduler: kind.describe(),
+                            iterations_run: 0,
+                            total_steps: 0,
+                            bugs_found: 0,
+                        };
+                        let mut iteration = worker as u64;
+                        while iteration < config.iterations && !stop.load(Ordering::Relaxed) {
+                            let seed = config.seed_for_iteration(iteration);
+                            let scheduler = kind.build(seed, config.max_steps);
+                            let mut runtime =
+                                Runtime::new(scheduler, config.runtime_config(), seed);
+                            setup(&mut runtime);
+                            let outcome = runtime.run();
+                            tally.iterations_run += 1;
+                            tally.total_steps += runtime.steps() as u64;
+                            if let ExecutionOutcome::BugFound(bug) = outcome {
+                                tally.bugs_found += 1;
+                                let mut slot = first_bug.lock().expect("bug slot lock poisoned");
+                                if slot.is_none() {
+                                    *slot = Some(FirstBug {
+                                        report: BugReport {
+                                            bug,
+                                            iteration,
+                                            ndc: runtime.trace().decision_count(),
+                                            trace: runtime.trace().clone(),
+                                            time_to_bug: start.elapsed(),
+                                        },
+                                        scheduler: kind.label(),
+                                    });
+                                }
+                                drop(slot);
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            iteration += workers as u64;
+                        }
+                        tally
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        let mut per_strategy: Vec<StrategyStats> = Vec::new();
+        let mut iterations_run = 0;
+        let mut total_steps = 0;
+        for tally in &tallies {
+            iterations_run += tally.iterations_run;
+            total_steps += tally.total_steps;
+            let row = match per_strategy
+                .iter_mut()
+                .find(|row| row.scheduler == tally.scheduler)
+            {
+                Some(row) => row,
+                None => {
+                    per_strategy.push(StrategyStats::new(tally.scheduler.clone()));
+                    per_strategy.last_mut().expect("just pushed")
+                }
+            };
+            row.absorb(&StrategyStats {
+                scheduler: tally.scheduler.clone(),
+                workers: 1,
+                iterations_run: tally.iterations_run,
+                total_steps: tally.total_steps,
+                bugs_found: tally.bugs_found,
+            });
+        }
+
+        let winner = first_bug.into_inner().expect("bug slot lock poisoned");
+        let scheduler = match &winner {
+            Some(first) => first.scheduler,
+            None if self.config.portfolio.is_some() => "portfolio",
+            None => self.config.scheduler.label(),
+        };
+        TestReport {
+            bug: winner.map(|first| first.report),
+            iterations_run,
+            total_steps,
+            elapsed: start.elapsed(),
+            scheduler,
+            workers,
+            per_strategy,
         }
     }
 }

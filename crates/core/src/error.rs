@@ -3,10 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// The class of property violation detected during an execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BugKind {
     /// A safety monitor assertion, a machine-local assertion, or any other
     /// finite-trace property violation.
@@ -38,8 +38,34 @@ impl fmt::Display for BugKind {
     }
 }
 
+impl ToJson for BugKind {
+    fn to_json_value(&self) -> Json {
+        let name = match self {
+            BugKind::SafetyViolation => "SafetyViolation",
+            BugKind::LivenessViolation => "LivenessViolation",
+            BugKind::Panic => "Panic",
+            BugKind::UnhandledEvent => "UnhandledEvent",
+            BugKind::Deadlock => "Deadlock",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for BugKind {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "SafetyViolation" => Ok(BugKind::SafetyViolation),
+            "LivenessViolation" => Ok(BugKind::LivenessViolation),
+            "Panic" => Ok(BugKind::Panic),
+            "UnhandledEvent" => Ok(BugKind::UnhandledEvent),
+            "Deadlock" => Ok(BugKind::Deadlock),
+            other => Err(JsonError::new(format!("unknown bug kind '{other}'"))),
+        }
+    }
+}
+
 /// A property violation found in one execution of the system-under-test.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bug {
     /// The class of violation.
     pub kind: BugKind,
@@ -72,6 +98,37 @@ impl Bug {
     pub fn with_step(mut self, step: usize) -> Self {
         self.step = step;
         self
+    }
+}
+
+impl ToJson for Bug {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("kind", self.kind.to_json_value()),
+            ("message", Json::Str(self.message.clone())),
+            (
+                "source",
+                match &self.source {
+                    Some(source) => Json::Str(source.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("step", Json::UInt(self.step as u64)),
+        ])
+    }
+}
+
+impl FromJson for Bug {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(Bug {
+            kind: BugKind::from_json_value(value.get("kind")?)?,
+            message: value.get("message")?.as_str()?.to_string(),
+            source: match value.get("source")? {
+                Json::Null => None,
+                other => Some(other.as_str()?.to_string()),
+            },
+            step: value.get("step")?.as_usize()?,
+        })
     }
 }
 
@@ -133,8 +190,8 @@ mod tests {
     #[test]
     fn bug_round_trips_through_json() {
         let bug = Bug::new(BugKind::Panic, "index out of bounds").with_step(3);
-        let json = serde_json::to_string(&bug).expect("serialize");
-        let back: Bug = serde_json::from_str(&json).expect("deserialize");
+        let json = bug.to_json_value().to_string_compact();
+        let back = Bug::from_json_value(&Json::parse(&json).expect("parse")).expect("deserialize");
         assert_eq!(bug, back);
     }
 

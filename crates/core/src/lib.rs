@@ -88,6 +88,7 @@
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod json;
 pub mod machine;
 pub mod mailbox;
 pub mod monitor;
@@ -100,14 +101,14 @@ pub mod trace;
 
 /// Convenience re-exports of the types needed by almost every harness.
 pub mod prelude {
-    pub use crate::engine::{BugReport, TestConfig, TestEngine, TestReport};
+    pub use crate::engine::{BugReport, ParallelTestEngine, TestConfig, TestEngine, TestReport};
     pub use crate::error::{Bug, BugKind};
     pub use crate::event::Event;
     pub use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner, Transition};
     pub use crate::monitor::{Monitor, MonitorContext, Temperature};
     pub use crate::runtime::{Context, ExecutionOutcome, Runtime, RuntimeConfig};
     pub use crate::scheduler::SchedulerKind;
-    pub use crate::stats::ModelStats;
+    pub use crate::stats::{ModelStats, StrategyStats};
     pub use crate::timer::{Timer, TimerTick};
     pub use crate::trace::Trace;
 }

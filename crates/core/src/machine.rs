@@ -16,9 +16,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{short_type_name, Event};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::monitor::AsAny;
 use crate::runtime::Context;
 
@@ -26,8 +25,20 @@ use crate::runtime::Context;
 ///
 /// Ids are assigned sequentially in creation order, which makes them
 /// deterministic across replays of the same schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId(u64);
+
+impl ToJson for MachineId {
+    fn to_json_value(&self) -> Json {
+        Json::UInt(self.0)
+    }
+}
+
+impl FromJson for MachineId {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(MachineId(value.as_u64()?))
+    }
+}
 
 impl MachineId {
     /// Creates an id from its raw index. Exposed for trace (de)serialization
@@ -216,10 +227,11 @@ mod tests {
     }
 
     #[test]
-    fn machine_id_serde_round_trip() {
+    fn machine_id_json_round_trip() {
         let id = MachineId::from_raw(9);
-        let json = serde_json::to_string(&id).expect("serialize");
-        let back: MachineId = serde_json::from_str(&json).expect("deserialize");
+        let json = id.to_json_value().to_string_compact();
+        let back =
+            MachineId::from_json_value(&Json::parse(&json).expect("parse")).expect("deserialize");
         assert_eq!(id, back);
     }
 

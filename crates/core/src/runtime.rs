@@ -218,12 +218,18 @@ impl Runtime {
         let index = id.raw() as usize;
         let (mut machine, event, event_name, name) = {
             let slot = &mut self.slots[index];
-            let machine = slot.machine.take().expect("machine is present when scheduled");
+            let machine = slot
+                .machine
+                .take()
+                .expect("machine is present when scheduled");
             if !slot.started {
                 slot.started = true;
                 (machine, None, "start".to_string(), slot.name.clone())
             } else {
-                let event = slot.mailbox.dequeue().expect("enabled machine has an event");
+                let event = slot
+                    .mailbox
+                    .dequeue()
+                    .expect("enabled machine has an event");
                 let event_name = event.name().to_string();
                 (machine, Some(event), event_name, slot.name.clone())
             }
@@ -489,9 +495,7 @@ impl<'r> Context<'r> {
 mod tests {
     use super::*;
     use crate::machine::Transition;
-    use crate::scheduler::{
-        RandomScheduler, ReplayScheduler, RoundRobinScheduler, SchedulerKind,
-    };
+    use crate::scheduler::{RandomScheduler, ReplayScheduler, RoundRobinScheduler, SchedulerKind};
 
     fn runtime(seed: u64) -> Runtime {
         Runtime::new(

@@ -83,12 +83,37 @@ impl SchedulerKind {
         }
     }
 
+    /// The default strategy portfolio for parallel portfolio testing: random
+    /// scheduling, PCT with several priority-change budgets, and round-robin.
+    ///
+    /// Workers are assigned strategies round-robin over this list, so the
+    /// cheap-but-effective random scheduler gets the first slot.
+    pub fn default_portfolio() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Random,
+            SchedulerKind::Pct { change_points: 2 },
+            SchedulerKind::Pct { change_points: 5 },
+            SchedulerKind::Pct { change_points: 10 },
+            SchedulerKind::RoundRobin,
+        ]
+    }
+
     /// The short name of the scheduler this kind builds.
     pub fn label(self) -> &'static str {
         match self {
             SchedulerKind::Random => "random",
             SchedulerKind::Pct { .. } => "pct",
             SchedulerKind::RoundRobin => "round-robin",
+        }
+    }
+
+    /// A description that also distinguishes parameterizations of the same
+    /// strategy ("pct(cp=2)" vs "pct(cp=5)"), used to key per-strategy
+    /// attribution in portfolio runs.
+    pub fn describe(self) -> String {
+        match self {
+            SchedulerKind::Pct { change_points } => format!("pct(cp={change_points})"),
+            other => other.label().to_string(),
         }
     }
 }
@@ -156,8 +181,9 @@ impl PctScheduler {
     pub fn new(seed: u64, change_points: usize, max_steps: usize) -> Self {
         let mut rng = SplitMix64::new(seed);
         let horizon = max_steps.max(1);
-        let mut change_steps: Vec<usize> =
-            (0..change_points).map(|_| rng.next_below(horizon)).collect();
+        let mut change_steps: Vec<usize> = (0..change_points)
+            .map(|_| rng.next_below(horizon))
+            .collect();
         change_steps.sort_unstable();
         PctScheduler {
             rng,
@@ -432,7 +458,9 @@ mod tests {
         // execution (the fair tail only starts at step 500).
         let count_switches = |change_points: usize| {
             let mut s = PctScheduler::new(7, change_points, 1_000);
-            let picks: Vec<MachineId> = (0..100).map(|step| s.next_machine(&enabled, step)).collect();
+            let picks: Vec<MachineId> = (0..100)
+                .map(|step| s.next_machine(&enabled, step))
+                .collect();
             picks.windows(2).filter(|w| w[0] != w[1]).count()
         };
         assert_eq!(count_switches(0), 0, "no change points means no switches");
@@ -449,7 +477,10 @@ mod tests {
         for step in 50..300 {
             seen[s.next_machine(&enabled, step).raw() as usize] = true;
         }
-        assert!(seen.iter().all(|&b| b), "the fair tail must not starve machines");
+        assert!(
+            seen.iter().all(|&b| b),
+            "the fair tail must not starve machines"
+        );
     }
 
     #[test]

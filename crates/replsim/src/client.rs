@@ -61,12 +61,10 @@ impl Machine for Client {
     }
 
     fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
-        if event.is::<Ack>() {
-            if self.awaiting_ack {
-                self.awaiting_ack = false;
-                self.acks_received += 1;
-                self.send_next_request(ctx);
-            }
+        if event.is::<Ack>() && self.awaiting_ack {
+            self.awaiting_ack = false;
+            self.acks_received += 1;
+            self.send_next_request(ctx);
         }
     }
 

@@ -69,7 +69,10 @@ mod tests {
         let mut store = EnExtentStore::new();
         assert!(store.is_empty());
         assert!(store.add(ExtentId(1)));
-        assert!(!store.add(ExtentId(1)), "double add reports already present");
+        assert!(
+            !store.add(ExtentId(1)),
+            "double add reports already present"
+        );
         assert!(store.contains(ExtentId(1)));
         assert!(store.remove(ExtentId(1)));
         assert!(!store.remove(ExtentId(1)));

@@ -445,10 +445,7 @@ mod tests {
     #[test]
     fn shared_engine_outbox_is_visible_through_clones() {
         let handle = SharedNetworkEngine::new();
-        let mut mgr = ExtentManager::new(
-            ExtentManagerConfig::default(),
-            Box::new(handle.clone()),
-        );
+        let mut mgr = ExtentManager::new(ExtentManagerConfig::default(), Box::new(handle.clone()));
         heartbeat(&mut mgr, 1);
         heartbeat(&mut mgr, 2);
         sync(&mut mgr, 1, &[10]);

@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn driver_translates_repair_requests_to_en_machines() {
         let mut rt = new_runtime(1_000);
-        let manager = rt.create_machine(ManagerStub::default());
+        let manager = rt.create_machine(ManagerStub);
         let driver = rt.create_machine(TestingDriver::new(manager, false));
         let source = rt.create_machine(ExtentNodeMachine::new(
             EnId(0),
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn repair_request_for_unknown_en_is_dropped() {
         let mut rt = new_runtime(1_000);
-        let manager = rt.create_machine(ManagerStub::default());
+        let manager = rt.create_machine(ManagerStub);
         let driver = rt.create_machine(TestingDriver::new(manager, false));
         rt.send(
             driver,
@@ -216,14 +216,19 @@ mod tests {
             },
             5,
         );
-        let manager = rt.create_machine(ManagerStub::default());
+        let manager = rt.create_machine(ManagerStub);
         let driver = rt.create_machine(TestingDriver::new(manager, true));
         let en = rt.create_machine(ExtentNodeMachine::new(
             EnId(0),
             manager,
             EnExtentStore::new(),
         ));
-        rt.send(driver, Event::new(DriverInit { ens: vec![(EnId(0), en)] }));
+        rt.send(
+            driver,
+            Event::new(DriverInit {
+                ens: vec![(EnId(0), en)],
+            }),
+        );
         for _ in 0..32 {
             rt.send(driver, Event::new(DriverTick));
         }
@@ -238,14 +243,19 @@ mod tests {
     #[test]
     fn driver_without_failure_injection_never_fails_nodes() {
         let mut rt = new_runtime(1_000);
-        let manager = rt.create_machine(ManagerStub::default());
+        let manager = rt.create_machine(ManagerStub);
         let driver = rt.create_machine(TestingDriver::new(manager, false));
         let en = rt.create_machine(ExtentNodeMachine::new(
             EnId(0),
             manager,
             EnExtentStore::new(),
         ));
-        rt.send(driver, Event::new(DriverInit { ens: vec![(EnId(0), en)] }));
+        rt.send(
+            driver,
+            Event::new(DriverInit {
+                ens: vec![(EnId(0), en)],
+            }),
+        );
         for _ in 0..8 {
             rt.send(driver, Event::new(DriverTick));
         }

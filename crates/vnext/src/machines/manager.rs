@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn wrapper_disables_the_internal_timer() {
-        let wrapper =
-            ExtentManagerMachine::new(ExtentManagerConfig::default(), vec![ExtentId(7)]);
+        let wrapper = ExtentManagerMachine::new(ExtentManagerConfig::default(), vec![ExtentId(7)]);
         assert!(!wrapper.manager().internal_timer_enabled());
         assert_eq!(wrapper.manager().extent_center().extent_count(), 1);
     }

@@ -74,4 +74,24 @@ fn main() {
     });
     println!("\n-- fixed system --");
     println!("{}", report.summary());
+
+    // 4. The parallel portfolio engine: shard the same safety hunt over all
+    //    cores, with each worker running a different scheduling strategy.
+    //    One worker reproduces the serial run bit for bit; N workers explore
+    //    the same seed space N times faster and stop at the first violation.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = replsim::portfolio_hunt(
+        &ReplConfig::with_duplicate_counting_bug(),
+        TestConfig::new()
+            .with_iterations(5_000)
+            .with_max_steps(2_000)
+            .with_seed(1)
+            .with_workers(workers)
+            .with_default_portfolio(),
+    );
+    println!("\n-- parallel portfolio ({workers} workers) --");
+    println!("{}", report.summary());
+    println!("{}", report.strategy_table());
 }

@@ -28,26 +28,49 @@ fn every_fixed_case_study_is_clean_under_both_schedulers() {
             Some(BugKind::SafetyViolation) | Some(BugKind::Panic)
         ),
     };
-    for scheduler in [SchedulerKind::Random, SchedulerKind::Pct { change_points: 2 }] {
+    for scheduler in [
+        SchedulerKind::Random,
+        SchedulerKind::Pct { change_points: 2 },
+    ] {
         let report = engine(50, 2_500, 1, scheduler).run(|rt| {
             replsim::build_harness(rt, &replsim::ReplConfig::default());
         });
-        assert!(clean(&report, scheduler), "replsim/{:?}: {:?}", scheduler, report.bug);
+        assert!(
+            clean(&report, scheduler),
+            "replsim/{:?}: {:?}",
+            scheduler,
+            report.bug
+        );
 
         let report = engine(50, 3_000, 1, scheduler).run(|rt| {
             vnext::build_harness(rt, &vnext::VnextConfig::default());
         });
-        assert!(clean(&report, scheduler), "vnext/{:?}: {:?}", scheduler, report.bug);
+        assert!(
+            clean(&report, scheduler),
+            "vnext/{:?}: {:?}",
+            scheduler,
+            report.bug
+        );
 
         let report = engine(50, 10_000, 1, scheduler).run(|rt| {
             chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
         });
-        assert!(clean(&report, scheduler), "chaintable/{:?}: {:?}", scheduler, report.bug);
+        assert!(
+            clean(&report, scheduler),
+            "chaintable/{:?}: {:?}",
+            scheduler,
+            report.bug
+        );
 
         let report = engine(50, 5_000, 1, scheduler).run(|rt| {
             fabric::build_harness(rt, &fabric::FabricConfig::default());
         });
-        assert!(clean(&report, scheduler), "fabric/{:?}: {:?}", scheduler, report.bug);
+        assert!(
+            clean(&report, scheduler),
+            "fabric/{:?}: {:?}",
+            scheduler,
+            report.bug
+        );
     }
 }
 
@@ -71,11 +94,16 @@ fn replsim_safety_bug_is_found_and_replays() {
 
 #[test]
 fn vnext_liveness_bug_is_found_by_both_schedulers() {
-    for scheduler in [SchedulerKind::Random, SchedulerKind::Pct { change_points: 2 }] {
+    for scheduler in [
+        SchedulerKind::Random,
+        SchedulerKind::Pct { change_points: 2 },
+    ] {
         let report = engine(3_000, 3_000, 2016, scheduler).run(|rt| {
             vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
         });
-        let bug = report.bug.unwrap_or_else(|| panic!("{scheduler:?} should find the bug"));
+        let bug = report
+            .bug
+            .unwrap_or_else(|| panic!("{scheduler:?} should find the bug"));
         assert_eq!(bug.bug.kind, BugKind::LivenessViolation);
     }
 }
@@ -85,15 +113,18 @@ fn chaintable_named_bugs_are_all_findable() {
     // Each of the eleven Table 2 bugs must be findable by at least one of the
     // two schedulers within a modest execution budget.
     for (name, config) in chaintable::named_bugs() {
-        let found = [SchedulerKind::Random, SchedulerKind::Pct { change_points: 2 }]
-            .into_iter()
-            .any(|scheduler| {
-                engine(2_000, 10_000, 2016, scheduler)
-                    .run(move |rt| {
-                        chaintable::build_harness(rt, &config);
-                    })
-                    .found_bug()
-            });
+        let found = [
+            SchedulerKind::Random,
+            SchedulerKind::Pct { change_points: 2 },
+        ]
+        .into_iter()
+        .any(|scheduler| {
+            engine(2_000, 10_000, 2016, scheduler)
+                .run(move |rt| {
+                    chaintable::build_harness(rt, &config);
+                })
+                .found_bug()
+        });
         assert!(found, "bug {name} was not found by either scheduler");
     }
 }
