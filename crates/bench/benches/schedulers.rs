@@ -1,21 +1,140 @@
 //! Benches measuring the cost of systematic testing (§6.2): executions per
 //! unit of time for each case-study harness, the scheduler ablations (random
 //! vs PCT vs round-robin, PCT priority-change budget, liveness step bound),
-//! and the serial vs parallel portfolio engine comparison.
+//! the step-loop hot path, and the serial vs work-stealing parallel engine
+//! comparison.
 //!
 //! This is a plain `harness = false` bench (no Criterion: the build
 //! environment is hermetic). Each case runs a few timed repetitions and
 //! prints the median wall-clock time plus executions/second.
 //!
+//! Besides the human-readable table the bench writes a machine-readable
+//! `BENCH_pr2.json` (override with `--json PATH`) so the perf trajectory of
+//! the engine is tracked from PR 2 on. `--quick` shrinks every budget for CI
+//! smoke runs.
+//!
 //! Run with `cargo bench -p bench` — or directly:
-//! `cargo run --release -p bench --bench schedulers`.
+//! `cargo run --release -p bench --bench schedulers -- [--quick] [--json PATH]`.
 
 use std::time::{Duration, Instant};
 
 use psharp::engine::ParallelTestEngine;
+use psharp::json::{Json, ToJson};
 use psharp::prelude::*;
 
-const REPS: usize = 5;
+/// Pre-change reference point for the step-loop hot path, measured on the
+/// same host immediately before the PR 2 zero-allocation refactor (commit
+/// ead1cb9: per-step enabled-set `Vec` + `String` clones into every trace
+/// record, fixed-stripe parallel engine). `speedup_vs_baseline` in the JSON
+/// is computed against this figure.
+const BASELINE_SERIAL_RANDOM_EXECS_PER_SEC: f64 = 2774.0;
+
+/// One timed measurement, kept for the JSON report.
+struct BenchResult {
+    group: &'static str,
+    name: String,
+    median: Duration,
+    execs_per_sec: f64,
+    steps: u64,
+}
+
+impl ToJson for BenchResult {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            ("group", Json::Str(self.group.to_string())),
+            ("name", Json::Str(self.name.clone())),
+            ("median_ms", Json::Float(self.median.as_secs_f64() * 1e3)),
+            ("execs_per_sec", Json::Float(self.execs_per_sec)),
+            ("steps", Json::UInt(self.steps)),
+        ])
+    }
+}
+
+/// Global bench settings parsed from argv.
+struct Settings {
+    /// Repetitions per case (median reported).
+    reps: usize,
+    /// Multiplier applied to every iteration budget (1 = full run).
+    scale: u64,
+    /// Output path of the machine-readable report.
+    json: String,
+}
+
+fn parse_settings() -> Settings {
+    let mut settings = Settings {
+        reps: 5,
+        scale: 1,
+        json: "BENCH_pr2.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--quick" => {
+                settings.reps = 2;
+                settings.scale = 4;
+            }
+            "--json" => {
+                settings.json = argv.next().expect("--json requires a path");
+            }
+            // `cargo bench` passes `--bench` through to the binary.
+            "--bench" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    settings
+}
+
+struct Bench {
+    settings: Settings,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Scales an iteration budget down for `--quick` runs (at least 1).
+    fn budget(&self, iterations: u64) -> u64 {
+        (iterations / self.settings.scale).max(1)
+    }
+
+    /// Times `body` over the configured repetitions and reports the median.
+    fn bench<F: FnMut() -> u64>(
+        &mut self,
+        group: &'static str,
+        name: &str,
+        executions: u64,
+        mut body: F,
+    ) {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.settings.reps);
+        let mut last_steps = 0;
+        for _ in 0..self.settings.reps {
+            let start = Instant::now();
+            last_steps = body();
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let execs_per_sec = executions as f64 / median.as_secs_f64().max(1e-9);
+        println!(
+            "{group:<32} {name:<24} median {:>9.3}ms  {:>10.0} exec/s  {last_steps:>8} steps",
+            median.as_secs_f64() * 1e3,
+            execs_per_sec,
+        );
+        self.results.push(BenchResult {
+            group,
+            name: name.to_string(),
+            median,
+            execs_per_sec,
+            steps: last_steps,
+        });
+    }
+
+    /// The measured executions/second of a named case, when it has run.
+    fn execs_per_sec(&self, group: &str, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| r.execs_per_sec)
+    }
+}
 
 fn run_iterations<F>(iterations: u64, max_steps: usize, scheduler: SchedulerKind, build: F) -> u64
 where
@@ -31,46 +150,91 @@ where
     engine.run(build).total_steps
 }
 
-/// Times `body` over [`REPS`] repetitions and reports the median.
-fn bench<F: FnMut() -> u64>(group: &str, name: &str, executions: u64, mut body: F) {
-    let mut times: Vec<Duration> = Vec::with_capacity(REPS);
-    let mut last_steps = 0;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        last_steps = body();
-        times.push(start.elapsed());
+/// A small bug-free harness that maximizes step-loop pressure: three
+/// self-sending machines run the runtime to the step bound with almost no
+/// per-step work of their own, so the measurement isolates the engine's
+/// scheduling + trace-recording overhead.
+mod hotpath {
+    use super::*;
+
+    #[derive(Debug)]
+    pub struct Spin;
+
+    pub struct Spinner;
+    impl Machine for Spinner {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_to_self(Event::new(Spin));
+        }
+        fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+            ctx.send_to_self(Event::new(Spin));
+        }
     }
-    times.sort();
-    let median = times[times.len() / 2];
-    let execs_per_sec = executions as f64 / median.as_secs_f64().max(1e-9);
-    println!(
-        "{group:<32} {name:<24} median {:>9.3}ms  {:>10.0} exec/s  {last_steps:>8} steps",
-        median.as_secs_f64() * 1e3,
-        execs_per_sec,
+
+    pub fn setup(rt: &mut Runtime) {
+        for _ in 0..3 {
+            rt.create_machine(Spinner);
+        }
+    }
+}
+
+const HOTPATH_ITERATIONS: u64 = 200;
+const HOTPATH_MAX_STEPS: usize = 2_000;
+
+/// Raw step-loop throughput: the serial random-scheduler figure here is the
+/// number tracked across PRs (`serial_random_execs_per_sec` in the JSON).
+fn step_loop_hotpath(b: &mut Bench) {
+    let group = "step_loop_hotpath";
+    let iterations = b.budget(HOTPATH_ITERATIONS);
+    b.bench(group, "serial_random", iterations, || {
+        run_iterations(
+            iterations,
+            HOTPATH_MAX_STEPS,
+            SchedulerKind::Random,
+            hotpath::setup,
+        )
+    });
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(HOTPATH_MAX_STEPS)
+        .with_seed(42)
+        .with_workers(workers);
+    b.bench(
+        group,
+        &format!("parallel_{workers}_workers"),
+        iterations,
+        || {
+            ParallelTestEngine::new(config.clone())
+                .run(hotpath::setup)
+                .total_steps
+        },
     );
 }
 
 /// Executions/second of each harness under the random scheduler (the cost the
 /// paper's §6.2 reports as "time to bug" denominators).
-fn harness_throughput() {
+fn harness_throughput(b: &mut Bench) {
     let group = "executions_per_harness";
-    bench(group, "replsim_fixed_10_execs", 10, || {
-        run_iterations(10, 1_500, SchedulerKind::Random, |rt| {
+    let n = b.budget(10);
+    b.bench(group, "replsim_fixed_10_execs", n, || {
+        run_iterations(n, 1_500, SchedulerKind::Random, |rt| {
             replsim::build_harness(rt, &replsim::ReplConfig::default());
         })
     });
-    bench(group, "vnext_fixed_10_execs", 10, || {
-        run_iterations(10, 2_000, SchedulerKind::Random, |rt| {
+    b.bench(group, "vnext_fixed_10_execs", n, || {
+        run_iterations(n, 2_000, SchedulerKind::Random, |rt| {
             vnext::build_harness(rt, &vnext::VnextConfig::default());
         })
     });
-    bench(group, "chaintable_fixed_10_execs", 10, || {
-        run_iterations(10, 10_000, SchedulerKind::Random, |rt| {
+    b.bench(group, "chaintable_fixed_10_execs", n, || {
+        run_iterations(n, 10_000, SchedulerKind::Random, |rt| {
             chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
         })
     });
-    bench(group, "fabric_fixed_10_execs", 10, || {
-        run_iterations(10, 5_000, SchedulerKind::Random, |rt| {
+    b.bench(group, "fabric_fixed_10_execs", n, || {
+        run_iterations(n, 5_000, SchedulerKind::Random, |rt| {
             fabric::build_harness(rt, &fabric::FabricConfig::default());
         })
     });
@@ -78,16 +242,17 @@ fn harness_throughput() {
 
 /// Ablation: scheduler strategy on the same buggy harness (time to explore a
 /// fixed execution budget).
-fn scheduler_ablation() {
+fn scheduler_ablation(b: &mut Bench) {
     let group = "scheduler_ablation_replsim";
     let schedulers = [
         ("random", SchedulerKind::Random),
         ("pct2", SchedulerKind::Pct { change_points: 2 }),
         ("round_robin", SchedulerKind::RoundRobin),
     ];
+    let n = b.budget(20);
     for (label, scheduler) in schedulers {
-        bench(group, label, 20, || {
-            run_iterations(20, 1_500, scheduler, |rt| {
+        b.bench(group, label, n, || {
+            run_iterations(n, 1_500, scheduler, |rt| {
                 replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
             })
         });
@@ -95,11 +260,12 @@ fn scheduler_ablation() {
 }
 
 /// Ablation: PCT priority-change budget on the vNext liveness bug.
-fn pct_budget_ablation() {
+fn pct_budget_ablation(b: &mut Bench) {
     let group = "pct_change_points_vnext";
+    let n = b.budget(5);
     for change_points in [0usize, 2, 5] {
-        bench(group, &format!("cp{change_points}"), 5, || {
-            run_iterations(5, 3_000, SchedulerKind::Pct { change_points }, |rt| {
+        b.bench(group, &format!("cp{change_points}"), n, || {
+            run_iterations(n, 3_000, SchedulerKind::Pct { change_points }, |rt| {
                 vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
             })
         });
@@ -107,23 +273,23 @@ fn pct_budget_ablation() {
 }
 
 /// Ablation: the liveness "infinite execution" step bound (§2.5 heuristic).
-fn liveness_bound_ablation() {
+fn liveness_bound_ablation(b: &mut Bench) {
     let group = "liveness_step_bound_vnext";
+    let n = b.budget(5);
     for max_steps in [1_000usize, 3_000, 6_000] {
-        bench(group, &format!("bound{max_steps}"), 5, || {
-            run_iterations(5, max_steps, SchedulerKind::Random, |rt| {
+        b.bench(group, &format!("bound{max_steps}"), n, || {
+            run_iterations(n, max_steps, SchedulerKind::Random, |rt| {
                 vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
             })
         });
     }
 }
 
-/// Serial vs parallel portfolio engine over the same bug-free exploration
-/// budget, demonstrating the throughput multiplier of
-/// [`ParallelTestEngine`] on multi-core hosts.
-fn parallel_engine_comparison() {
+/// Serial vs work-stealing parallel engine over the same bug-free exploration
+/// budget, demonstrating the throughput multiplier on multi-core hosts.
+fn parallel_engine_comparison(b: &mut Bench) {
     let group = "parallel_vs_serial_chaintable";
-    let iterations = 40;
+    let iterations = b.budget(40);
     let config = TestConfig::new()
         .with_iterations(iterations)
         .with_max_steps(2_000)
@@ -131,13 +297,13 @@ fn parallel_engine_comparison() {
     let build = |rt: &mut Runtime| {
         chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
     };
-    bench(group, "serial_1_worker", iterations, || {
+    b.bench(group, "serial_1_worker", iterations, || {
         TestEngine::new(config.clone()).run(build).total_steps
     });
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    bench(
+    b.bench(
         group,
         &format!("parallel_{workers}_workers"),
         iterations,
@@ -157,10 +323,72 @@ fn parallel_engine_comparison() {
     );
 }
 
+fn write_report(b: &Bench) {
+    let serial = b
+        .execs_per_sec("step_loop_hotpath", "serial_random")
+        .unwrap_or(0.0);
+    let parallel = b
+        .results
+        .iter()
+        .find(|r| r.group == "step_loop_hotpath" && r.name.starts_with("parallel"))
+        .map(|r| r.execs_per_sec)
+        .unwrap_or(0.0);
+    let json = Json::object([
+        ("pr", Json::UInt(2)),
+        (
+            "bench",
+            Json::Str("crates/bench/benches/schedulers.rs".to_string()),
+        ),
+        ("quick_mode", Json::Bool(b.settings.scale != 1)),
+        (
+            "baseline",
+            Json::object([
+                (
+                    "serial_random_execs_per_sec",
+                    Json::Float(BASELINE_SERIAL_RANDOM_EXECS_PER_SEC),
+                ),
+                (
+                    "source",
+                    Json::Str(
+                        "step_loop_hotpath/serial_random measured in the PR 2 reference \
+                         container at commit ead1cb9, before the zero-allocation step loop; \
+                         speedup_vs_baseline is only meaningful on comparable hardware \
+                         (the committed repo-root BENCH_pr2.json is such a run)"
+                            .to_string(),
+                    ),
+                ),
+            ]),
+        ),
+        ("serial_random_execs_per_sec", Json::Float(serial)),
+        ("parallel_execs_per_sec", Json::Float(parallel)),
+        (
+            "speedup_vs_baseline",
+            Json::Float(serial / BASELINE_SERIAL_RANDOM_EXECS_PER_SEC.max(1e-9)),
+        ),
+        (
+            "results",
+            Json::Array(b.results.iter().map(ToJson::to_json_value).collect()),
+        ),
+    ]);
+    std::fs::write(&b.settings.json, json.to_string_pretty()).expect("write bench report");
+    println!(
+        "\nserial step loop: {serial:.0} exec/s ({:.2}x the pre-PR2 baseline of {:.0} exec/s)",
+        serial / BASELINE_SERIAL_RANDOM_EXECS_PER_SEC.max(1e-9),
+        BASELINE_SERIAL_RANDOM_EXECS_PER_SEC,
+    );
+    println!("machine-readable report written to {}", b.settings.json);
+}
+
 fn main() {
-    harness_throughput();
-    scheduler_ablation();
-    pct_budget_ablation();
-    liveness_bound_ablation();
-    parallel_engine_comparison();
+    let mut b = Bench {
+        settings: parse_settings(),
+        results: Vec::new(),
+    };
+    step_loop_hotpath(&mut b);
+    harness_throughput(&mut b);
+    scheduler_ablation(&mut b);
+    pct_budget_ablation(&mut b);
+    liveness_bound_ablation(&mut b);
+    parallel_engine_comparison(&mut b);
+    write_report(&b);
 }

@@ -7,7 +7,15 @@
 //!
 //! ```text
 //! table2 [--iterations N] [--seed S] [--scheduler random|pct|both] [--json PATH] [--workers W]
+//!        [--portfolio]
 //! ```
+//!
+//! `--portfolio` replaces the per-scheduler columns with one run per bug that
+//! shards the full default scheduler portfolio (random, PCT with several
+//! priority-change budgets, round-robin) over the workers — `--workers` is
+//! raised to the portfolio size if below it, so every strategy gets a
+//! worker; the scheduler column then reports the strategy that earned the
+//! bug.
 //!
 //! The paper uses 100,000 executions per cell; the default here is 2,000 so
 //! the whole table regenerates in minutes on a laptop. Pass `--iterations
@@ -15,7 +23,7 @@
 
 use std::fs;
 
-use bench::{bug_cases, hunt_parallel, BugHuntResult};
+use bench::{bug_cases, hunt_parallel, hunt_portfolio, BugHuntResult};
 use psharp::json::{Json, ToJson};
 use psharp::prelude::SchedulerKind;
 
@@ -25,6 +33,7 @@ struct Args {
     schedulers: Vec<SchedulerKind>,
     json: Option<String>,
     workers: usize,
+    portfolio: bool,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +46,7 @@ fn parse_args() -> Args {
         ],
         json: None,
         workers: 1,
+        portfolio: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -60,6 +70,7 @@ fn parse_args() -> Args {
                 other => panic!("unknown scheduler {other:?}"),
             },
             "--json" => args.json = argv.next(),
+            "--portfolio" => args.portfolio = true,
             "--workers" => {
                 args.workers = match argv.next().as_deref() {
                     Some("max") => std::thread::available_parallelism()
@@ -88,10 +99,17 @@ fn main() {
 
     let mut results: Vec<BugHuntResult> = Vec::new();
     for case in bug_cases() {
-        for &scheduler in &args.schedulers {
-            let result = hunt_parallel(&case, scheduler, args.iterations, args.seed, args.workers);
+        if args.portfolio {
+            let result = hunt_portfolio(&case, args.iterations, args.seed, args.workers);
             println!("{}", result.table_row());
             results.push(result);
+        } else {
+            for &scheduler in &args.schedulers {
+                let result =
+                    hunt_parallel(&case, scheduler, args.iterations, args.seed, args.workers);
+                println!("{}", result.table_row());
+                results.push(result);
+            }
         }
     }
 

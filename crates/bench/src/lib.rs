@@ -169,13 +169,38 @@ pub fn hunt_parallel(
         .with_seed(seed)
         .with_scheduler(scheduler)
         .with_workers(workers);
+    hunt_with_config(case, config)
+}
+
+/// Runs one bug hunt with the full default scheduler portfolio sharded over
+/// `workers` threads: each worker drives its own strategy (random, PCT with
+/// several priority-change budgets, round-robin) against the same iteration
+/// space. Fewer workers than portfolio entries leaves the tail strategies
+/// unused, so `workers` is raised to the portfolio size when below it. The
+/// result's `scheduler` column reports the strategy that earned the bug, or
+/// `"portfolio"` when no bug was found.
+pub fn hunt_portfolio(case: &BugCase, iterations: u64, seed: u64, workers: usize) -> BugHuntResult {
+    let portfolio = SchedulerKind::default_portfolio();
+    let workers = workers.max(portfolio.len());
+    let config = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(case.max_steps)
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_portfolio(portfolio);
+    hunt_with_config(case, config)
+}
+
+/// Shared hunt runner: the result's `scheduler` column is the report's label
+/// (the configured strategy, or the winning portfolio strategy).
+fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
     let engine = ParallelTestEngine::new(config);
     let build = &case.build;
     let report = engine.run(|rt| build(rt));
     BugHuntResult {
         case_study: case.case_study,
         bug: case.name.to_string(),
-        scheduler: scheduler.label().to_string(),
+        scheduler: report.scheduler.to_string(),
         found: report.found_bug(),
         time_to_bug_seconds: report.bug.as_ref().map(|b| b.time_to_bug.as_secs_f64()),
         ndc: report.bug.as_ref().map(|b| b.ndc),

@@ -267,8 +267,11 @@ mod tests {
         for seed in 0..10 {
             let mut rt = new_runtime(seed);
             build_harness(&mut rt, &config);
-            rt.run();
-            assert!(rt.bug().is_none(), "seed {seed}: {:?}", rt.bug());
+            let outcome = rt.run();
+            assert!(
+                !matches!(outcome, ExecutionOutcome::BugFound(_)),
+                "seed {seed}: {outcome:?}"
+            );
         }
     }
 

@@ -8,18 +8,21 @@
 //! [`Trace`] of the buggy execution.
 //!
 //! A [`ParallelTestEngine`] multiplies throughput by the host's core count:
-//! it shards the same iteration space over worker threads (each execution
-//! keeps the exact seed it would have had serially, so results are
-//! reproducible at any worker count) and can run a *portfolio* of scheduling
-//! strategies side by side, the parallel testing mode popularized by
-//! P#/Coyote.
+//! worker threads pull adaptive chunks of the iteration space from a shared
+//! work-stealing queue (each execution keeps the exact seed it would have had
+//! serially, so results are reproducible at any worker count) and can run a
+//! *portfolio* of scheduling strategies side by side, the parallel testing
+//! mode popularized by P#/Coyote. First-bug selection is deterministic: the
+//! bug at the lowest iteration index wins, regardless of which worker's
+//! execution finished first, and doomed executions above that index are
+//! cancelled step-by-step instead of running to their bound.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::Bug;
-use crate::runtime::{ExecutionOutcome, Runtime, RuntimeConfig};
+use crate::runtime::{CancelToken, ExecutionOutcome, Runtime, RuntimeConfig};
 use crate::scheduler::{ReplayScheduler, SchedulerKind};
 use crate::stats::StrategyStats;
 use crate::trace::Trace;
@@ -40,8 +43,8 @@ pub struct TestConfig {
     pub check_liveness_at_quiescence: bool,
     /// Whether machine panics are caught and reported as bugs.
     pub catch_panics: bool,
-    /// Number of worker threads a [`ParallelTestEngine`] spreads the
-    /// iteration space over. `1` (the default) reproduces the serial
+    /// Number of worker threads a [`ParallelTestEngine`] lets steal from the
+    /// shared iteration queue. `1` (the default) reproduces the serial
     /// [`TestEngine`] bit for bit.
     pub workers: usize,
     /// Optional scheduler portfolio: worker `w` runs strategy
@@ -166,9 +169,12 @@ pub struct BugReport {
 pub struct TestReport {
     /// The first violation found, if any.
     pub bug: Option<BugReport>,
-    /// Number of executions explored (including the buggy one).
+    /// Number of executions explored to completion (including the buggy
+    /// one); executions cancelled mid-flight by the parallel engine are not
+    /// counted.
     pub iterations_run: u64,
-    /// Total machine steps executed across all iterations.
+    /// Total machine steps executed, including the partial work of
+    /// executions the parallel engine cancelled mid-flight.
     pub total_steps: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
@@ -303,7 +309,7 @@ impl TestEngine {
                         bug,
                         iteration,
                         ndc: runtime.trace().decision_count(),
-                        trace: runtime.trace().clone(),
+                        trace: runtime.take_trace(),
                         time_to_bug: elapsed,
                     }),
                     iterations_run: iteration + 1,
@@ -368,19 +374,29 @@ struct WorkerTally {
     bugs_found: u64,
 }
 
-/// The first bug found across all workers, with the strategy that found it.
+/// The lowest-iteration bug found so far, with the strategy that found it.
 struct FirstBug {
     report: BugReport,
     scheduler: &'static str,
 }
 
-/// Parallel portfolio testing engine.
+/// Adaptive chunk sizing for the work-stealing iteration queue: claim big
+/// chunks while plenty of work remains (amortizing the shared-counter
+/// traffic), shrink toward single iterations near the end so the tail
+/// balances across workers instead of sitting in one worker's last chunk.
+fn chunk_size(remaining: u64, workers: u64) -> u64 {
+    (remaining / (workers * 4)).clamp(1, 64)
+}
+
+/// Parallel portfolio testing engine with a work-stealing iteration queue.
 ///
-/// Shards the iteration space of a [`TestConfig`] over
-/// [`TestConfig::workers`] threads. Worker `w` of `W` explores exactly the
-/// global iterations `w, w + W, w + 2W, …`, and every iteration keeps the
-/// seed [`TestConfig::seed_for_iteration`] assigns it — so a single-worker
-/// parallel run explores the identical sequence of executions as the serial
+/// Workers claim adaptively sized chunks of the iteration space of a
+/// [`TestConfig`] from a shared atomic counter: a fast worker that drains a
+/// cheap stretch of the space simply claims the next chunk, so skewed
+/// harnesses (where some seeds run 100× longer than others) no longer starve
+/// `W - 1` workers the way fixed striping did. Every iteration keeps the seed
+/// [`TestConfig::seed_for_iteration`] assigns it — a single-worker parallel
+/// run explores the identical sequence of executions as the serial
 /// [`TestEngine`], and an `N`-worker run explores the identical *set* of
 /// (iteration, seed) pairs, just faster.
 ///
@@ -390,10 +406,27 @@ struct FirstBug {
 /// different angles, and the per-strategy attribution in
 /// [`TestReport::per_strategy`] shows which strategy earned the bug.
 ///
-/// The first property violation stops the whole run: every other worker
-/// cancels at its next iteration boundary (executions are bounded by
-/// [`TestConfig::max_steps`], so cancellation latency is at most one bounded
-/// execution).
+/// # Deterministic first-bug selection
+///
+/// The reported bug is the one at the **lowest iteration index**, not the one
+/// whose worker happened to finish first: a found bug publishes its iteration
+/// as a shared bound, iterations above the bound are skipped or cancelled
+/// *step-by-step* (the runtime polls a [`CancelToken`] inside its step loop,
+/// so a doomed execution stops within one machine step instead of running to
+/// its `max_steps` bound), and iterations below it always run to completion.
+/// The winning (iteration, seed, trace) triple is therefore the same at any
+/// worker count — identical to what the serial engine would report.
+///
+/// Two caveats. With a *portfolio*, which strategy drives a given iteration
+/// depends on which worker stole its chunk, so the set of discovered bugs can
+/// vary across portfolio runs (a deliberate trade of per-iteration strategy
+/// determinism for load balance); single-strategy runs — the default —
+/// always report the same winning bug. And determinism covers the *winning
+/// (iteration, seed, trace) triple only*: aggregate counters
+/// ([`TestReport::iterations_run`], [`TestReport::total_steps`],
+/// [`BugReport::time_to_bug`]) still depend on how far other workers got
+/// before cancellation, exactly as with bug-free early stops before. Bug-free
+/// runs exhaust every iteration, so their counters are deterministic too.
 ///
 /// # Examples
 ///
@@ -456,16 +489,23 @@ impl ParallelTestEngine {
     {
         let workers = self.config.workers.max(1);
         let start = Instant::now();
-        let stop = AtomicBool::new(false);
+        // Work-stealing queue: the next unclaimed iteration index.
+        let next = AtomicU64::new(0);
+        // Lowest iteration index known to contain a bug. Doubles as the
+        // step-level cancellation bound polled inside every runtime's step
+        // loop via a [`CancelToken`].
+        let bug_bound = Arc::new(AtomicU64::new(u64::MAX));
         let first_bug: Mutex<Option<FirstBug>> = Mutex::new(None);
         let config = &self.config;
+        let total = config.iterations;
 
         let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let setup = &setup;
-                    let stop = &stop;
+                    let next = &next;
                     let first_bug = &first_bug;
+                    let bug_bound = Arc::clone(&bug_bound);
                     scope.spawn(move || {
                         let kind = config.scheduler_for_worker(worker);
                         let mut tally = WorkerTally {
@@ -474,36 +514,75 @@ impl ParallelTestEngine {
                             total_steps: 0,
                             bugs_found: 0,
                         };
-                        let mut iteration = worker as u64;
-                        while iteration < config.iterations && !stop.load(Ordering::Relaxed) {
-                            let seed = config.seed_for_iteration(iteration);
-                            let scheduler = kind.build(seed, config.max_steps);
-                            let mut runtime =
-                                Runtime::new(scheduler, config.runtime_config(), seed);
-                            setup(&mut runtime);
-                            let outcome = runtime.run();
-                            tally.iterations_run += 1;
-                            tally.total_steps += runtime.steps() as u64;
-                            if let ExecutionOutcome::BugFound(bug) = outcome {
-                                tally.bugs_found += 1;
-                                let mut slot = first_bug.lock().expect("bug slot lock poisoned");
-                                if slot.is_none() {
-                                    *slot = Some(FirstBug {
-                                        report: BugReport {
-                                            bug,
-                                            iteration,
-                                            ndc: runtime.trace().decision_count(),
-                                            trace: runtime.trace().clone(),
-                                            time_to_bug: start.elapsed(),
-                                        },
-                                        scheduler: kind.label(),
-                                    });
-                                }
-                                drop(slot);
-                                stop.store(true, Ordering::Relaxed);
+                        loop {
+                            // Work remains only below the bug bound: once a
+                            // bug at iteration `k` is published, iterations
+                            // `>= k` can no longer win.
+                            let bound = bug_bound.load(Ordering::Relaxed).min(total);
+                            let claimed = next.load(Ordering::Relaxed);
+                            if claimed >= bound {
                                 break;
                             }
-                            iteration += workers as u64;
+                            let chunk = chunk_size(bound - claimed, workers as u64);
+                            let chunk_start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if chunk_start >= total {
+                                break;
+                            }
+                            let chunk_end = (chunk_start + chunk).min(total);
+                            for iteration in chunk_start..chunk_end {
+                                if iteration >= bug_bound.load(Ordering::Relaxed) {
+                                    // Doomed: a lower iteration already has a
+                                    // bug. Skip without executing.
+                                    continue;
+                                }
+                                let seed = config.seed_for_iteration(iteration);
+                                let scheduler = kind.build(seed, config.max_steps);
+                                let mut runtime =
+                                    Runtime::new(scheduler, config.runtime_config(), seed);
+                                runtime.set_cancel_token(CancelToken::new(
+                                    Arc::clone(&bug_bound),
+                                    iteration,
+                                ));
+                                setup(&mut runtime);
+                                match runtime.run() {
+                                    ExecutionOutcome::Cancelled => {
+                                        // Keep the partial work in the step
+                                        // total, but the iteration did not
+                                        // complete.
+                                        tally.total_steps += runtime.steps() as u64;
+                                    }
+                                    ExecutionOutcome::BugFound(bug) => {
+                                        tally.iterations_run += 1;
+                                        tally.total_steps += runtime.steps() as u64;
+                                        tally.bugs_found += 1;
+                                        // Publish the bound first so other
+                                        // workers stop wasting steps on
+                                        // higher iterations immediately.
+                                        bug_bound.fetch_min(iteration, Ordering::Relaxed);
+                                        let mut slot =
+                                            first_bug.lock().expect("bug slot lock poisoned");
+                                        let lower = slot
+                                            .as_ref()
+                                            .is_none_or(|f| iteration < f.report.iteration);
+                                        if lower {
+                                            *slot = Some(FirstBug {
+                                                report: BugReport {
+                                                    bug,
+                                                    iteration,
+                                                    ndc: runtime.trace().decision_count(),
+                                                    trace: runtime.take_trace(),
+                                                    time_to_bug: start.elapsed(),
+                                                },
+                                                scheduler: kind.label(),
+                                            });
+                                        }
+                                    }
+                                    _ => {
+                                        tally.iterations_run += 1;
+                                        tally.total_steps += runtime.steps() as u64;
+                                    }
+                                }
+                            }
                         }
                         tally
                     })

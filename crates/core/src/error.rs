@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::json::{FromJson, Json, JsonError, ToJson};
 
@@ -72,7 +73,9 @@ pub struct Bug {
     /// Human readable description (assertion message, monitor name, ...).
     pub message: String,
     /// The machine or monitor that detected the violation, when known.
-    pub source: Option<String>,
+    /// Shared (not owned) so attributing a bug to an interned machine name
+    /// never copies the string.
+    pub source: Option<Arc<str>>,
     /// The execution step at which the violation was detected.
     pub step: usize,
 }
@@ -89,7 +92,7 @@ impl Bug {
     }
 
     /// Attaches the machine or monitor name that detected the violation.
-    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+    pub fn with_source(mut self, source: impl Into<Arc<str>>) -> Self {
         self.source = Some(source.into());
         self
     }
@@ -109,7 +112,7 @@ impl ToJson for Bug {
             (
                 "source",
                 match &self.source {
-                    Some(source) => Json::Str(source.clone()),
+                    Some(source) => Json::Str(source.to_string()),
                     None => Json::Null,
                 },
             ),
@@ -125,7 +128,7 @@ impl FromJson for Bug {
             message: value.get("message")?.as_str()?.to_string(),
             source: match value.get("source")? {
                 Json::Null => None,
-                other => Some(other.as_str()?.to_string()),
+                other => Some(other.as_str()?.into()),
             },
             step: value.get("step")?.as_usize()?,
         })

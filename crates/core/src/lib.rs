@@ -106,9 +106,9 @@ pub mod prelude {
     pub use crate::event::Event;
     pub use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner, Transition};
     pub use crate::monitor::{Monitor, MonitorContext, Temperature};
-    pub use crate::runtime::{Context, ExecutionOutcome, Runtime, RuntimeConfig};
+    pub use crate::runtime::{CancelToken, Context, ExecutionOutcome, Runtime, RuntimeConfig};
     pub use crate::scheduler::SchedulerKind;
     pub use crate::stats::{ModelStats, StrategyStats};
     pub use crate::timer::{Timer, TimerTick};
-    pub use crate::trace::Trace;
+    pub use crate::trace::{NameId, NameTable, Trace};
 }

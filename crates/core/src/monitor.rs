@@ -139,7 +139,7 @@ impl<'a> MonitorContext<'a> {
         if self.bug.is_none() {
             *self.bug = Some(
                 Bug::new(BugKind::SafetyViolation, message)
-                    .with_source(self.monitor_name.to_string())
+                    .with_source(self.monitor_name)
                     .with_step(self.step),
             );
         }

@@ -13,10 +13,23 @@
 //!   detected;
 //! * no machine is enabled (quiescence); or
 //! * the configured step bound is reached — the bounded approximation of an
-//!   "infinite" execution used for liveness checking (§2.5 of the paper).
+//!   "infinite" execution used for liveness checking (§2.5 of the paper); or
+//! * a [`CancelToken`] installed by the parallel engine fires, aborting the
+//!   execution mid-step.
+//!
+//! # Hot-path discipline
+//!
+//! The step loop is the throughput product of systematic testing (the paper's
+//! iteration counts only work because executions are cheap), so it is kept
+//! allocation-free in the steady state: the enabled set is computed into a
+//! reusable buffer, and machine/event names are recorded in the trace as
+//! interned [`NameId`]s — strings are materialized only when a trace is
+//! rendered or a bug is reported.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::{Bug, BugKind, ReplayError};
 use crate::event::Event;
@@ -24,18 +37,51 @@ use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner};
 use crate::mailbox::Mailbox;
 use crate::monitor::{Monitor, MonitorContext, Temperature};
 use crate::scheduler::Scheduler;
-use crate::trace::{Decision, Trace, TraceStep};
+use crate::trace::{Decision, NameId, Trace, TraceStep};
 
 /// How an execution of the system-under-test ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecutionOutcome {
-    /// A property violation was found; the bug is available via
-    /// [`Runtime::bug`].
+    /// A property violation was found. The bug is moved into the outcome;
+    /// [`Runtime::bug`] returns `None` once `run` has reported it.
     BugFound(Bug),
     /// No machine was enabled any more and no property was violated.
     Quiescent,
     /// The step bound was reached without a violation.
     MaxStepsReached,
+    /// A [`CancelToken`] fired and the execution was abandoned mid-step
+    /// (used by the parallel engine for step-level cancellation; partial
+    /// results of a cancelled execution must be discarded).
+    Cancelled,
+}
+
+/// Cooperative cancellation handle polled by the runtime once per step.
+///
+/// The parallel engine publishes the lowest iteration index known to contain
+/// a bug in a shared atomic; a token cancels its execution as soon as that
+/// bound drops to (or below) the execution's own iteration index. Executions
+/// at iterations *below* the bound are never cancelled — they must complete
+/// so the engine's first-bug selection stays deterministic — while doomed
+/// executions above it stop at the next step instead of wasting up to
+/// `max_steps` of work.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    bound: Arc<AtomicU64>,
+    iteration: u64,
+}
+
+impl CancelToken {
+    /// Creates a token for the execution at `iteration`, cancelled once
+    /// `bound` drops to `iteration` or below.
+    pub fn new(bound: Arc<AtomicU64>, iteration: u64) -> Self {
+        CancelToken { bound, iteration }
+    }
+
+    /// Returns `true` when the execution should be abandoned.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.bound.load(Ordering::Relaxed) <= self.iteration
+    }
 }
 
 /// Execution parameters of a single run.
@@ -65,7 +111,8 @@ impl Default for RuntimeConfig {
 struct MachineSlot {
     machine: Option<Box<dyn Machine>>,
     mailbox: Mailbox,
-    name: String,
+    /// The machine's display name, interned in the trace's name table.
+    name: NameId,
     started: bool,
     halted: bool,
 }
@@ -78,7 +125,8 @@ impl MachineSlot {
 
 struct MonitorSlot {
     monitor: Option<Box<dyn Monitor>>,
-    name: String,
+    /// Shared so notifying the monitor never copies the name.
+    name: Arc<str>,
 }
 
 /// One execution of the system-under-test: machines, monitors, scheduler and
@@ -92,6 +140,10 @@ pub struct Runtime {
     trace: Trace,
     bug: Option<Bug>,
     steps: usize,
+    /// Reused across steps so computing the enabled set never allocates in
+    /// the steady state.
+    enabled_buf: Vec<MachineId>,
+    cancel: Option<CancelToken>,
 }
 
 impl Runtime {
@@ -106,14 +158,22 @@ impl Runtime {
             trace: Trace::new(seed),
             bug: None,
             steps: 0,
+            enabled_buf: Vec::new(),
+            cancel: None,
         }
+    }
+
+    /// Installs a cancellation token; [`Runtime::run`] polls it once per step
+    /// and returns [`ExecutionOutcome::Cancelled`] as soon as it fires.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Creates a machine and returns its id. The machine's `on_start` runs
     /// when the scheduler first picks it.
     pub fn create_machine<M: Machine>(&mut self, machine: M) -> MachineId {
         let id = MachineId::from_raw(self.slots.len() as u64);
-        let name = machine.name().to_string();
+        let name = self.trace.intern(machine.name());
         self.slots.push(MachineSlot {
             machine: Some(Box::new(machine)),
             mailbox: Mailbox::new(),
@@ -142,7 +202,7 @@ impl Runtime {
             !self.monitor_index.contains_key(&type_id),
             "monitor type already registered"
         );
-        let name = monitor.name().to_string();
+        let name: Arc<str> = Arc::from(monitor.name());
         self.monitor_index.insert(type_id, self.monitors.len());
         self.monitors.push(MonitorSlot {
             monitor: Some(Box::new(monitor)),
@@ -173,45 +233,57 @@ impl Runtime {
     }
 
     /// Runs the execution to completion and returns how it ended.
+    ///
+    /// A detected violation is moved into the returned
+    /// [`ExecutionOutcome::BugFound`]; after that, [`Runtime::bug`] returns
+    /// `None`.
     pub fn run(&mut self) -> ExecutionOutcome {
         loop {
-            if let Some(bug) = &self.bug {
-                return ExecutionOutcome::BugFound(bug.clone());
+            if self.bug.is_some() {
+                return ExecutionOutcome::BugFound(self.take_bug());
+            }
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return ExecutionOutcome::Cancelled;
+                }
             }
             if self.steps >= self.config.max_steps {
                 self.check_liveness();
-                return match &self.bug {
-                    Some(bug) => ExecutionOutcome::BugFound(bug.clone()),
-                    None => ExecutionOutcome::MaxStepsReached,
+                return match self.bug.is_some() {
+                    true => ExecutionOutcome::BugFound(self.take_bug()),
+                    false => ExecutionOutcome::MaxStepsReached,
                 };
             }
-            let enabled: Vec<MachineId> = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_enabled())
-                .map(|(i, _)| MachineId::from_raw(i as u64))
-                .collect();
-            if enabled.is_empty() {
+            self.enabled_buf.clear();
+            for (index, slot) in self.slots.iter().enumerate() {
+                if slot.is_enabled() {
+                    self.enabled_buf.push(MachineId::from_raw(index as u64));
+                }
+            }
+            if self.enabled_buf.is_empty() {
                 if self.config.check_liveness_at_quiescence {
                     self.check_liveness();
                 }
-                return match &self.bug {
-                    Some(bug) => ExecutionOutcome::BugFound(bug.clone()),
-                    None => ExecutionOutcome::Quiescent,
+                return match self.bug.is_some() {
+                    true => ExecutionOutcome::BugFound(self.take_bug()),
+                    false => ExecutionOutcome::Quiescent,
                 };
             }
-            let chosen = self.scheduler.next_machine(&enabled, self.steps);
-            let chosen = if enabled.contains(&chosen) {
+            let chosen = self.scheduler.next_machine(&self.enabled_buf, self.steps);
+            let chosen = if self.enabled_buf.contains(&chosen) {
                 chosen
             } else {
                 // Defensive: a misbehaving scheduler must not wedge the run.
-                enabled[0]
+                self.enabled_buf[0]
             };
             self.trace.push_decision(Decision::Schedule(chosen));
             self.step_machine(chosen);
             self.steps += 1;
         }
+    }
+
+    fn take_bug(&mut self) -> Bug {
+        self.bug.take().expect("bug is present when taken")
     }
 
     fn step_machine(&mut self, id: MachineId) {
@@ -224,21 +296,22 @@ impl Runtime {
                 .expect("machine is present when scheduled");
             if !slot.started {
                 slot.started = true;
-                (machine, None, "start".to_string(), slot.name.clone())
+                (machine, None, "start", slot.name)
             } else {
                 let event = slot
                     .mailbox
                     .dequeue()
                     .expect("enabled machine has an event");
-                let event_name = event.name().to_string();
-                (machine, Some(event), event_name, slot.name.clone())
+                let event_name = event.name();
+                (machine, Some(event), event_name, slot.name)
             }
         };
+        let event_id = self.trace.intern(event_name);
         self.trace.push_step(TraceStep {
             step: self.steps,
             machine: id,
-            machine_name: name.clone(),
-            event: event_name.clone(),
+            machine_name: name,
+            event: event_id,
         });
 
         let catch = self.config.catch_panics;
@@ -254,12 +327,15 @@ impl Runtime {
             if let Err(payload) = result {
                 let message = panic_message(payload.as_ref());
                 if self.bug.is_none() {
+                    let machine_name = self.trace.names.resolve_arc(name);
                     self.bug = Some(
                         Bug::new(
                             BugKind::Panic,
-                            format!("machine '{name}' panicked while handling '{event_name}': {message}"),
+                            format!(
+                                "machine '{machine_name}' panicked while handling '{event_name}': {message}"
+                            ),
                         )
-                        .with_source(name.clone())
+                        .with_source(machine_name)
                         .with_step(self.steps),
                     );
                 }
@@ -287,7 +363,7 @@ impl Runtime {
             if monitor.temperature() == Temperature::Hot {
                 self.bug = Some(
                     Bug::new(BugKind::LivenessViolation, monitor.hot_message())
-                        .with_source(slot.name.clone())
+                        .with_source(Arc::clone(&slot.name))
                         .with_step(self.steps),
                 );
                 return;
@@ -306,7 +382,7 @@ impl Runtime {
             .monitor
             .take()
             .expect("monitor is present outside of observe calls");
-        let name = self.monitors[index].name.clone();
+        let name = Arc::clone(&self.monitors[index].name);
         {
             let mut ctx = MonitorContext::new(&mut self.bug, &name, step);
             monitor.observe(&mut ctx, event);
@@ -315,6 +391,9 @@ impl Runtime {
     }
 
     /// The first property violation found during this execution, if any.
+    ///
+    /// Returns `None` once [`Runtime::run`] has moved the violation into its
+    /// [`ExecutionOutcome::BugFound`] return value.
     pub fn bug(&self) -> Option<&Bug> {
         self.bug.as_ref()
     }
@@ -322,6 +401,22 @@ impl Runtime {
     /// The recorded trace of this execution.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Moves the recorded trace out of the runtime (used by the engine to
+    /// build a [`BugReport`](crate::engine::BugReport) without copying the
+    /// schedule).
+    ///
+    /// The runtime is left with an empty trace for the same seed and stays
+    /// usable: machine names are re-interned into the fresh name table, so
+    /// further steps and bug reports resolve correctly.
+    pub fn take_trace(&mut self) -> Trace {
+        let seed = self.trace.seed;
+        let taken = std::mem::replace(&mut self.trace, Trace::new(seed));
+        for slot in &mut self.slots {
+            slot.name = self.trace.intern(taken.names.resolve(slot.name));
+        }
+        taken
     }
 
     /// Number of machine steps executed so far.
@@ -475,7 +570,11 @@ impl<'r> Context<'r> {
     /// current machine.
     pub fn report_bug(&mut self, kind: BugKind, message: impl Into<String>) {
         if self.rt.bug.is_none() {
-            let name = self.rt.slots[self.id.raw() as usize].name.clone();
+            let name = self
+                .rt
+                .trace
+                .names
+                .resolve_arc(self.rt.slots[self.id.raw() as usize].name);
             self.rt.bug = Some(
                 Bug::new(kind, message)
                     .with_source(name)
@@ -580,6 +679,22 @@ mod tests {
     }
 
     #[test]
+    fn bug_is_moved_into_the_outcome() {
+        struct Asserter;
+        impl Machine for Asserter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.assert(false, "always fails");
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let mut rt = runtime(2);
+        rt.create_machine(Asserter);
+        assert!(matches!(rt.run(), ExecutionOutcome::BugFound(_)));
+        // The outcome owns the bug; the runtime no longer holds a copy.
+        assert!(rt.bug().is_none());
+    }
+
+    #[test]
     fn panic_in_handler_is_reported_as_bug() {
         struct Panicker;
         impl Machine for Panicker {
@@ -660,6 +775,43 @@ mod tests {
         rt.create_machine(Looper);
         assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
         assert_eq!(rt.steps(), 50);
+    }
+
+    #[test]
+    fn cancel_token_aborts_the_execution_mid_step() {
+        struct Looper;
+        impl Machine for Looper {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send_to_self(Event::new(Kick));
+            }
+            fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+                ctx.send_to_self(Event::new(Kick));
+            }
+        }
+        let bound = Arc::new(AtomicU64::new(u64::MAX));
+        let mut rt = Runtime::new(
+            Box::new(RandomScheduler::new(0)),
+            RuntimeConfig::default(),
+            0,
+        );
+        // The token's iteration is at the bound, so it fires immediately.
+        bound.store(3, Ordering::Relaxed);
+        rt.set_cancel_token(CancelToken::new(Arc::clone(&bound), 3));
+        rt.create_machine(Looper);
+        assert_eq!(rt.run(), ExecutionOutcome::Cancelled);
+        assert_eq!(rt.steps(), 0, "cancellation is checked before any step");
+        // An execution below the bound is never cancelled.
+        let mut rt = Runtime::new(
+            Box::new(RandomScheduler::new(0)),
+            RuntimeConfig {
+                max_steps: 50,
+                ..RuntimeConfig::default()
+            },
+            0,
+        );
+        rt.set_cancel_token(CancelToken::new(bound, 2));
+        rt.create_machine(Looper);
+        assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
     }
 
     struct HotUntilPong {
@@ -776,6 +928,27 @@ mod tests {
     }
 
     #[test]
+    fn trace_steps_resolve_interned_names() {
+        let mut rt = runtime(13);
+        let responder = rt.create_machine(Responder);
+        rt.create_machine(Requester {
+            responder,
+            pongs: 0,
+        });
+        rt.run();
+        let trace = rt.trace();
+        // Names repeat across steps but are interned once each:
+        // 2 machines + "start" + 2 event types.
+        assert_eq!(trace.names.len(), 5);
+        let rendered = trace.render_schedule();
+        assert!(rendered.contains("Responder"));
+        assert!(rendered.contains("Requester"));
+        assert!(rendered.contains("start"));
+        assert!(rendered.contains("Ping"));
+        assert!(rendered.contains("Pong"));
+    }
+
+    #[test]
     fn state_machine_transitions_are_counted() {
         #[derive(Debug, Clone, Copy, PartialEq, Eq)]
         enum Phase {
@@ -852,5 +1025,26 @@ mod tests {
         let replayed = build(Box::new(ReplayScheduler::from_trace(&trace)));
         assert_eq!(replayed.trace().decisions, trace.decisions);
         assert!(replayed.replay_error().is_none());
+    }
+
+    #[test]
+    fn runtime_stays_usable_after_take_trace() {
+        let mut rt = runtime(14);
+        let responder = rt.create_machine(Responder);
+        let requester = rt.create_machine(Requester {
+            responder,
+            pongs: 0,
+        });
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        let first = rt.take_trace();
+        assert_eq!(first.steps.len(), 8);
+        // Machine names survive the swap: a fresh round of events records
+        // steps that resolve against the new table. (The requester halted
+        // during the first run, so poke the responder.)
+        rt.send(responder, Event::new(Ping(requester)));
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        let rendered = rt.trace().render_schedule();
+        assert!(rendered.contains("Responder"));
+        assert!(rendered.contains("Ping"));
     }
 }

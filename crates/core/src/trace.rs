@@ -9,6 +9,17 @@
 //! exact same schedule, so the bug reproduces deterministically — the property
 //! the paper identifies as the key productivity advantage over production
 //! logs.
+//!
+//! # Name interning
+//!
+//! The annotated schedule is recorded on the execution hot path (once per
+//! machine step), so [`TraceStep`] stores machine and event names as small
+//! [`NameId`]s into the trace's [`NameTable`] instead of heap-allocated
+//! strings. Names are resolved back to text only when a trace is rendered or
+//! serialized — recording a step is allocation-free in the steady state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::machine::MachineId;
@@ -50,52 +61,136 @@ impl FromJson for Decision {
     }
 }
 
+/// Identifier of an interned name in a [`NameTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// Creates an id from its raw index. Ordinarily ids are produced by
+    /// [`NameTable::intern`].
+    pub fn from_raw(raw: u32) -> Self {
+        NameId(raw)
+    }
+
+    /// The raw index of this id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A small interning table mapping [`NameId`]s to shared strings.
+///
+/// Machine and event names repeat across the (potentially tens of thousands
+/// of) steps of an execution; interning them once keeps every subsequent
+/// trace record allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, NameId>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NameTable::default()
+    }
+
+    /// Interns `name`, returning the id it already has or a fresh one.
+    ///
+    /// Allocates only the first time a given name is seen.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.index.insert(shared, id);
+        id
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Resolves an id to a shared handle on the name (no string copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve_arc(&self, id: NameId) -> Arc<str> {
+        Arc::clone(&self.names[id.0 as usize])
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 /// An annotated step of an execution, used for human-readable bug reports.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Names are stored as [`NameId`]s into the owning trace's [`Trace::names`]
+/// table; resolve them with [`Trace::step_machine_name`] /
+/// [`Trace::step_event_name`] or render the whole schedule with
+/// [`Trace::render_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceStep {
     /// Index of the step in the execution.
     pub step: usize,
     /// The machine that executed.
     pub machine: MachineId,
-    /// The machine's name.
-    pub machine_name: String,
-    /// The name of the event that was handled (or `"start"`).
-    pub event: String,
-}
-
-impl ToJson for TraceStep {
-    fn to_json_value(&self) -> Json {
-        Json::object([
-            ("step", Json::UInt(self.step as u64)),
-            ("machine", self.machine.to_json_value()),
-            ("machine_name", Json::Str(self.machine_name.clone())),
-            ("event", Json::Str(self.event.clone())),
-        ])
-    }
-}
-
-impl FromJson for TraceStep {
-    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
-        Ok(TraceStep {
-            step: value.get("step")?.as_usize()?,
-            machine: MachineId::from_json_value(value.get("machine")?)?,
-            machine_name: value.get("machine_name")?.as_str()?.to_string(),
-            event: value.get("event")?.as_str()?.to_string(),
-        })
-    }
+    /// Interned name of the machine.
+    pub machine_name: NameId,
+    /// Interned name of the event that was handled (or `"start"`).
+    pub event: NameId,
 }
 
 /// The full record of one execution: every decision plus an annotated,
 /// human-readable schedule.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// The seed that parameterized the scheduler for this execution.
     pub seed: u64,
     /// Every nondeterministic decision, in order.
     pub decisions: Vec<Decision>,
-    /// Human readable schedule: one entry per machine step.
+    /// Human readable schedule: one entry per machine step, names interned
+    /// in [`Trace::names`].
     pub steps: Vec<TraceStep>,
+    /// The interning table resolving the names referenced by
+    /// [`Trace::steps`].
+    pub names: NameTable,
 }
+
+/// Trace equality is structural on the *resolved* schedule: two traces are
+/// equal when they record the same decisions and the same named steps, even
+/// if their name tables interned the names in a different order (as happens
+/// after a JSON round trip).
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed
+            && self.decisions == other.decisions
+            && self.steps.len() == other.steps.len()
+            && self.steps.iter().zip(&other.steps).all(|(a, b)| {
+                a.step == b.step
+                    && a.machine == b.machine
+                    && self.names.resolve(a.machine_name) == other.names.resolve(b.machine_name)
+                    && self.names.resolve(a.event) == other.names.resolve(b.event)
+            })
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     /// Creates an empty trace for an execution driven by `seed`.
@@ -104,6 +199,7 @@ impl Trace {
             seed,
             decisions: Vec::new(),
             steps: Vec::new(),
+            names: NameTable::new(),
         }
     }
 
@@ -117,12 +213,31 @@ impl Trace {
         self.decisions.push(decision);
     }
 
-    /// Appends an annotated machine step.
+    /// Appends an annotated machine step. The step's name ids must come from
+    /// [`Trace::intern`] on this trace.
     pub fn push_step(&mut self, step: TraceStep) {
         self.steps.push(step);
     }
 
+    /// Interns a name into this trace's table.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        self.names.intern(name)
+    }
+
+    /// The machine name recorded for `step`.
+    pub fn step_machine_name(&self, step: &TraceStep) -> &str {
+        self.names.resolve(step.machine_name)
+    }
+
+    /// The event name recorded for `step`.
+    pub fn step_event_name(&self, step: &TraceStep) -> &str {
+        self.names.resolve(step.event)
+    }
+
     /// Serializes the trace to pretty JSON for storage alongside a bug report.
+    ///
+    /// Interned names are resolved to plain strings, so the format is stable
+    /// and self-contained regardless of interning order.
     ///
     /// # Errors
     ///
@@ -147,7 +262,10 @@ impl Trace {
         for step in &self.steps {
             out.push_str(&format!(
                 "[{:>5}] {} ({}) <- {}\n",
-                step.step, step.machine_name, step.machine, step.event
+                step.step,
+                self.names.resolve(step.machine_name),
+                step.machine,
+                self.names.resolve(step.event)
             ));
         }
         out
@@ -164,7 +282,25 @@ impl ToJson for Trace {
             ),
             (
                 "steps",
-                Json::Array(self.steps.iter().map(ToJson::to_json_value).collect()),
+                Json::Array(
+                    self.steps
+                        .iter()
+                        .map(|step| {
+                            Json::object([
+                                ("step", Json::UInt(step.step as u64)),
+                                ("machine", step.machine.to_json_value()),
+                                (
+                                    "machine_name",
+                                    Json::Str(self.names.resolve(step.machine_name).to_string()),
+                                ),
+                                (
+                                    "event",
+                                    Json::Str(self.names.resolve(step.event).to_string()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -172,6 +308,20 @@ impl ToJson for Trace {
 
 impl FromJson for Trace {
     fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        let mut names = NameTable::new();
+        let steps = value
+            .get("steps")?
+            .as_array()?
+            .iter()
+            .map(|step| {
+                Ok(TraceStep {
+                    step: step.get("step")?.as_usize()?,
+                    machine: MachineId::from_json_value(step.get("machine")?)?,
+                    machine_name: names.intern(step.get("machine_name")?.as_str()?),
+                    event: names.intern(step.get("event")?.as_str()?),
+                })
+            })
+            .collect::<Result<_, JsonError>>()?;
         Ok(Trace {
             seed: value.get("seed")?.as_u64()?,
             decisions: value
@@ -180,12 +330,8 @@ impl FromJson for Trace {
                 .iter()
                 .map(Decision::from_json_value)
                 .collect::<Result<_, _>>()?,
-            steps: value
-                .get("steps")?
-                .as_array()?
-                .iter()
-                .map(TraceStep::from_json_value)
-                .collect::<Result<_, _>>()?,
+            steps,
+            names,
         })
     }
 }
@@ -199,11 +345,13 @@ mod tests {
         t.push_decision(Decision::Schedule(MachineId::from_raw(0)));
         t.push_decision(Decision::Bool(true));
         t.push_decision(Decision::Int(3));
+        let machine_name = t.intern("Server");
+        let event = t.intern("ClientReq");
         t.push_step(TraceStep {
             step: 0,
             machine: MachineId::from_raw(0),
-            machine_name: "Server".to_string(),
-            event: "ClientReq".to_string(),
+            machine_name,
+            event,
         });
         t
     }
@@ -233,5 +381,51 @@ mod tests {
         let t = Trace::new(0);
         assert_eq!(t.decision_count(), 0);
         assert!(t.render_schedule().is_empty());
+    }
+
+    #[test]
+    fn interning_deduplicates_names() {
+        let mut table = NameTable::new();
+        let a = table.intern("Server");
+        let b = table.intern("Client");
+        let c = table.intern("Server");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.resolve(a), "Server");
+        assert_eq!(&*table.resolve_arc(b), "Client");
+    }
+
+    #[test]
+    fn trace_equality_ignores_interning_order() {
+        // Same resolved schedule, names interned in opposite order.
+        let build = |flip: bool| {
+            let mut t = Trace::new(1);
+            let (first, second) = if flip {
+                ("EventB", "MachineA")
+            } else {
+                ("MachineA", "EventB")
+            };
+            t.intern(first);
+            t.intern(second);
+            let machine_name = t.intern("MachineA");
+            let event = t.intern("EventB");
+            t.push_step(TraceStep {
+                step: 0,
+                machine: MachineId::from_raw(0),
+                machine_name,
+                event,
+            });
+            t
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn step_name_accessors_resolve() {
+        let t = sample_trace();
+        let step = t.steps[0];
+        assert_eq!(t.step_machine_name(&step), "Server");
+        assert_eq!(t.step_event_name(&step), "ClientReq");
     }
 }

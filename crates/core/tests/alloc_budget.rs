@@ -1,0 +1,147 @@
+//! Allocation-budget regression test for the step loop.
+//!
+//! PR 2 made the hot path allocation-free in the steady state: the enabled
+//! set lives in a reusable buffer and trace records store interned name ids
+//! instead of freshly cloned `String`s. The only per-step allocation left is
+//! the `Event` payload box the harness itself creates. A counting
+//! `#[global_allocator]` asserts that budget so a future change cannot
+//! silently reintroduce per-step heap traffic.
+//!
+//! These tests live alone in their integration-test binary (a global
+//! allocator is process-wide) and serialize their measurement windows on a
+//! mutex so libtest's default parallelism cannot cross-pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use psharp::prelude::*;
+
+/// Counts every allocation (and growth `realloc`) while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Serializes measurement windows: the counter is process-global, so two
+/// tests measuring concurrently would count each other's allocations.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Runs `body` with the counter armed and returns how many allocations it
+/// performed.
+fn count_allocations<R>(body: impl FnOnce() -> R) -> (u64, R) {
+    let _window = MEASURE.lock().expect("measurement lock poisoned");
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let result = body();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::SeqCst), result)
+}
+
+#[derive(Debug)]
+struct Spin;
+
+/// Self-sending machine: every step dequeues one event and enqueues one, so
+/// the run reaches the step bound with exactly one `Event::new` per step.
+struct Spinner;
+impl Machine for Spinner {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send_to_self(Event::new(Spin));
+    }
+    fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+        ctx.send_to_self(Event::new(Spin));
+    }
+}
+
+/// Steady-state step cost: at most 2 allocations per step on average over a
+/// long execution. The harness's own `Event::new` box accounts for 1; the
+/// remainder covers amortized growth of the trace/mailbox vectors. Before the
+/// interned-trace refactor the loop spent ~5 allocations per step (enabled-set
+/// `Vec` plus two `String` clones into every trace record), so this budget
+/// fails on a regression to that behavior.
+#[test]
+fn steady_state_allocations_per_step_stay_under_budget() {
+    const STEPS: usize = 20_000;
+    let mut rt = Runtime::new(
+        SchedulerKind::Random.build(7, STEPS),
+        RuntimeConfig {
+            max_steps: STEPS,
+            ..RuntimeConfig::default()
+        },
+        7,
+    );
+    rt.create_machine(Spinner);
+    rt.create_machine(Spinner);
+
+    let (allocations, outcome) = count_allocations(|| rt.run());
+    assert_eq!(outcome, ExecutionOutcome::MaxStepsReached);
+    assert_eq!(rt.steps(), STEPS);
+
+    let per_step = allocations as f64 / STEPS as f64;
+    assert!(
+        per_step <= 2.0,
+        "step loop allocates too much: {allocations} allocations over {STEPS} steps \
+         ({per_step:.2}/step, budget 2.0)"
+    );
+}
+
+/// The schedule decision path (no machine handler involvement beyond a
+/// no-send handler) must not allocate at all in the steady state: this run
+/// delivers pre-queued events to a machine that never sends, so `Event::new`
+/// is off the hot path and the budget is a handful of amortized vector
+/// growths, not one-per-step.
+#[test]
+fn pure_scheduling_steps_allocate_nothing_per_step() {
+    const EVENTS: usize = 8_192;
+    struct Sink;
+    impl Machine for Sink {
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+    let mut rt = Runtime::new(
+        SchedulerKind::Random.build(11, EVENTS * 2),
+        RuntimeConfig {
+            max_steps: EVENTS * 2,
+            ..RuntimeConfig::default()
+        },
+        11,
+    );
+    let sink = rt.create_machine(Sink);
+    for _ in 0..EVENTS {
+        rt.send(sink, Event::new(Spin));
+    }
+
+    let (allocations, outcome) = count_allocations(|| rt.run());
+    assert_eq!(outcome, ExecutionOutcome::Quiescent);
+
+    // Trace decision + step vectors double ~13 times each for 8k steps; give
+    // headroom for the name-table and enabled-buffer first-touch, but stay
+    // two orders of magnitude below one-allocation-per-step.
+    assert!(
+        allocations <= 64,
+        "delivering {EVENTS} pre-queued events allocated {allocations} times; \
+         the dispatch path must be allocation-free in the steady state"
+    );
+}

@@ -1,0 +1,65 @@
+//! Determinism of the work-stealing parallel engine's first-bug selection:
+//! whatever the worker count, the reported bug must be the one at the lowest
+//! iteration index — i.e. exactly the bug the serial engine reports — with an
+//! identical seed, trace and message.
+
+use psharp::prelude::*;
+
+/// A harness where many iterations are buggy (≈1 in 8), so under parallel
+/// exploration several workers race to find *different* buggy iterations and
+/// temporally-first selection would be nondeterministic.
+fn frequently_buggy(rt: &mut Runtime) {
+    struct Sometimes;
+    impl Machine for Sometimes {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if ctx.random_index(8) == 3 {
+                ctx.report_bug(BugKind::SafetyViolation, "unlucky draw");
+            }
+        }
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+    rt.create_machine(Sometimes);
+}
+
+fn config() -> TestConfig {
+    TestConfig::new().with_iterations(400).with_seed(17)
+}
+
+#[test]
+fn work_stealing_reports_the_serial_first_bug_at_any_worker_count() {
+    let serial = TestEngine::new(config()).run(frequently_buggy);
+    let expected = serial.bug.expect("serial run finds a bug");
+
+    for workers in [2usize, 4, 8] {
+        let parallel =
+            ParallelTestEngine::new(config().with_workers(workers)).run(frequently_buggy);
+        let found = parallel
+            .bug
+            .unwrap_or_else(|| panic!("{workers}-worker run must find the bug"));
+        assert_eq!(
+            found.iteration, expected.iteration,
+            "{workers} workers: lowest buggy iteration wins"
+        );
+        assert_eq!(found.trace, expected.trace, "{workers} workers: same trace");
+        assert_eq!(
+            found.trace.seed, expected.trace.seed,
+            "{workers} workers: same seed"
+        );
+        assert_eq!(
+            found.bug.message, expected.bug.message,
+            "{workers} workers: same bug"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_agree_with_each_other() {
+    let reference = ParallelTestEngine::new(config().with_workers(4)).run(frequently_buggy);
+    let reference = reference.bug.expect("bug found");
+    for _ in 0..3 {
+        let again = ParallelTestEngine::new(config().with_workers(4)).run(frequently_buggy);
+        let again = again.bug.expect("bug found");
+        assert_eq!(again.iteration, reference.iteration);
+        assert_eq!(again.trace, reference.trace);
+    }
+}

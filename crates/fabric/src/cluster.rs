@@ -623,8 +623,11 @@ mod tests {
         rt.add_monitor(ConsistencyMonitor::new());
         let manager = rt.create_machine(ClusterManagerMachine::new(2, FabricBugs::default()));
         rt.create_machine(FabricClient::new(manager, 3));
-        rt.run();
-        assert!(rt.bug().is_none());
+        let outcome = rt.run();
+        assert!(
+            !matches!(outcome, ExecutionOutcome::BugFound(_)),
+            "unexpected violation: {outcome:?}"
+        );
         let manager_ref = rt
             .machine_ref::<ClusterManagerMachine>(manager)
             .expect("manager");
@@ -647,11 +650,10 @@ mod tests {
             for _ in 0..8 {
                 rt.send(injector, Event::new(InjectorTick));
             }
-            rt.run();
+            let outcome = rt.run();
             assert!(
-                rt.bug().is_none(),
-                "fixed fabric model flagged a bug with seed {seed}: {:?}",
-                rt.bug()
+                !matches!(outcome, ExecutionOutcome::BugFound(_)),
+                "fixed fabric model flagged a bug with seed {seed}: {outcome:?}"
             );
         }
     }

@@ -229,8 +229,11 @@ mod tests {
             0,
         );
         let stage_two = build(&mut rt, 4, true);
-        rt.run();
-        assert!(rt.bug().is_none());
+        let outcome = rt.run();
+        assert!(
+            !matches!(outcome, ExecutionOutcome::BugFound(_)),
+            "unexpected violation: {outcome:?}"
+        );
         let stage = rt.machine_ref::<StageTwo>(stage_two).expect("stage two");
         // Records 1..=4 scaled by 10, windowed in pairs: 10+20, 30+40.
         assert_eq!(stage.window_sums(), &[30, 70]);

@@ -186,11 +186,10 @@ mod tests {
         for seed in 0..20 {
             let mut rt = new_runtime(seed, 4_000);
             build_harness(&mut rt, &ReplConfig::default());
-            rt.run();
+            let outcome = rt.run();
             assert!(
-                rt.bug().is_none(),
-                "fixed system flagged a bug with seed {seed}: {:?}",
-                rt.bug()
+                !matches!(outcome, ExecutionOutcome::BugFound(_)),
+                "fixed system flagged a bug with seed {seed}: {outcome:?}"
             );
         }
     }
@@ -241,8 +240,11 @@ mod tests {
                     ..ReplConfig::default()
                 },
             );
-            rt.run();
-            assert!(rt.bug().is_none());
+            let outcome = rt.run();
+            assert!(
+                !matches!(outcome, ExecutionOutcome::BugFound(_)),
+                "unexpected violation: {outcome:?}"
+            );
             let server = rt
                 .machine_ref::<Server>(harness.server)
                 .expect("server exists");

@@ -224,11 +224,10 @@ mod tests {
         for seed in 0..10 {
             let mut rt = new_runtime(seed, 4_000);
             build_harness(&mut rt, &VnextConfig::default());
-            rt.run();
+            let outcome = rt.run();
             assert!(
-                rt.bug().is_none(),
-                "fixed vNext flagged a bug with seed {seed}: {:?}",
-                rt.bug()
+                !matches!(outcome, ExecutionOutcome::BugFound(_)),
+                "fixed vNext flagged a bug with seed {seed}: {outcome:?}"
             );
         }
     }
@@ -238,11 +237,10 @@ mod tests {
         for seed in 0..10 {
             let mut rt = new_runtime(seed, 4_000);
             build_harness(&mut rt, &VnextConfig::replicate_scenario());
-            rt.run();
+            let outcome = rt.run();
             assert!(
-                rt.bug().is_none(),
-                "replication scenario flagged a bug with seed {seed}: {:?}",
-                rt.bug()
+                !matches!(outcome, ExecutionOutcome::BugFound(_)),
+                "replication scenario flagged a bug with seed {seed}: {outcome:?}"
             );
         }
     }

@@ -196,8 +196,11 @@ mod tests {
                 },
             }),
         );
-        rt.run();
-        assert!(rt.bug().is_none());
+        let outcome = rt.run();
+        assert!(
+            !matches!(outcome, ExecutionOutcome::BugFound(_)),
+            "unexpected violation: {outcome:?}"
+        );
         assert_eq!(
             rt.machine_ref::<TestingDriver>(driver)
                 .unwrap()
