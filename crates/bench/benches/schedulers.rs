@@ -9,9 +9,10 @@
 //! prints the median wall-clock time plus executions/second.
 //!
 //! Besides the human-readable table the bench writes a machine-readable
-//! `BENCH_pr2.json` (override with `--json PATH`) so the perf trajectory of
-//! the engine is tracked from PR 2 on. `--quick` shrinks every budget for CI
-//! smoke runs.
+//! `BENCH_pr3.json` (override with `--json PATH`; schema-compatible with
+//! `BENCH_pr2.json`, plus per-strategy portfolio rows) so the perf
+//! trajectory of the engine is tracked from PR 2 on. `--quick` shrinks every
+//! budget for CI smoke runs.
 //!
 //! Run with `cargo bench -p bench` — or directly:
 //! `cargo run --release -p bench --bench schedulers -- [--quick] [--json PATH]`.
@@ -28,6 +29,11 @@ use psharp::prelude::*;
 /// record, fixed-stripe parallel engine). `speedup_vs_baseline` in the JSON
 /// is computed against this figure.
 const BASELINE_SERIAL_RANDOM_EXECS_PER_SEC: f64 = 2774.0;
+
+/// The step-loop hotpath figure of the committed PR 2 reference run
+/// (`BENCH_pr2.json`), used by the CI bench-smoke job to warn on serial
+/// regressions of more than 10%.
+const PR2_SERIAL_RANDOM_EXECS_PER_SEC: f64 = 6069.0;
 
 /// One timed measurement, kept for the JSON report.
 struct BenchResult {
@@ -64,7 +70,7 @@ fn parse_settings() -> Settings {
     let mut settings = Settings {
         reps: 5,
         scale: 1,
-        json: "BENCH_pr2.json".to_string(),
+        json: "BENCH_pr3.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -247,6 +253,11 @@ fn scheduler_ablation(b: &mut Bench) {
     let schedulers = [
         ("random", SchedulerKind::Random),
         ("pct2", SchedulerKind::Pct { change_points: 2 }),
+        ("delay2", SchedulerKind::DelayBounding { delays: 2 }),
+        (
+            "prob10",
+            SchedulerKind::ProbabilisticRandom { switch_percent: 10 },
+        ),
         ("round_robin", SchedulerKind::RoundRobin),
     ];
     let n = b.budget(20);
@@ -281,6 +292,57 @@ fn liveness_bound_ablation(b: &mut Bench) {
             run_iterations(n, max_steps, SchedulerKind::Random, |rt| {
                 vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
             })
+        });
+    }
+}
+
+/// Per-strategy throughput of a default-portfolio run on the hotpath
+/// harness: one `portfolio_per_strategy` row per strategy, attributing the
+/// run's executions to the strategy that drove them (iteration-index
+/// assignment, so the split is deterministic). The per-strategy exec/s
+/// series is tracked in the BENCH JSON from PR 3 on.
+fn portfolio_per_strategy(b: &mut Bench) {
+    let group = "portfolio_per_strategy";
+    let iterations = b.budget(HOTPATH_ITERATIONS);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(HOTPATH_MAX_STEPS)
+        .with_seed(42)
+        .with_workers(workers)
+        .with_default_portfolio();
+    let mut runs = Vec::with_capacity(b.settings.reps);
+    for _ in 0..b.settings.reps {
+        let start = Instant::now();
+        let report = ParallelTestEngine::new(config.clone()).run(hotpath::setup);
+        runs.push((start.elapsed(), report));
+    }
+    runs.sort_by_key(|(elapsed, _)| *elapsed);
+    let (median, report) = &runs[runs.len() / 2];
+    let all_steps: u64 = report.per_strategy.iter().map(|r| r.total_steps).sum();
+    for row in &report.per_strategy {
+        // Attribute wall-clock time to a strategy by its share of executed
+        // steps (per-step cost is dominated by the runtime, not the
+        // scheduler), so a row's exec/s reflects that strategy's own
+        // execution cost — not merely its ~1/N share of the iteration
+        // space, which would hide per-strategy regressions.
+        let share = row.total_steps as f64 / all_steps.max(1) as f64;
+        let attributed = Duration::from_secs_f64((median.as_secs_f64() * share).max(1e-9));
+        let execs_per_sec = row.iterations_run as f64 / attributed.as_secs_f64();
+        println!(
+            "{group:<32} {:<24} median {:>9.3}ms  {execs_per_sec:>10.0} exec/s  {:>8} steps",
+            row.scheduler,
+            attributed.as_secs_f64() * 1e3,
+            row.total_steps,
+        );
+        b.results.push(BenchResult {
+            group,
+            name: row.scheduler.clone(),
+            median: attributed,
+            execs_per_sec,
+            steps: row.total_steps,
         });
     }
 }
@@ -334,7 +396,7 @@ fn write_report(b: &Bench) {
         .map(|r| r.execs_per_sec)
         .unwrap_or(0.0);
     let json = Json::object([
-        ("pr", Json::UInt(2)),
+        ("pr", Json::UInt(3)),
         (
             "bench",
             Json::Str("crates/bench/benches/schedulers.rs".to_string()),
@@ -348,12 +410,17 @@ fn write_report(b: &Bench) {
                     Json::Float(BASELINE_SERIAL_RANDOM_EXECS_PER_SEC),
                 ),
                 (
+                    "pr2_serial_random_execs_per_sec",
+                    Json::Float(PR2_SERIAL_RANDOM_EXECS_PER_SEC),
+                ),
+                (
                     "source",
                     Json::Str(
                         "step_loop_hotpath/serial_random measured in the PR 2 reference \
                          container at commit ead1cb9, before the zero-allocation step loop; \
-                         speedup_vs_baseline is only meaningful on comparable hardware \
-                         (the committed repo-root BENCH_pr2.json is such a run)"
+                         pr2_serial_random_execs_per_sec is the committed BENCH_pr2.json \
+                         figure the CI bench-smoke job warns against; comparisons are only \
+                         meaningful on comparable hardware"
                             .to_string(),
                     ),
                 ),
@@ -389,6 +456,7 @@ fn main() {
     scheduler_ablation(&mut b);
     pct_budget_ablation(&mut b);
     liveness_bound_ablation(&mut b);
+    portfolio_per_strategy(&mut b);
     parallel_engine_comparison(&mut b);
     write_report(&b);
 }

@@ -2,14 +2,28 @@
 //! configurable number of executions — the paper's "no bugs were found during
 //! 100,000 executions" check after the fixes were applied (§3.6).
 //!
-//! Usage: `fixed_check [--iterations N] [--workers W|max]` (defaults: 2,000
-//! executions, 1 worker).
+//! Usage: `fixed_check [--iterations N] [--workers W|max]
+//! [--scheduler random|pct|delay|prob|round-robin] [--portfolio]` (defaults:
+//! 2,000 executions, 1 worker, random scheduling). `--portfolio` verifies
+//! under the full default strategy portfolio instead of a single scheduler.
+//!
+//! Caveat: the case-study liveness monitors rely on the paper's §2.5
+//! bounded-horizon heuristic ("hot at the step bound" = violation), with
+//! step bounds tuned for *fair* schedulers. Unfair strategies (PCT,
+//! delay-bounding) can flood mailboxes during their priority-driven prefix
+//! faster than the fair tail can drain them, so a `--scheduler pct`,
+//! `--scheduler delay` or `--portfolio` run may flag a liveness "violation"
+//! on a correct system at these default bounds — an artifact of the
+//! heuristic, not a system bug. Safety monitors are unaffected.
 
-use bench::verify_fixed_parallel;
+use bench::{parse_scheduler, verify_fixed_config};
+use psharp::prelude::*;
 
 fn main() {
     let mut iterations: u64 = 2_000;
     let mut workers: usize = 1;
+    let mut scheduler = SchedulerKind::Random;
+    let mut portfolio = false;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -19,6 +33,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--iterations requires a number");
             }
+            "--scheduler" => {
+                let name = argv.next().expect("--scheduler requires a name");
+                scheduler =
+                    parse_scheduler(&name).unwrap_or_else(|| panic!("unknown scheduler {name:?}"));
+            }
+            "--portfolio" => portfolio = true,
             "--workers" => {
                 workers = match argv.next().as_deref() {
                     Some("max") => std::thread::available_parallelism()
@@ -67,13 +87,27 @@ fn main() {
         ),
     ];
 
+    let mode = if portfolio {
+        "portfolio".to_string()
+    } else {
+        scheduler.describe()
+    };
     println!(
-        "Fixed-system verification over {iterations} executions each ({workers} worker(s)):\n"
+        "Fixed-system verification over {iterations} executions each ({workers} worker(s), {mode}):\n"
     );
     let mut clean = true;
     for (name, build, max_steps) in checks {
         let start = std::time::Instant::now();
-        match verify_fixed_parallel(|rt| build(rt), iterations, max_steps, 99, workers) {
+        let mut config = TestConfig::new()
+            .with_iterations(iterations)
+            .with_max_steps(max_steps)
+            .with_seed(99)
+            .with_scheduler(scheduler)
+            .with_workers(workers);
+        if portfolio {
+            config = config.with_default_portfolio();
+        }
+        match verify_fixed_config(|rt| build(rt), config) {
             None => println!(
                 "  {name:<32} clean ({iterations} executions, {}s)",
                 bench::seconds(start.elapsed())

@@ -6,15 +6,22 @@
 //! Usage:
 //!
 //! ```text
-//! table2 [--iterations N] [--seed S] [--scheduler random|pct|both] [--json PATH] [--workers W]
-//!        [--portfolio]
+//! table2 [--iterations N] [--seed S]
+//!        [--scheduler random|pct|delay|prob|round-robin|both|all]
+//!        [--json PATH] [--workers W] [--portfolio]
 //! ```
 //!
-//! `--portfolio` replaces the per-scheduler columns with one run per bug that
-//! shards the full default scheduler portfolio (random, PCT with several
-//! priority-change budgets, round-robin) over the workers — `--workers` is
-//! raised to the portfolio size if below it, so every strategy gets a
-//! worker; the scheduler column then reports the strategy that earned the
+//! `--scheduler both` runs the paper's random + PCT pair (the default);
+//! `--scheduler all` adds the delay-bounding, probabilistic-random and
+//! round-robin ablations as extra rows per bug.
+//!
+//! `--portfolio` replaces the per-scheduler columns with one run per bug
+//! that mixes the full default scheduler portfolio (random, PCT with
+//! several priority-change budgets, delay-bounding, probabilistic random,
+//! round-robin) over the iteration space. The strategy driving an iteration
+//! is decided by the iteration index, so the reported (iteration, seed,
+//! strategy, bug) result is identical at any `--workers` value — including
+//! a serial run; the scheduler column reports the strategy that earned the
 //! bug.
 //!
 //! The paper uses 100,000 executions per cell; the default here is 2,000 so
@@ -23,7 +30,7 @@
 
 use std::fs;
 
-use bench::{bug_cases, hunt_parallel, hunt_portfolio, BugHuntResult};
+use bench::{bug_cases, hunt_parallel, hunt_portfolio, parse_scheduler, BugHuntResult};
 use psharp::json::{Json, ToJson};
 use psharp::prelude::SchedulerKind;
 
@@ -64,10 +71,20 @@ fn parse_args() -> Args {
                     .expect("--seed requires a number");
             }
             "--scheduler" => match argv.next().as_deref() {
-                Some("random") => args.schedulers = vec![SchedulerKind::Random],
-                Some("pct") => args.schedulers = vec![SchedulerKind::Pct { change_points: 2 }],
                 Some("both") => {}
-                other => panic!("unknown scheduler {other:?}"),
+                Some("all") => {
+                    // One source of truth for the default parameterizations:
+                    // the same parser the single-name path uses.
+                    args.schedulers = ["random", "pct", "delay", "prob", "round-robin"]
+                        .iter()
+                        .map(|name| parse_scheduler(name).expect("known scheduler name"))
+                        .collect();
+                }
+                Some(name) => match parse_scheduler(name) {
+                    Some(kind) => args.schedulers = vec![kind],
+                    None => panic!("unknown scheduler {name:?}"),
+                },
+                None => panic!("--scheduler requires a name"),
             },
             "--json" => args.json = argv.next(),
             "--portfolio" => args.portfolio = true,

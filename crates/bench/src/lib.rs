@@ -82,11 +82,19 @@ pub struct BugHuntResult {
     pub scheduler: String,
     /// Whether the bug was found within the execution budget.
     pub found: bool,
+    /// The winning iteration index (when found) — deterministic at any
+    /// worker count.
+    pub iteration: Option<u64>,
+    /// The winning iteration's seed (when found) — deterministic at any
+    /// worker count.
+    pub seed: Option<u64>,
     /// Wall-clock time until the bug was found (when found).
     pub time_to_bug_seconds: Option<f64>,
     /// Number of nondeterministic choices in the first buggy execution.
     pub ndc: Option<usize>,
-    /// Number of executions explored.
+    /// Number of executions explored. Unlike the (iteration, seed,
+    /// strategy) columns, this aggregate depends on how far other workers
+    /// got before cancellation in runs that find a bug.
     pub executions: u64,
 }
 
@@ -97,6 +105,20 @@ impl ToJson for BugHuntResult {
             ("bug", Json::Str(self.bug.clone())),
             ("scheduler", Json::Str(self.scheduler.clone())),
             ("found", Json::Bool(self.found)),
+            (
+                "iteration",
+                match self.iteration {
+                    Some(i) => Json::UInt(i),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "seed",
+                match self.seed {
+                    Some(s) => Json::UInt(s),
+                    None => Json::Null,
+                },
+            ),
             (
                 "time_to_bug_seconds",
                 match self.time_to_bug_seconds {
@@ -120,6 +142,10 @@ impl BugHuntResult {
     /// Renders one row of the Table 2 layout.
     pub fn table_row(&self) -> String {
         let found = if self.found { "yes" } else { "no " };
+        let iteration = self
+            .iteration
+            .map(|i| format!("{i:7}"))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
         let time = self
             .time_to_bug_seconds
             .map(|t| format!("{t:10.2}"))
@@ -129,16 +155,16 @@ impl BugHuntResult {
             .map(|n| format!("{n:8}"))
             .unwrap_or_else(|| format!("{:>8}", "-"));
         format!(
-            "{:>2}  {:<38} {:<7} {}  {}  {}  {:>9}",
-            self.case_study, self.bug, self.scheduler, found, time, ndc, self.executions
+            "{:>2}  {:<38} {:<11} {}  {}  {}  {}  {:>9}",
+            self.case_study, self.bug, self.scheduler, found, iteration, time, ndc, self.executions
         )
     }
 
     /// The header matching [`BugHuntResult::table_row`].
     pub fn table_header() -> String {
         format!(
-            "{:>2}  {:<38} {:<7} {}  {:>10}  {:>8}  {:>9}",
-            "CS", "Bug Identifier", "Sched", "BF?", "Time(s)", "#NDC", "Execs"
+            "{:>2}  {:<38} {:<11} {}  {:>7}  {:>10}  {:>8}  {:>9}",
+            "CS", "Bug Identifier", "Sched", "BF?", "Iter", "Time(s)", "#NDC", "Execs"
         )
     }
 }
@@ -172,23 +198,40 @@ pub fn hunt_parallel(
     hunt_with_config(case, config)
 }
 
-/// Runs one bug hunt with the full default scheduler portfolio sharded over
-/// `workers` threads: each worker drives its own strategy (random, PCT with
-/// several priority-change budgets, round-robin) against the same iteration
-/// space. Fewer workers than portfolio entries leaves the tail strategies
-/// unused, so `workers` is raised to the portfolio size when below it. The
-/// result's `scheduler` column reports the strategy that earned the bug, or
-/// `"portfolio"` when no bug was found.
+/// Runs one bug hunt with the full default scheduler portfolio (random, PCT
+/// with several priority-change budgets, delay-bounding, probabilistic
+/// random, round-robin) sharded over `workers` threads. Which strategy
+/// drives an iteration is decided by the iteration index
+/// ([`TestConfig::strategy_for_iteration`]), so the hunt reports the
+/// identical (iteration, seed, strategy, bug) result at any worker count —
+/// any number of workers covers the full portfolio. The result's `scheduler`
+/// column reports the strategy that earned the bug, or `"portfolio"` when no
+/// bug was found.
 pub fn hunt_portfolio(case: &BugCase, iterations: u64, seed: u64, workers: usize) -> BugHuntResult {
-    let portfolio = SchedulerKind::default_portfolio();
-    let workers = workers.max(portfolio.len());
     let config = TestConfig::new()
         .with_iterations(iterations)
         .with_max_steps(case.max_steps)
         .with_seed(seed)
         .with_workers(workers)
-        .with_portfolio(portfolio);
+        .with_portfolio(SchedulerKind::default_portfolio());
     hunt_with_config(case, config)
+}
+
+/// Parses a scheduler name from the CLI (`table2 --scheduler`, `fixed_check
+/// --scheduler`) into a [`SchedulerKind`]: `random`, `pct`, `delay`, `prob`
+/// (aliases `delay-bounding`, `prob-random`) or `round-robin`, each with its
+/// default parameterization.
+pub fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
+    match name {
+        "random" => Some(SchedulerKind::Random),
+        "pct" => Some(SchedulerKind::Pct { change_points: 2 }),
+        "delay" | "delay-bounding" => Some(SchedulerKind::DelayBounding { delays: 2 }),
+        "prob" | "prob-random" | "probabilistic" => {
+            Some(SchedulerKind::ProbabilisticRandom { switch_percent: 10 })
+        }
+        "round-robin" => Some(SchedulerKind::RoundRobin),
+        _ => None,
+    }
 }
 
 /// Shared hunt runner: the result's `scheduler` column is the report's label
@@ -202,6 +245,8 @@ fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
         bug: case.name.to_string(),
         scheduler: report.scheduler.to_string(),
         found: report.found_bug(),
+        iteration: report.bug.as_ref().map(|b| b.iteration),
+        seed: report.bug.as_ref().map(|b| b.trace.seed),
         time_to_bug_seconds: report.bug.as_ref().map(|b| b.time_to_bug.as_secs_f64()),
         ndc: report.bug.as_ref().map(|b| b.ndc),
         executions: report.iterations_run,
@@ -231,14 +276,26 @@ pub fn verify_fixed_parallel<F>(
 where
     F: Fn(&mut Runtime) + Send + Sync,
 {
-    let engine = ParallelTestEngine::new(
+    verify_fixed_config(
+        build,
         TestConfig::new()
             .with_iterations(iterations)
             .with_max_steps(max_steps)
             .with_seed(seed)
             .with_workers(workers),
-    );
-    engine.run(build).bug.map(|b| b.bug)
+    )
+}
+
+/// Verifies a fixed harness under an arbitrary configuration (scheduler,
+/// portfolio, worker count); returns the violation if one is found.
+pub fn verify_fixed_config<F>(build: F, config: TestConfig) -> Option<Bug>
+where
+    F: Fn(&mut Runtime) + Send + Sync,
+{
+    ParallelTestEngine::new(config)
+        .run(build)
+        .bug
+        .map(|b| b.bug)
 }
 
 /// Formats a [`Duration`] in seconds with two decimals.
@@ -273,6 +330,44 @@ mod tests {
     }
 
     #[test]
+    fn parse_scheduler_covers_every_portfolio_family() {
+        assert_eq!(parse_scheduler("random"), Some(SchedulerKind::Random));
+        assert_eq!(
+            parse_scheduler("pct"),
+            Some(SchedulerKind::Pct { change_points: 2 })
+        );
+        assert_eq!(
+            parse_scheduler("delay"),
+            Some(SchedulerKind::DelayBounding { delays: 2 })
+        );
+        assert_eq!(
+            parse_scheduler("prob"),
+            Some(SchedulerKind::ProbabilisticRandom { switch_percent: 10 })
+        );
+        assert_eq!(
+            parse_scheduler("round-robin"),
+            Some(SchedulerKind::RoundRobin)
+        );
+        assert_eq!(parse_scheduler("nope"), None);
+    }
+
+    #[test]
+    fn portfolio_hunt_is_worker_count_independent() {
+        let cases = bug_cases();
+        let case = cases
+            .iter()
+            .find(|c| c.name == "DeletePrimaryKey")
+            .expect("known case");
+        let one = hunt_portfolio(case, 400, 11, 1);
+        let four = hunt_portfolio(case, 400, 11, 4);
+        assert!(one.found && four.found);
+        assert_eq!(one.iteration, four.iteration, "same winning iteration");
+        assert_eq!(one.seed, four.seed, "same winning seed");
+        assert_eq!(one.scheduler, four.scheduler, "same winning strategy");
+        assert_eq!(one.ndc, four.ndc, "same winning execution");
+    }
+
+    #[test]
     fn fixed_replsim_harness_verifies_clean() {
         let bug = verify_fixed(
             |rt| {
@@ -293,6 +388,8 @@ mod tests {
             bug: "QueryStreamedLock".to_string(),
             scheduler: "random".to_string(),
             found: false,
+            iteration: None,
+            seed: None,
             time_to_bug_seconds: None,
             ndc: None,
             executions: 1000,

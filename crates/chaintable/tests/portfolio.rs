@@ -56,3 +56,35 @@ fn portfolio_run_finds_the_seeded_bug_and_reports_throughput() {
     .expect("replay reproduces the portfolio-found bug");
     assert_eq!(replayed.kind, bug.bug.kind);
 }
+
+#[test]
+fn portfolio_attribution_includes_the_new_strategies_and_is_worker_independent() {
+    let config = ChainConfig::for_named_bug("DeletePrimaryKey").expect("known bug");
+    let base = TestConfig::new()
+        .with_iterations(600)
+        .with_max_steps(10_000)
+        .with_seed(11)
+        .with_default_portfolio();
+
+    let serial = portfolio_hunt(&config, base.clone().with_workers(1));
+    let expected = serial.bug.as_ref().expect("portfolio finds the seeded bug");
+
+    for workers in [2usize, 4] {
+        let parallel = portfolio_hunt(&config, base.clone().with_workers(workers));
+        let found = parallel.bug.expect("portfolio finds the seeded bug");
+        assert_eq!(found.iteration, expected.iteration, "{workers} workers");
+        assert_eq!(found.trace, expected.trace, "{workers} workers");
+        assert_eq!(parallel.scheduler, serial.scheduler, "{workers} workers");
+    }
+
+    // The attribution rows cover the full 7-strategy default portfolio in
+    // portfolio order, including the delay-bounding and probabilistic-random
+    // entries added in PR 3.
+    let portfolio = SchedulerKind::default_portfolio();
+    assert_eq!(serial.per_strategy.len(), portfolio.len());
+    for (row, kind) in serial.per_strategy.iter().zip(&portfolio) {
+        assert_eq!(row.scheduler, kind.describe());
+    }
+    assert!(serial.strategy_table().contains("delay(d=2)"));
+    assert!(serial.strategy_table().contains("prob(p=10)"));
+}

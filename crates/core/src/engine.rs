@@ -16,16 +16,31 @@
 //! bug at the lowest iteration index wins, regardless of which worker's
 //! execution finished first, and doomed executions above that index are
 //! cancelled step-by-step instead of running to their bound.
+//!
+//! Both engines drive the same per-iteration path,
+//! [`TestConfig::run_iteration`]: the iteration index determines the seed
+//! ([`TestConfig::seed_for_iteration`]) *and*, in portfolio mode, the
+//! scheduling strategy ([`TestConfig::strategy_for_iteration`]), so a
+//! portfolio run reports the identical (iteration, seed, strategy, bug)
+//! result at any worker count — including the serial engine.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::Bug;
+use crate::rng::{mix64, GOLDEN_GAMMA};
 use crate::runtime::{CancelToken, ExecutionOutcome, Runtime, RuntimeConfig};
 use crate::scheduler::{ReplayScheduler, SchedulerKind};
 use crate::stats::StrategyStats;
 use crate::trace::Trace;
+
+/// Salt decorrelating the strategy-selection stream from the per-iteration
+/// execution seeds: both are derived from [`TestConfig::seed`], but through
+/// different streams, so which strategy drives an iteration carries no
+/// information about the random choices made inside it.
+const STRATEGY_STREAM: u64 = 0xA5A3_1E8F_5C6D_92B7;
 
 /// Configuration of a systematic testing run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,8 +62,10 @@ pub struct TestConfig {
     /// shared iteration queue. `1` (the default) reproduces the serial
     /// [`TestEngine`] bit for bit.
     pub workers: usize,
-    /// Optional scheduler portfolio: worker `w` runs strategy
-    /// `portfolio[w % portfolio.len()]` instead of [`TestConfig::scheduler`].
+    /// Optional scheduler portfolio: iteration `i` runs the strategy
+    /// [`TestConfig::strategy_for_iteration`] picks from this list (a
+    /// seed-derived, worker-count-independent assignment) instead of
+    /// [`TestConfig::scheduler`].
     pub portfolio: Option<Vec<SchedulerKind>>,
 }
 
@@ -105,8 +122,9 @@ impl TestConfig {
         self
     }
 
-    /// Assigns a scheduler portfolio: worker `w` runs
-    /// `portfolio[w % portfolio.len()]`. An empty portfolio is ignored.
+    /// Assigns a scheduler portfolio: iteration `i` runs the strategy
+    /// [`TestConfig::strategy_for_iteration`] picks from the list. An empty
+    /// portfolio is ignored.
     pub fn with_portfolio(mut self, portfolio: Vec<SchedulerKind>) -> Self {
         self.portfolio = if portfolio.is_empty() {
             None
@@ -118,17 +136,39 @@ impl TestConfig {
 
     /// Assigns the default portfolio
     /// ([`SchedulerKind::default_portfolio`]): random, PCT with several
-    /// change-point budgets, and round-robin.
+    /// change-point budgets, delay-bounding, a probabilistic random walk,
+    /// and round-robin.
     pub fn with_default_portfolio(self) -> Self {
         self.with_portfolio(SchedulerKind::default_portfolio())
     }
 
-    /// The scheduling strategy worker `worker` runs (the portfolio entry
-    /// when a portfolio is configured, the base scheduler otherwise).
-    pub fn scheduler_for_worker(&self, worker: usize) -> SchedulerKind {
+    /// The index of the portfolio entry that drives `iteration`, or `None`
+    /// when no portfolio is configured.
+    ///
+    /// The pick is derived from the base seed through its own stream, so the
+    /// strategy mix over the iteration space is stable for a given seed,
+    /// unbiased across the portfolio, and — because it depends only on the
+    /// iteration index — identical at any worker count.
+    pub fn portfolio_index_for_iteration(&self, iteration: u64) -> Option<usize> {
         match &self.portfolio {
-            Some(portfolio) if !portfolio.is_empty() => portfolio[worker % portfolio.len()],
-            _ => self.scheduler,
+            Some(portfolio) if !portfolio.is_empty() => {
+                let hash = mix64(
+                    mix64(self.seed ^ STRATEGY_STREAM)
+                        .wrapping_add(iteration.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+                );
+                Some((hash % portfolio.len() as u64) as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The scheduling strategy that drives `iteration`: the seed-derived
+    /// portfolio pick when a portfolio is configured, the base scheduler
+    /// otherwise.
+    pub fn strategy_for_iteration(&self, iteration: u64) -> SchedulerKind {
+        match self.portfolio_index_for_iteration(iteration) {
+            Some(index) => self.portfolio.as_ref().expect("index implies portfolio")[index],
+            None => self.scheduler,
         }
     }
 
@@ -142,9 +182,138 @@ impl TestConfig {
 
     /// The seed that drives iteration `iteration` of a run with this
     /// configuration.
+    ///
+    /// The base seed and the iteration index are combined through the full
+    /// SplitMix64 finalizer twice (once over the base seed, once over the
+    /// sum): a single XOR-with-multiply left the iteration-seed streams of
+    /// nearby base seeds heavily overlapping, so two "independent" runs
+    /// explored mostly the same executions.
     pub fn seed_for_iteration(&self, iteration: u64) -> u64 {
-        self.seed ^ (iteration.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        Self::derive_seed(mix64(self.seed), iteration)
     }
+
+    /// Batch seed derivation for a contiguous chunk of the iteration space,
+    /// used by the work-stealing engine after each chunk pop: `out` is
+    /// cleared and filled with the seeds of `range`, mixing the base seed
+    /// once for the whole chunk instead of once per iteration.
+    pub fn seeds_for_chunk(&self, range: Range<u64>, out: &mut Vec<u64>) {
+        out.clear();
+        let base = mix64(self.seed);
+        out.extend(range.map(|iteration| Self::derive_seed(base, iteration)));
+    }
+
+    fn derive_seed(mixed_base: u64, iteration: u64) -> u64 {
+        mix64(mixed_base.wrapping_add(iteration.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)))
+    }
+
+    /// Runs one iteration of this configuration's exploration space: builds
+    /// the iteration's scheduler ([`TestConfig::strategy_for_iteration`]) and
+    /// seed ([`TestConfig::seed_for_iteration`]), executes the harness built
+    /// by `setup` once, and classifies the result.
+    ///
+    /// This is the single execution path shared by [`TestEngine`] and
+    /// [`ParallelTestEngine`]; `cancel` is the parallel engine's step-level
+    /// cancellation handle.
+    pub fn run_iteration<F>(
+        &self,
+        iteration: u64,
+        cancel: Option<CancelToken>,
+        setup: &F,
+    ) -> IterationOutcome
+    where
+        F: Fn(&mut Runtime),
+    {
+        self.run_iteration_seeded(iteration, self.seed_for_iteration(iteration), cancel, setup)
+    }
+
+    /// [`TestConfig::run_iteration`] with the seed precomputed by
+    /// [`TestConfig::seeds_for_chunk`] (must equal
+    /// `seed_for_iteration(iteration)`).
+    fn run_iteration_seeded<F>(
+        &self,
+        iteration: u64,
+        seed: u64,
+        cancel: Option<CancelToken>,
+        setup: &F,
+    ) -> IterationOutcome
+    where
+        F: Fn(&mut Runtime),
+    {
+        debug_assert_eq!(seed, self.seed_for_iteration(iteration));
+        let portfolio_entry = self.portfolio_index_for_iteration(iteration);
+        let strategy = match portfolio_entry {
+            Some(entry) => self.portfolio.as_ref().expect("entry implies portfolio")[entry],
+            None => self.scheduler,
+        };
+        let scheduler = strategy.build(seed, self.max_steps);
+        let mut runtime = Runtime::new(scheduler, self.runtime_config(), seed);
+        if let Some(token) = cancel {
+            runtime.set_cancel_token(token);
+        }
+        setup(&mut runtime);
+        let status = match runtime.run() {
+            ExecutionOutcome::BugFound(bug) => IterationStatus::BugFound {
+                bug,
+                ndc: runtime.trace().decision_count(),
+                trace: runtime.take_trace(),
+            },
+            ExecutionOutcome::Cancelled => IterationStatus::Cancelled,
+            ExecutionOutcome::Quiescent | ExecutionOutcome::MaxStepsReached => {
+                IterationStatus::Completed
+            }
+        };
+        IterationOutcome {
+            iteration,
+            seed,
+            strategy,
+            portfolio_entry,
+            steps: runtime.steps() as u64,
+            status,
+        }
+    }
+}
+
+/// How one iteration of the exploration space ended.
+#[derive(Debug)]
+pub enum IterationStatus {
+    /// The execution ran to quiescence or its step bound without a violation.
+    Completed,
+    /// The parallel engine cancelled the execution mid-flight (a lower
+    /// iteration already holds a bug); its partial step count still tallies.
+    Cancelled,
+    /// The execution violated a property.
+    BugFound {
+        /// The violation.
+        bug: Bug,
+        /// Number of nondeterministic choices in the buggy execution.
+        ndc: usize,
+        /// The replayable trace of the buggy execution.
+        trace: Trace,
+    },
+}
+
+/// The classified result of [`TestConfig::run_iteration`]: which iteration
+/// ran, with which seed and strategy, how many steps it took and how it
+/// ended.
+#[derive(Debug)]
+pub struct IterationOutcome {
+    /// The iteration index.
+    pub iteration: u64,
+    /// The seed that drove the execution
+    /// ([`TestConfig::seed_for_iteration`]).
+    pub seed: u64,
+    /// The strategy that drove the execution
+    /// ([`TestConfig::strategy_for_iteration`]).
+    pub strategy: SchedulerKind,
+    /// The portfolio index the strategy came from
+    /// ([`TestConfig::portfolio_index_for_iteration`]), `None` without a
+    /// portfolio — carried so attribution never re-derives the selection
+    /// hash.
+    pub portfolio_entry: Option<usize>,
+    /// Machine steps the execution performed (partial for cancelled ones).
+    pub steps: u64,
+    /// How the execution ended.
+    pub status: IterationStatus,
 }
 
 /// The first property violation found by a testing run, together with
@@ -293,54 +462,43 @@ impl TestEngine {
         F: Fn(&mut Runtime),
     {
         let start = Instant::now();
-        let label = self.config.scheduler.label();
+        let config = &self.config;
+        let mut tally = StrategyTally::new(config);
         let mut total_steps: u64 = 0;
-        for iteration in 0..self.config.iterations {
-            let seed = self.config.seed_for_iteration(iteration);
-            let scheduler = self.config.scheduler.build(seed, self.config.max_steps);
-            let mut runtime = Runtime::new(scheduler, self.config.runtime_config(), seed);
-            setup(&mut runtime);
-            let outcome = runtime.run();
-            total_steps += runtime.steps() as u64;
-            if let ExecutionOutcome::BugFound(bug) = outcome {
+        for iteration in 0..config.iterations {
+            let outcome = config.run_iteration(iteration, None, &setup);
+            total_steps += outcome.steps;
+            let row = tally.row_mut(outcome.portfolio_entry);
+            row.total_steps += outcome.steps;
+            row.iterations_run += 1;
+            if let IterationStatus::BugFound { bug, ndc, trace } = outcome.status {
+                row.bugs_found += 1;
                 let elapsed = start.elapsed();
                 return TestReport {
                     bug: Some(BugReport {
                         bug,
                         iteration,
-                        ndc: runtime.trace().decision_count(),
-                        trace: runtime.take_trace(),
+                        ndc,
+                        trace,
                         time_to_bug: elapsed,
                     }),
                     iterations_run: iteration + 1,
                     total_steps,
                     elapsed,
-                    scheduler: label,
+                    scheduler: outcome.strategy.label(),
                     workers: 1,
-                    per_strategy: vec![StrategyStats {
-                        scheduler: self.config.scheduler.describe(),
-                        workers: 1,
-                        iterations_run: iteration + 1,
-                        total_steps,
-                        bugs_found: 1,
-                    }],
+                    per_strategy: tally.rows,
                 };
             }
         }
         TestReport {
             bug: None,
-            iterations_run: self.config.iterations,
+            iterations_run: config.iterations,
             total_steps,
             elapsed: start.elapsed(),
-            scheduler: label,
+            scheduler: no_bug_label(config),
             workers: 1,
-            per_strategy: vec![StrategyStats {
-                scheduler: self.config.scheduler.describe(),
-                workers: 1,
-                iterations_run: self.config.iterations,
-                total_steps,
-                bugs_found: 0,
-            }],
+            per_strategy: tally.rows,
         }
     }
 
@@ -363,15 +521,69 @@ impl TestEngine {
     }
 }
 
-/// One worker's private tally, merged into the final [`TestReport`] after all
-/// workers join. `scheduler` is the strategy's full description
-/// ([`SchedulerKind::describe`]), so differently-parameterized PCT workers
-/// keep separate attribution rows.
-struct WorkerTally {
-    scheduler: String,
-    iterations_run: u64,
-    total_steps: u64,
-    bugs_found: u64,
+/// Per-strategy attribution rows in *canonical order* — one row per distinct
+/// portfolio strategy in portfolio order ([`SchedulerKind::describe`] keys
+/// the rows, so differently-parameterized PCT entries stay separate), or a
+/// single row for the base scheduler. Both engines and every worker build
+/// the same skeleton, so rows merge index-wise and
+/// [`TestReport::per_strategy`] comes out identical at any worker count.
+struct StrategyTally {
+    rows: Vec<StrategyStats>,
+    /// Portfolio index -> row index (entries with equal descriptions share a
+    /// row).
+    row_of_entry: Vec<usize>,
+}
+
+impl StrategyTally {
+    fn new(config: &TestConfig) -> Self {
+        let mut rows: Vec<StrategyStats> = Vec::new();
+        let mut row_of_entry = Vec::new();
+        match &config.portfolio {
+            Some(portfolio) if !portfolio.is_empty() => {
+                for kind in portfolio {
+                    let description = kind.describe();
+                    let row = match rows.iter().position(|r| r.scheduler == description) {
+                        Some(existing) => existing,
+                        None => {
+                            rows.push(StrategyStats::new(description));
+                            rows.len() - 1
+                        }
+                    };
+                    row_of_entry.push(row);
+                }
+            }
+            _ => rows.push(StrategyStats::new(config.scheduler.describe())),
+        }
+        StrategyTally { rows, row_of_entry }
+    }
+
+    /// The attribution row of the portfolio entry an iteration ran
+    /// ([`IterationOutcome::portfolio_entry`]).
+    fn row_mut(&mut self, portfolio_entry: Option<usize>) -> &mut StrategyStats {
+        let row = match portfolio_entry {
+            Some(entry) => self.row_of_entry[entry],
+            None => 0,
+        };
+        &mut self.rows[row]
+    }
+
+    /// Folds another tally with the identical skeleton into this one.
+    fn merge(&mut self, other: StrategyTally) {
+        debug_assert_eq!(self.rows.len(), other.rows.len());
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            mine.absorb(theirs);
+        }
+    }
+}
+
+/// The report label of a run that found no bug: the portfolio as a whole, or
+/// the single configured strategy.
+fn no_bug_label(config: &TestConfig) -> &'static str {
+    if config.portfolio.is_some() {
+        "portfolio"
+    } else {
+        config.scheduler.label()
+    }
 }
 
 /// The lowest-iteration bug found so far, with the strategy that found it.
@@ -400,11 +612,15 @@ fn chunk_size(remaining: u64, workers: u64) -> u64 {
 /// [`TestEngine`], and an `N`-worker run explores the identical *set* of
 /// (iteration, seed) pairs, just faster.
 ///
-/// With [`TestConfig::with_portfolio`] each worker additionally runs its own
-/// scheduling strategy (portfolio testing): a mix of random, PCT with several
-/// priority-change budgets, and round-robin attacks the same harness from
-/// different angles, and the per-strategy attribution in
-/// [`TestReport::per_strategy`] shows which strategy earned the bug.
+/// With [`TestConfig::with_portfolio`] the run additionally mixes scheduling
+/// strategies (portfolio testing): random, PCT with several priority-change
+/// budgets, delay-bounding, a probabilistic random walk and round-robin
+/// attack the same harness from different angles, and the per-strategy
+/// attribution in [`TestReport::per_strategy`] shows which strategy earned
+/// the bug. Which strategy drives an iteration is decided by the *iteration
+/// index* ([`TestConfig::strategy_for_iteration`]), never by which worker
+/// stole the chunk, so the strategy mix — and therefore every execution — is
+/// identical at any worker count.
 ///
 /// # Deterministic first-bug selection
 ///
@@ -414,19 +630,17 @@ fn chunk_size(remaining: u64, workers: u64) -> u64 {
 /// *step-by-step* (the runtime polls a [`CancelToken`] inside its step loop,
 /// so a doomed execution stops within one machine step instead of running to
 /// its `max_steps` bound), and iterations below it always run to completion.
-/// The winning (iteration, seed, trace) triple is therefore the same at any
-/// worker count — identical to what the serial engine would report.
+/// The winning (iteration, seed, strategy, trace) tuple is therefore the same
+/// at any worker count — identical to what the serial engine reports — in
+/// portfolio mode exactly as in single-strategy mode.
 ///
-/// Two caveats. With a *portfolio*, which strategy drives a given iteration
-/// depends on which worker stole its chunk, so the set of discovered bugs can
-/// vary across portfolio runs (a deliberate trade of per-iteration strategy
-/// determinism for load balance); single-strategy runs — the default —
-/// always report the same winning bug. And determinism covers the *winning
-/// (iteration, seed, trace) triple only*: aggregate counters
+/// One caveat: determinism covers the *winning (iteration, seed, strategy,
+/// trace) tuple only*. In runs that find a bug, aggregate counters
 /// ([`TestReport::iterations_run`], [`TestReport::total_steps`],
 /// [`BugReport::time_to_bug`]) still depend on how far other workers got
-/// before cancellation, exactly as with bug-free early stops before. Bug-free
-/// runs exhaust every iteration, so their counters are deterministic too.
+/// before cancellation. Bug-free runs exhaust every iteration, so their
+/// counters — including the per-strategy attribution rows — are
+/// deterministic too.
 ///
 /// # Examples
 ///
@@ -499,21 +713,17 @@ impl ParallelTestEngine {
         let config = &self.config;
         let total = config.iterations;
 
-        let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let tallies: Vec<StrategyTally> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|worker| {
+                .map(|_| {
                     let setup = &setup;
                     let next = &next;
                     let first_bug = &first_bug;
                     let bug_bound = Arc::clone(&bug_bound);
                     scope.spawn(move || {
-                        let kind = config.scheduler_for_worker(worker);
-                        let mut tally = WorkerTally {
-                            scheduler: kind.describe(),
-                            iterations_run: 0,
-                            total_steps: 0,
-                            bugs_found: 0,
-                        };
+                        let mut tally = StrategyTally::new(config);
+                        // Reused per-chunk seed buffer (batch derivation).
+                        let mut seeds: Vec<u64> = Vec::new();
                         loop {
                             // Work remains only below the bug bound: once a
                             // bug at iteration `k` is published, iterations
@@ -529,32 +739,30 @@ impl ParallelTestEngine {
                                 break;
                             }
                             let chunk_end = (chunk_start + chunk).min(total);
-                            for iteration in chunk_start..chunk_end {
+                            config.seeds_for_chunk(chunk_start..chunk_end, &mut seeds);
+                            for (offset, iteration) in (chunk_start..chunk_end).enumerate() {
                                 if iteration >= bug_bound.load(Ordering::Relaxed) {
                                     // Doomed: a lower iteration already has a
                                     // bug. Skip without executing.
                                     continue;
                                 }
-                                let seed = config.seed_for_iteration(iteration);
-                                let scheduler = kind.build(seed, config.max_steps);
-                                let mut runtime =
-                                    Runtime::new(scheduler, config.runtime_config(), seed);
-                                runtime.set_cancel_token(CancelToken::new(
-                                    Arc::clone(&bug_bound),
+                                let outcome = config.run_iteration_seeded(
                                     iteration,
-                                ));
-                                setup(&mut runtime);
-                                match runtime.run() {
-                                    ExecutionOutcome::Cancelled => {
+                                    seeds[offset],
+                                    Some(CancelToken::new(Arc::clone(&bug_bound), iteration)),
+                                    setup,
+                                );
+                                let row = tally.row_mut(outcome.portfolio_entry);
+                                row.total_steps += outcome.steps;
+                                match outcome.status {
+                                    IterationStatus::Cancelled => {
                                         // Keep the partial work in the step
                                         // total, but the iteration did not
                                         // complete.
-                                        tally.total_steps += runtime.steps() as u64;
                                     }
-                                    ExecutionOutcome::BugFound(bug) => {
-                                        tally.iterations_run += 1;
-                                        tally.total_steps += runtime.steps() as u64;
-                                        tally.bugs_found += 1;
+                                    IterationStatus::BugFound { bug, ndc, trace } => {
+                                        row.iterations_run += 1;
+                                        row.bugs_found += 1;
                                         // Publish the bound first so other
                                         // workers stop wasting steps on
                                         // higher iterations immediately.
@@ -569,17 +777,16 @@ impl ParallelTestEngine {
                                                 report: BugReport {
                                                     bug,
                                                     iteration,
-                                                    ndc: runtime.trace().decision_count(),
-                                                    trace: runtime.take_trace(),
+                                                    ndc,
+                                                    trace,
                                                     time_to_bug: start.elapsed(),
                                                 },
-                                                scheduler: kind.label(),
+                                                scheduler: outcome.strategy.label(),
                                             });
                                         }
                                     }
-                                    _ => {
-                                        tally.iterations_run += 1;
-                                        tally.total_steps += runtime.steps() as u64;
+                                    IterationStatus::Completed => {
+                                        row.iterations_run += 1;
                                     }
                                 }
                             }
@@ -594,36 +801,17 @@ impl ParallelTestEngine {
                 .collect()
         });
 
-        let mut per_strategy: Vec<StrategyStats> = Vec::new();
-        let mut iterations_run = 0;
-        let mut total_steps = 0;
-        for tally in &tallies {
-            iterations_run += tally.iterations_run;
-            total_steps += tally.total_steps;
-            let row = match per_strategy
-                .iter_mut()
-                .find(|row| row.scheduler == tally.scheduler)
-            {
-                Some(row) => row,
-                None => {
-                    per_strategy.push(StrategyStats::new(tally.scheduler.clone()));
-                    per_strategy.last_mut().expect("just pushed")
-                }
-            };
-            row.absorb(&StrategyStats {
-                scheduler: tally.scheduler.clone(),
-                workers: 1,
-                iterations_run: tally.iterations_run,
-                total_steps: tally.total_steps,
-                bugs_found: tally.bugs_found,
-            });
+        let mut merged = StrategyTally::new(config);
+        for tally in tallies {
+            merged.merge(tally);
         }
+        let iterations_run = merged.rows.iter().map(|row| row.iterations_run).sum();
+        let total_steps = merged.rows.iter().map(|row| row.total_steps).sum();
 
         let winner = first_bug.into_inner().expect("bug slot lock poisoned");
         let scheduler = match &winner {
             Some(first) => first.scheduler,
-            None if self.config.portfolio.is_some() => "portfolio",
-            None => self.config.scheduler.label(),
+            None => no_bug_label(config),
         };
         TestReport {
             bug: winner.map(|first| first.report),
@@ -632,7 +820,7 @@ impl ParallelTestEngine {
             elapsed: start.elapsed(),
             scheduler,
             workers,
-            per_strategy,
+            per_strategy: merged.rows,
         }
     }
 }
@@ -740,6 +928,168 @@ mod tests {
         let a = config.seed_for_iteration(0);
         let b = config.seed_for_iteration(1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearby_base_seeds_produce_disjoint_seed_streams() {
+        // Regression test for the pre-finalizer derivation: base seeds
+        // related by the golden-ratio gamma (or simply adjacent) produced
+        // heavily overlapping iteration-seed streams, so "independent" runs
+        // explored mostly the same executions. 10k-iteration streams of
+        // closely related base seeds must not share a single seed.
+        const N: u64 = 10_000;
+        let base = 2016u64;
+        let gamma = 0x9E37_79B9_7F4A_7C15u64;
+        let related = [
+            base.wrapping_add(1),
+            base ^ 1,
+            base.wrapping_add(gamma),
+            base.wrapping_sub(gamma),
+            base ^ gamma,
+        ];
+        let reference: std::collections::HashSet<u64> = {
+            let config = TestConfig::new().with_seed(base);
+            (0..N).map(|i| config.seed_for_iteration(i)).collect()
+        };
+        for other in related {
+            let config = TestConfig::new().with_seed(other);
+            let collisions = (0..N)
+                .filter(|&i| reference.contains(&config.seed_for_iteration(i)))
+                .count();
+            assert_eq!(
+                collisions, 0,
+                "base seeds {base} and {other} share {collisions} iteration seeds"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_seed_derivation_matches_per_iteration_derivation() {
+        let config = TestConfig::new().with_seed(77);
+        let mut seeds = Vec::new();
+        config.seeds_for_chunk(13..57, &mut seeds);
+        assert_eq!(seeds.len(), 44);
+        for (offset, &seed) in seeds.iter().enumerate() {
+            assert_eq!(seed, config.seed_for_iteration(13 + offset as u64));
+        }
+        // The buffer is reusable: a second fill replaces the first.
+        config.seeds_for_chunk(0..3, &mut seeds);
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0], config.seed_for_iteration(0));
+    }
+
+    #[test]
+    fn strategy_for_iteration_is_stable_and_covers_the_portfolio() {
+        let config = TestConfig::new()
+            .with_seed(5)
+            .with_iterations(1_000)
+            .with_default_portfolio();
+        let portfolio = SchedulerKind::default_portfolio();
+        let mut counts = vec![0u64; portfolio.len()];
+        for iteration in 0..1_000 {
+            let index = config
+                .portfolio_index_for_iteration(iteration)
+                .expect("portfolio configured");
+            assert_eq!(portfolio[index], config.strategy_for_iteration(iteration));
+            // Stable: asking again gives the same answer.
+            assert_eq!(
+                config.strategy_for_iteration(iteration),
+                config.strategy_for_iteration(iteration)
+            );
+            counts[index] += 1;
+        }
+        // Unbiased: every strategy gets a substantial share of the space
+        // (an exact split of 1000/7 would be ~143 each).
+        for (index, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 70,
+                "strategy {index} drives only {count} of 1000 iterations"
+            );
+        }
+        // Different base seeds produce a different mix.
+        let other = TestConfig::new().with_seed(6).with_default_portfolio();
+        assert!(
+            (0..1_000).any(|i| {
+                config.portfolio_index_for_iteration(i) != other.portfolio_index_for_iteration(i)
+            }),
+            "the strategy mix must depend on the base seed"
+        );
+    }
+
+    #[test]
+    fn without_portfolio_the_base_scheduler_drives_every_iteration() {
+        let config = TestConfig::new().with_scheduler(SchedulerKind::RoundRobin);
+        for iteration in 0..50 {
+            assert_eq!(
+                config.strategy_for_iteration(iteration),
+                SchedulerKind::RoundRobin
+            );
+            assert_eq!(config.portfolio_index_for_iteration(iteration), None);
+        }
+    }
+
+    #[test]
+    fn serial_portfolio_run_attributes_iterations_per_strategy() {
+        struct Quiet;
+        impl Machine for Quiet {
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let config = TestConfig::new()
+            .with_iterations(200)
+            .with_seed(3)
+            .with_default_portfolio();
+        let report = TestEngine::new(config.clone()).run(|rt| {
+            rt.create_machine(Quiet);
+        });
+        assert!(!report.found_bug());
+        assert_eq!(report.scheduler, "portfolio");
+        // Rows come out in portfolio order and account for every iteration.
+        let portfolio = SchedulerKind::default_portfolio();
+        assert_eq!(report.per_strategy.len(), portfolio.len());
+        for (row, kind) in report.per_strategy.iter().zip(&portfolio) {
+            assert_eq!(row.scheduler, kind.describe());
+        }
+        let attributed: u64 = report.per_strategy.iter().map(|s| s.iterations_run).sum();
+        assert_eq!(attributed, 200);
+        // And the attribution matches the per-iteration assignment exactly.
+        for (index, row) in report.per_strategy.iter().enumerate() {
+            let expected = (0..200)
+                .filter(|&i| config.portfolio_index_for_iteration(i) == Some(index))
+                .count() as u64;
+            assert_eq!(row.iterations_run, expected, "row {index}");
+        }
+    }
+
+    #[test]
+    fn run_iteration_classifies_completed_and_buggy_executions() {
+        let config = TestConfig::new().with_seed(1);
+        struct Quiet;
+        impl Machine for Quiet {
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        let outcome = config.run_iteration(7, None, &|rt: &mut Runtime| {
+            rt.create_machine(Quiet);
+        });
+        assert_eq!(outcome.iteration, 7);
+        assert_eq!(outcome.seed, config.seed_for_iteration(7));
+        assert!(matches!(outcome.status, IterationStatus::Completed));
+
+        // Find a buggy iteration of the racey harness and check the payload.
+        let mut bug_outcome = None;
+        for iteration in 0..500 {
+            let outcome = config.run_iteration(iteration, None, &racey_setup);
+            if matches!(outcome.status, IterationStatus::BugFound { .. }) {
+                bug_outcome = Some(outcome);
+                break;
+            }
+        }
+        let outcome = bug_outcome.expect("some iteration is buggy");
+        let IterationStatus::BugFound { bug, ndc, trace } = outcome.status else {
+            unreachable!()
+        };
+        assert_eq!(bug.kind, BugKind::SafetyViolation);
+        assert!(ndc > 0);
+        assert_eq!(trace.seed, outcome.seed);
     }
 
     #[test]

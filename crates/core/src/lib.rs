@@ -101,7 +101,10 @@ pub mod trace;
 
 /// Convenience re-exports of the types needed by almost every harness.
 pub mod prelude {
-    pub use crate::engine::{BugReport, ParallelTestEngine, TestConfig, TestEngine, TestReport};
+    pub use crate::engine::{
+        BugReport, IterationOutcome, IterationStatus, ParallelTestEngine, TestConfig, TestEngine,
+        TestReport,
+    };
     pub use crate::error::{Bug, BugKind};
     pub use crate::event::Event;
     pub use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner, Transition};

@@ -6,6 +6,23 @@
 //! in-crate SplitMix64 generator rather than an external RNG whose stream
 //! could change between versions.
 
+/// The golden-ratio increment of the SplitMix64 stream.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output finalizer: a full-avalanche bijection on `u64`.
+///
+/// Every bit of the input affects every bit of the output, so values whose
+/// inputs differ in only a few bits (nearby seeds, consecutive counters)
+/// come out statistically independent. Used by [`SplitMix64::next_u64`] and
+/// by the engine's per-iteration seed derivation.
+#[inline]
+pub fn mix64(value: u64) -> u64 {
+    let mut z = value;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic 64-bit SplitMix64 generator.
 ///
 /// Not cryptographically secure; used only for schedule and value choices.
@@ -32,11 +49,8 @@ impl SplitMix64 {
 
     /// Returns the next pseudo random 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
     }
 
     /// Returns a uniformly distributed value in `[0, bound)`.
@@ -126,5 +140,19 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn next_below_zero_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_on_samples_and_avalanches() {
+        // Injectivity spot check plus a weak avalanche check: flipping one
+        // input bit flips a substantial number of output bits.
+        let mut outputs = std::collections::HashSet::new();
+        for i in 0u64..1_000 {
+            assert!(outputs.insert(mix64(i)));
+        }
+        for bit in 0..64 {
+            let flipped = (mix64(0x1234_5678) ^ mix64(0x1234_5678 ^ (1 << bit))).count_ones();
+            assert!(flipped >= 16, "bit {bit} avalanches only {flipped} bits");
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! During testing the runtime creates a *scheduling point* each time a
 //! nondeterministic choice has to be taken: which enabled machine executes
 //! next, and the value of every `random_bool` / `random_index` call. A
-//! [`Scheduler`] resolves those choices. Four strategies are provided:
+//! [`Scheduler`] resolves those choices. Six strategies are provided:
 //!
 //! * [`RandomScheduler`] — uniformly random choices (the paper's "random
 //!   scheduler"), effective for most concurrency bugs.
@@ -12,6 +12,13 @@
 //!   it maintains machine priorities, always runs the highest-priority
 //!   enabled machine and changes priorities at a small number of random
 //!   steps per execution.
+//! * [`DelayBoundingScheduler`] — delay-bounded scheduling after Emmi et al.
+//!   (POPL'11): a deterministic base schedule perturbed at a small number of
+//!   random steps, each of which "delays" the machine that would have run.
+//! * [`ProbabilisticRandomScheduler`] — runs the current machine as long as
+//!   it stays enabled and switches to a uniformly random other machine with a
+//!   configurable probability per step (Coyote's probabilistic strategy),
+//!   exploring long uninterrupted stretches random scheduling rarely visits.
 //! * [`RoundRobinScheduler`] — deterministic round-robin, useful as a
 //!   baseline ablation and for smoke tests.
 //! * [`ReplayScheduler`] — replays a recorded [`Trace`] decision-for-decision
@@ -64,6 +71,19 @@ pub enum SchedulerKind {
         /// Number of random priority change switches per execution.
         change_points: usize,
     },
+    /// Delay-bounded scheduling: a deterministic base schedule perturbed by
+    /// at most `delays` randomly placed delays per execution.
+    DelayBounding {
+        /// Maximum number of delays inserted per execution.
+        delays: usize,
+    },
+    /// Probabilistic random walk: keeps running the current machine and
+    /// switches to a random other machine with `switch_percent`% probability
+    /// at each step.
+    ProbabilisticRandom {
+        /// Per-step context-switch probability in percent (`0..=100`).
+        switch_percent: u32,
+    },
     /// Deterministic round-robin over enabled machines.
     RoundRobin,
 }
@@ -79,21 +99,32 @@ impl SchedulerKind {
             SchedulerKind::Pct { change_points } => {
                 Box::new(PctScheduler::new(seed, change_points, max_steps))
             }
+            SchedulerKind::DelayBounding { delays } => {
+                Box::new(DelayBoundingScheduler::new(seed, delays, max_steps))
+            }
+            SchedulerKind::ProbabilisticRandom { switch_percent } => {
+                Box::new(ProbabilisticRandomScheduler::new(seed, switch_percent))
+            }
             SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
         }
     }
 
-    /// The default strategy portfolio for parallel portfolio testing: random
-    /// scheduling, PCT with several priority-change budgets, and round-robin.
+    /// The default strategy portfolio for portfolio testing: random
+    /// scheduling, PCT with several priority-change budgets, delay-bounding,
+    /// a probabilistic random walk, and round-robin.
     ///
-    /// Workers are assigned strategies round-robin over this list, so the
-    /// cheap-but-effective random scheduler gets the first slot.
+    /// Iterations are assigned strategies by
+    /// [`TestConfig::strategy_for_iteration`](crate::engine::TestConfig::strategy_for_iteration),
+    /// a seed-derived pick over this list, so every strategy gets an equal
+    /// share of the iteration space at any worker count.
     pub fn default_portfolio() -> Vec<SchedulerKind> {
         vec![
             SchedulerKind::Random,
             SchedulerKind::Pct { change_points: 2 },
             SchedulerKind::Pct { change_points: 5 },
             SchedulerKind::Pct { change_points: 10 },
+            SchedulerKind::DelayBounding { delays: 2 },
+            SchedulerKind::ProbabilisticRandom { switch_percent: 10 },
             SchedulerKind::RoundRobin,
         ]
     }
@@ -103,6 +134,8 @@ impl SchedulerKind {
         match self {
             SchedulerKind::Random => "random",
             SchedulerKind::Pct { .. } => "pct",
+            SchedulerKind::DelayBounding { .. } => "delay",
+            SchedulerKind::ProbabilisticRandom { .. } => "prob",
             SchedulerKind::RoundRobin => "round-robin",
         }
     }
@@ -113,6 +146,10 @@ impl SchedulerKind {
     pub fn describe(self) -> String {
         match self {
             SchedulerKind::Pct { change_points } => format!("pct(cp={change_points})"),
+            SchedulerKind::DelayBounding { delays } => format!("delay(d={delays})"),
+            SchedulerKind::ProbabilisticRandom { switch_percent } => {
+                format!("prob(p={switch_percent})")
+            }
             other => other.label().to_string(),
         }
     }
@@ -177,13 +214,24 @@ pub struct PctScheduler {
 
 impl PctScheduler {
     /// Creates a PCT scheduler with `change_points` priority change switches
-    /// placed uniformly over an execution of at most `max_steps` steps.
+    /// placed uniformly over the priority-driven prefix of an execution of at
+    /// most `max_steps` steps.
+    ///
+    /// Priorities only drive scheduling before the fair tail takes over at
+    /// `max_steps / 2`, so the change points are sampled over `[0,
+    /// max_steps / 2)`: a change point landing in the tail would never be
+    /// applied and its share of the d-bounded budget would silently go to
+    /// waste.
     pub fn new(seed: u64, change_points: usize, max_steps: usize) -> Self {
         let mut rng = SplitMix64::new(seed);
         let horizon = max_steps.max(1);
-        let mut change_steps: Vec<usize> = (0..change_points)
-            .map(|_| rng.next_below(horizon))
-            .collect();
+        let fair_after = horizon / 2;
+        // `fair_after` can be zero for degenerate 1-step horizons; sampling
+        // over `[0, 1)` keeps the constructor total (the single change point
+        // position is then in the tail and simply never fires).
+        let prefix = fair_after.max(1);
+        let mut change_steps: Vec<usize> =
+            (0..change_points).map(|_| rng.next_below(prefix)).collect();
         change_steps.sort_unstable();
         PctScheduler {
             rng,
@@ -191,7 +239,7 @@ impl PctScheduler {
             change_steps,
             next_change: 0,
             next_low_priority: 0,
-            fair_after: horizon / 2,
+            fair_after,
         }
     }
 
@@ -222,8 +270,12 @@ impl Scheduler for PctScheduler {
             self.priority_of(id);
         }
         // At a change point, deprioritize the currently highest enabled
-        // machine. Each change point is consumed exactly once.
-        if self.next_change < self.change_steps.len() && step >= self.change_steps[self.next_change]
+        // machine. Every change point due at this step is consumed *now*:
+        // duplicate or clustered change points fire together (each demoting
+        // the then-highest machine) instead of drifting to later steps, which
+        // would distort where in the execution the priority changes land.
+        while self.next_change < self.change_steps.len()
+            && step >= self.change_steps[self.next_change]
         {
             self.next_change += 1;
             if let Some(&top) = enabled
@@ -239,6 +291,168 @@ impl Scheduler for PctScheduler {
             .iter()
             .max_by_key(|&&id| self.priorities.get(&id).copied().unwrap_or(0))
             .expect("enabled set is never empty")
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    fn next_int(&mut self, bound: usize) -> usize {
+        self.rng.next_below(bound)
+    }
+}
+
+/// Delay-bounded scheduler (Emmi et al., POPL'11).
+///
+/// The scheduler follows a deterministic base strategy — keep running the
+/// current machine while it stays enabled, then move to the next enabled
+/// machine in id order — and perturbs it with at most `delays` *delays* per
+/// execution, placed at random steps. A delay skips the machine the base
+/// strategy would have run and hands the step to the next enabled machine
+/// instead, emulating an adversarial preemption. Many concurrency bugs are
+/// reachable with very few delays (the delay-bounding hypothesis), so small
+/// budgets explore a focused, qualitatively different slice of the schedule
+/// space than uniform randomness.
+///
+/// Like [`PctScheduler`], the deterministic base schedule is unfair (it can
+/// starve machines for the whole bounded execution, making every liveness
+/// property look violated), so the scheduler switches to a fair (uniformly
+/// random) tail for the second half of the step bound, and its delays are
+/// sampled over the deterministic prefix where they actually matter.
+#[derive(Debug, Clone)]
+pub struct DelayBoundingScheduler {
+    rng: SplitMix64,
+    delay_steps: Vec<usize>,
+    next_delay: usize,
+    current: Option<MachineId>,
+    fair_after: usize,
+}
+
+impl DelayBoundingScheduler {
+    /// Creates a delay-bounding scheduler with `delays` delays placed
+    /// uniformly over the deterministic prefix of an execution of at most
+    /// `max_steps` steps.
+    pub fn new(seed: u64, delays: usize, max_steps: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let horizon = max_steps.max(1);
+        let fair_after = horizon / 2;
+        let prefix = fair_after.max(1);
+        let mut delay_steps: Vec<usize> = (0..delays).map(|_| rng.next_below(prefix)).collect();
+        delay_steps.sort_unstable();
+        DelayBoundingScheduler {
+            rng,
+            delay_steps,
+            next_delay: 0,
+            current: None,
+            fair_after,
+        }
+    }
+
+    /// The first enabled machine with id strictly greater than `after`,
+    /// wrapping around to the lowest id.
+    fn successor(enabled: &[MachineId], after: MachineId) -> MachineId {
+        enabled
+            .iter()
+            .copied()
+            .find(|id| id.raw() > after.raw())
+            .unwrap_or(enabled[0])
+    }
+}
+
+impl Scheduler for DelayBoundingScheduler {
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], step: usize) -> MachineId {
+        if step >= self.fair_after {
+            // Fair tail: see the type-level documentation.
+            let choice = enabled[self.rng.next_below(enabled.len())];
+            self.current = Some(choice);
+            return choice;
+        }
+        // Deterministic base: run-to-completion on the current machine, then
+        // the next enabled machine in id order.
+        let mut choice = match self.current {
+            Some(current) if enabled.contains(&current) => current,
+            Some(current) => Self::successor(enabled, current),
+            None => enabled[0],
+        };
+        // Every delay due at this step defers the chosen machine once more.
+        while self.next_delay < self.delay_steps.len() && step >= self.delay_steps[self.next_delay]
+        {
+            self.next_delay += 1;
+            choice = Self::successor(enabled, choice);
+        }
+        self.current = Some(choice);
+        choice
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    fn next_int(&mut self, bound: usize) -> usize {
+        self.rng.next_below(bound)
+    }
+}
+
+/// Probabilistic random-walk scheduler (Coyote's probabilistic strategy).
+///
+/// Keeps scheduling the current machine while it stays enabled and, with
+/// `switch_percent`% probability at each step, context-switches to a
+/// uniformly random *other* enabled machine (excluding the current one, so
+/// the configured probability is the true per-step context-switch rate).
+/// Low switch probabilities explore long
+/// uninterrupted stretches of a single machine's behavior — schedules a
+/// uniformly random scheduler (which switches with probability
+/// `(n-1)/n` every step) essentially never produces.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticRandomScheduler {
+    rng: SplitMix64,
+    switch_percent: u32,
+    current: Option<MachineId>,
+}
+
+impl ProbabilisticRandomScheduler {
+    /// Creates a probabilistic random scheduler that switches with
+    /// `switch_percent`% probability per step (clamped to `0..=100`).
+    pub fn new(seed: u64, switch_percent: u32) -> Self {
+        ProbabilisticRandomScheduler {
+            rng: SplitMix64::new(seed),
+            switch_percent: switch_percent.min(100),
+            current: None,
+        }
+    }
+}
+
+impl Scheduler for ProbabilisticRandomScheduler {
+    fn name(&self) -> &'static str {
+        "prob"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], _step: usize) -> MachineId {
+        let choice = match self.current {
+            Some(current) if enabled.contains(&current) => {
+                let switch = self.rng.next_bool_ratio(self.switch_percent as u64, 100);
+                if switch && enabled.len() > 1 {
+                    // Switch to a uniformly random *other* machine: including
+                    // the current one in the draw would silently shrink the
+                    // effective switch probability to `p * (n-1)/n`.
+                    let position = enabled
+                        .iter()
+                        .position(|&m| m == current)
+                        .expect("current is enabled");
+                    let pick = self.rng.next_below(enabled.len() - 1);
+                    enabled[if pick >= position { pick + 1 } else { pick }]
+                } else {
+                    current
+                }
+            }
+            _ => enabled[self.rng.next_below(enabled.len())],
+        };
+        self.current = Some(choice);
+        choice
     }
 
     fn next_bool(&mut self) -> bool {
@@ -501,6 +715,190 @@ mod tests {
     }
 
     #[test]
+    fn pct_change_points_all_land_before_the_fair_tail() {
+        // The full priority-change budget must be spent where priorities
+        // actually drive scheduling: every sampled change point lies in
+        // `[0, fair_after)`, for any seed and budget.
+        for seed in 0..50 {
+            for change_points in [1usize, 2, 5, 10] {
+                let s = PctScheduler::new(seed, change_points, 1_000);
+                assert_eq!(s.change_steps.len(), change_points);
+                assert!(
+                    s.change_steps.iter().all(|&c| c < s.fair_after),
+                    "seed {seed}, cp {change_points}: change points {:?} vs fair tail at {}",
+                    s.change_steps,
+                    s.fair_after
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pct_consumes_clustered_change_points_at_their_step() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = PctScheduler::new(7, 0, 1_000);
+        // Three change points due at the same step must all fire there
+        // instead of drifting one step apart.
+        s.change_steps = vec![5, 5, 5];
+        for step in 0..=5 {
+            s.next_machine(&enabled, step);
+        }
+        assert_eq!(s.next_change, 3, "all clustered change points consumed");
+        // Three demotions at one step across three machines: the step-6 pick
+        // still works and every machine got a fresh low priority exactly once.
+        assert_eq!(s.next_low_priority, 3);
+    }
+
+    #[test]
+    fn pct_change_points_fire_even_when_sampled_densely() {
+        // With a budget far larger than the prefix, duplicates are
+        // guaranteed; by the first step of the fair tail every change point
+        // must have been consumed.
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = PctScheduler::new(13, 64, 40);
+        for step in 0..s.fair_after {
+            s.next_machine(&enabled, step);
+        }
+        assert_eq!(
+            s.next_change,
+            s.change_steps.len(),
+            "no change point may survive past the priority prefix"
+        );
+    }
+
+    #[test]
+    fn pct_one_step_horizon_does_not_panic() {
+        let enabled = ids(&[0, 1]);
+        let mut s = PctScheduler::new(3, 2, 1);
+        assert!(enabled.contains(&s.next_machine(&enabled, 0)));
+    }
+
+    #[test]
+    fn delay_bounding_is_deterministic_per_seed() {
+        let enabled = ids(&[0, 1, 2, 3]);
+        let mut a = DelayBoundingScheduler::new(9, 3, 200);
+        let mut b = DelayBoundingScheduler::new(9, 3, 200);
+        for step in 0..200 {
+            assert_eq!(
+                a.next_machine(&enabled, step),
+                b.next_machine(&enabled, step)
+            );
+            assert_eq!(a.next_int(7), b.next_int(7));
+        }
+    }
+
+    #[test]
+    fn delay_bounding_zero_delays_is_run_to_completion() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = DelayBoundingScheduler::new(5, 0, 1_000);
+        for step in 0..50 {
+            assert_eq!(s.next_machine(&enabled, step), MachineId::from_raw(0));
+        }
+        // When the running machine disables, the next in id order runs.
+        let without_first = ids(&[1, 2]);
+        assert_eq!(
+            s.next_machine(&without_first, 50),
+            MachineId::from_raw(1),
+            "successor in id order after the current machine disables"
+        );
+    }
+
+    #[test]
+    fn delay_bounding_switches_at_most_delays_times_in_the_prefix() {
+        // Steps 0..250 are the deterministic prefix of a 500-step horizon
+        // (the fair tail starts at 250); there, visible context switches are
+        // bounded by the delay budget.
+        let enabled = ids(&[0, 1, 2]);
+        for seed in 0..20 {
+            for delays in [0usize, 1, 2, 4] {
+                let mut s = DelayBoundingScheduler::new(seed, delays, 500);
+                let picks: Vec<MachineId> = (0..250)
+                    .map(|step| s.next_machine(&enabled, step))
+                    .collect();
+                let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
+                assert!(
+                    switches <= delays,
+                    "seed {seed}: {switches} switches exceed the {delays}-delay budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delay_bounding_fair_tail_eventually_schedules_every_machine() {
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = DelayBoundingScheduler::new(7, 0, 100);
+        let mut seen = [false; 3];
+        for step in 50..300 {
+            seen[s.next_machine(&enabled, step).raw() as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "the fair tail must not starve machines"
+        );
+    }
+
+    #[test]
+    fn probabilistic_random_is_deterministic_per_seed() {
+        let enabled = ids(&[0, 1, 2, 3]);
+        let mut a = ProbabilisticRandomScheduler::new(21, 10);
+        let mut b = ProbabilisticRandomScheduler::new(21, 10);
+        for step in 0..200 {
+            assert_eq!(
+                a.next_machine(&enabled, step),
+                b.next_machine(&enabled, step)
+            );
+        }
+    }
+
+    #[test]
+    fn probabilistic_random_switch_rate_follows_probability() {
+        let enabled = ids(&[0, 1, 2, 3]);
+        // 0%: never leaves the first pick while it stays enabled.
+        let mut sticky = ProbabilisticRandomScheduler::new(3, 0);
+        let first = sticky.next_machine(&enabled, 0);
+        for step in 1..300 {
+            assert_eq!(sticky.next_machine(&enabled, step), first);
+        }
+        // 10%: switches sometimes, but far less often than uniform random
+        // (which changes machine ~3 out of 4 steps on 4 machines).
+        let mut sometimes = ProbabilisticRandomScheduler::new(3, 10);
+        let picks: Vec<MachineId> = (0..1_000)
+            .map(|step| sometimes.next_machine(&enabled, step))
+            .collect();
+        let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches > 0, "a 10% walk must switch eventually");
+        assert!(
+            switches < 300,
+            "a 10% walk switches far less than uniform random ({switches})"
+        );
+        // Every machine is still eventually scheduled.
+        let mut seen = [false; 4];
+        for pick in picks {
+            seen[pick.raw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn default_portfolio_contains_the_new_strategies() {
+        let portfolio = SchedulerKind::default_portfolio();
+        assert!(portfolio.len() >= 5);
+        assert!(portfolio
+            .iter()
+            .any(|k| matches!(k, SchedulerKind::DelayBounding { .. })));
+        assert!(portfolio
+            .iter()
+            .any(|k| matches!(k, SchedulerKind::ProbabilisticRandom { .. })));
+        // Descriptions are unique so per-strategy attribution rows never
+        // collide.
+        let mut descriptions: Vec<String> = portfolio.iter().map(|k| k.describe()).collect();
+        descriptions.sort();
+        descriptions.dedup();
+        assert_eq!(descriptions.len(), portfolio.len());
+    }
+
+    #[test]
     fn round_robin_cycles_through_machines() {
         let enabled = ids(&[0, 1, 2]);
         let mut s = RoundRobinScheduler::new();
@@ -553,5 +951,25 @@ mod tests {
         );
         assert_eq!(SchedulerKind::RoundRobin.build(0, 10).name(), "round-robin");
         assert_eq!(SchedulerKind::Pct { change_points: 2 }.label(), "pct");
+        assert_eq!(
+            SchedulerKind::DelayBounding { delays: 2 }
+                .build(0, 10)
+                .name(),
+            "delay"
+        );
+        assert_eq!(
+            SchedulerKind::ProbabilisticRandom { switch_percent: 10 }
+                .build(0, 10)
+                .name(),
+            "prob"
+        );
+        assert_eq!(
+            SchedulerKind::DelayBounding { delays: 2 }.describe(),
+            "delay(d=2)"
+        );
+        assert_eq!(
+            SchedulerKind::ProbabilisticRandom { switch_percent: 10 }.describe(),
+            "prob(p=10)"
+        );
     }
 }

@@ -133,22 +133,24 @@ impl fmt::Display for ModelStats {
 /// Exploration statistics attributed to one scheduling strategy of a
 /// (portfolio) testing run.
 ///
-/// Produced by [`TestEngine::run`](crate::engine::TestEngine::run) (a single
-/// row) and by
-/// [`ParallelTestEngine::run`](crate::engine::ParallelTestEngine::run) (one
-/// row per distinct strategy in the portfolio, merged across the workers
-/// assigned to it).
+/// Produced by [`TestEngine::run`](crate::engine::TestEngine::run) and
+/// [`ParallelTestEngine::run`](crate::engine::ParallelTestEngine::run): one
+/// row per distinct strategy in the portfolio (a single row outside
+/// portfolio mode), in portfolio order. Attribution keys off the iteration's
+/// assigned strategy
+/// ([`TestConfig::strategy_for_iteration`](crate::engine::TestConfig::strategy_for_iteration)),
+/// not off which worker executed it, so rows of bug-free runs are identical
+/// at any worker count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StrategyStats {
-    /// The strategy description ("random", "pct(cp=2)", "round-robin") —
+    /// The strategy description ("random", "pct(cp=2)", "delay(d=2)") —
     /// [`SchedulerKind::describe`](crate::scheduler::SchedulerKind::describe),
     /// which distinguishes parameterizations of the same strategy.
     pub scheduler: String,
-    /// Number of workers that ran this strategy.
-    pub workers: usize,
-    /// Executions explored by this strategy across its workers.
+    /// Executions this strategy explored to completion.
     pub iterations_run: u64,
-    /// Machine steps executed by this strategy across its workers.
+    /// Machine steps executed under this strategy (including partial work of
+    /// executions the parallel engine cancelled mid-flight).
     pub total_steps: u64,
     /// Property violations this strategy found (0 or 1 today: runs stop at
     /// the first bug).
@@ -160,7 +162,6 @@ impl StrategyStats {
     pub fn new(scheduler: impl Into<String>) -> Self {
         StrategyStats {
             scheduler: scheduler.into(),
-            workers: 0,
             iterations_run: 0,
             total_steps: 0,
             bugs_found: 0,
@@ -177,7 +178,6 @@ impl StrategyStats {
             self.scheduler, other.scheduler,
             "cannot merge stats of different strategies"
         );
-        self.workers += other.workers;
         self.iterations_run += other.iterations_run;
         self.total_steps += other.total_steps;
         self.bugs_found += other.bugs_found;
@@ -186,8 +186,8 @@ impl StrategyStats {
     /// Renders the header row matching [`StrategyStats`]'s `Display` output.
     pub fn table_header() -> String {
         format!(
-            "{:<12} {:>7} {:>12} {:>12} {:>5}",
-            "Strategy", "Workers", "Execs", "Steps", "Bugs"
+            "{:<14} {:>12} {:>12} {:>5}",
+            "Strategy", "Execs", "Steps", "Bugs"
         )
     }
 }
@@ -196,8 +196,8 @@ impl fmt::Display for StrategyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<12} {:>7} {:>12} {:>12} {:>5}",
-            self.scheduler, self.workers, self.iterations_run, self.total_steps, self.bugs_found
+            "{:<14} {:>12} {:>12} {:>5}",
+            self.scheduler, self.iterations_run, self.total_steps, self.bugs_found
         )
     }
 }
@@ -206,7 +206,6 @@ impl ToJson for StrategyStats {
     fn to_json_value(&self) -> Json {
         Json::object([
             ("scheduler", Json::Str(self.scheduler.clone())),
-            ("workers", Json::UInt(self.workers as u64)),
             ("iterations_run", Json::UInt(self.iterations_run)),
             ("total_steps", Json::UInt(self.total_steps)),
             ("bugs_found", Json::UInt(self.bugs_found)),

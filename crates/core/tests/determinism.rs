@@ -92,6 +92,8 @@ fn every_kind() -> Vec<SchedulerKind> {
         SchedulerKind::Random,
         SchedulerKind::Pct { change_points: 2 },
         SchedulerKind::Pct { change_points: 5 },
+        SchedulerKind::DelayBounding { delays: 2 },
+        SchedulerKind::ProbabilisticRandom { switch_percent: 10 },
         SchedulerKind::RoundRobin,
     ]
 }
@@ -173,7 +175,7 @@ fn n_worker_run_covers_the_same_seed_space_as_serial() {
 }
 
 #[test]
-fn portfolio_attribution_covers_all_workers() {
+fn portfolio_attribution_covers_every_iteration() {
     let report = ParallelTestEngine::new(
         TestConfig::new()
             .with_iterations(120)
@@ -187,9 +189,13 @@ fn portfolio_attribution_covers_all_workers() {
     assert_eq!(attributed, report.iterations_run);
     let attributed_steps: u64 = report.per_strategy.iter().map(|s| s.total_steps).sum();
     assert_eq!(attributed_steps, report.total_steps);
-    let workers: usize = report.per_strategy.iter().map(|s| s.workers).sum();
-    assert_eq!(workers, 5);
-    // The default portfolio assigns distinct strategies to the first workers.
-    assert!(report.per_strategy.len() >= 3);
+    // One row per portfolio entry, in portfolio order.
+    let portfolio = SchedulerKind::default_portfolio();
+    assert_eq!(report.per_strategy.len(), portfolio.len());
+    for (row, kind) in report.per_strategy.iter().zip(&portfolio) {
+        assert_eq!(row.scheduler, kind.describe());
+    }
     assert!(report.strategy_table().contains("random"));
+    assert!(report.strategy_table().contains("delay(d=2)"));
+    assert!(report.strategy_table().contains("prob(p=10)"));
 }

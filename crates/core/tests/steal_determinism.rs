@@ -63,3 +63,106 @@ fn repeated_parallel_runs_agree_with_each_other() {
         assert_eq!(again.trace, reference.trace);
     }
 }
+
+/// A harness whose bug only a schedule-sensitive strategy mix surfaces
+/// cheaply: any strategy can hit it (a 1-in-12 value draw), so in portfolio
+/// mode different strategies race to win different iterations and
+/// worker-order-dependent strategy assignment would report different
+/// (iteration, strategy, bug) results run to run.
+fn occasionally_buggy(rt: &mut Runtime) {
+    struct Sometimes;
+    impl Machine for Sometimes {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if ctx.random_index(12) == 5 {
+                ctx.report_bug(BugKind::SafetyViolation, "unlucky draw");
+            }
+        }
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+    rt.create_machine(Sometimes);
+}
+
+fn portfolio_config() -> TestConfig {
+    TestConfig::new()
+        .with_iterations(400)
+        .with_seed(23)
+        .with_default_portfolio()
+}
+
+#[test]
+fn portfolio_run_reports_the_serial_result_at_any_worker_count() {
+    // The serial engine is the reference: per-iteration strategy assignment
+    // makes the portfolio deterministic, so every worker count must
+    // reproduce the serial (iteration, seed, strategy, bug) result exactly.
+    let serial = TestEngine::new(portfolio_config()).run(occasionally_buggy);
+    let expected = serial.bug.expect("serial portfolio run finds a bug");
+
+    for workers in [1usize, 2, 8] {
+        let parallel = ParallelTestEngine::new(portfolio_config().with_workers(workers))
+            .run(occasionally_buggy);
+        let found = parallel
+            .bug
+            .unwrap_or_else(|| panic!("{workers}-worker portfolio run must find the bug"));
+        assert_eq!(
+            found.iteration, expected.iteration,
+            "{workers} workers: same winning iteration"
+        );
+        assert_eq!(
+            found.trace.seed, expected.trace.seed,
+            "{workers} workers: same seed"
+        );
+        assert_eq!(found.trace, expected.trace, "{workers} workers: same trace");
+        assert_eq!(
+            parallel.scheduler, serial.scheduler,
+            "{workers} workers: same winning strategy label"
+        );
+        assert_eq!(
+            found.bug.message, expected.bug.message,
+            "{workers} workers: same bug"
+        );
+    }
+}
+
+#[test]
+fn bug_free_portfolio_reports_are_identical_at_any_worker_count() {
+    // Without a bug to race for, the whole TestReport — winning label,
+    // counters and the per-strategy attribution rows — must be identical for
+    // 1, 2 and 8 workers and match the serial engine.
+    fn clean(rt: &mut Runtime) {
+        struct Quiet;
+        impl Machine for Quiet {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let _ = ctx.random_bool();
+                let _ = ctx.random_index(4);
+            }
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        }
+        rt.create_machine(Quiet);
+    }
+    let base = || {
+        TestConfig::new()
+            .with_iterations(300)
+            .with_seed(41)
+            .with_default_portfolio()
+    };
+    let serial = TestEngine::new(base()).run(clean);
+    assert!(!serial.found_bug());
+    assert_eq!(serial.scheduler, "portfolio");
+
+    for workers in [1usize, 2, 8] {
+        let parallel = ParallelTestEngine::new(base().with_workers(workers)).run(clean);
+        assert_eq!(
+            parallel.iterations_run, serial.iterations_run,
+            "{workers} workers"
+        );
+        assert_eq!(
+            parallel.total_steps, serial.total_steps,
+            "{workers} workers"
+        );
+        assert_eq!(parallel.scheduler, serial.scheduler, "{workers} workers");
+        assert_eq!(
+            parallel.per_strategy, serial.per_strategy,
+            "{workers} workers: identical per-strategy attribution"
+        );
+    }
+}

@@ -76,9 +76,10 @@ fn main() {
     println!("{}", report.summary());
 
     // 4. The parallel portfolio engine: shard the same safety hunt over all
-    //    cores, with each worker running a different scheduling strategy.
-    //    One worker reproduces the serial run bit for bit; N workers explore
-    //    the same seed space N times faster and stop at the first violation.
+    //    cores, mixing every scheduling strategy of the default portfolio.
+    //    The strategy driving an iteration is decided by the iteration
+    //    index, so the run reports the identical (iteration, seed, strategy,
+    //    bug) result at any worker count — N workers just get there faster.
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -87,7 +88,7 @@ fn main() {
         TestConfig::new()
             .with_iterations(5_000)
             .with_max_steps(2_000)
-            .with_seed(1)
+            .with_seed(7)
             .with_workers(workers)
             .with_default_portfolio(),
     );
