@@ -9,10 +9,12 @@
 //! prints the median wall-clock time plus executions/second.
 //!
 //! Besides the human-readable table the bench writes a machine-readable
-//! `BENCH_pr3.json` (override with `--json PATH`; schema-compatible with
-//! `BENCH_pr2.json`, plus per-strategy portfolio rows) so the perf
-//! trajectory of the engine is tracked from PR 2 on. `--quick` shrinks every
-//! budget for CI smoke runs.
+//! `BENCH_pr4.json` (override with `--json PATH`; schema-compatible with
+//! `BENCH_pr2.json`, plus per-strategy portfolio rows and the
+//! schedule-shrinking row added in PR 4) so the perf trajectory of the
+//! engine is tracked from PR 2 on — `dashboard` renders the whole
+//! `BENCH_*.json` series as a trend table. `--quick` shrinks every budget
+//! for CI smoke runs.
 //!
 //! Run with `cargo bench -p bench` — or directly:
 //! `cargo run --release -p bench --bench schedulers -- [--quick] [--json PATH]`.
@@ -70,7 +72,7 @@ fn parse_settings() -> Settings {
     let mut settings = Settings {
         reps: 5,
         scale: 1,
-        json: "BENCH_pr3.json".to_string(),
+        json: "BENCH_pr4.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -347,6 +349,36 @@ fn portfolio_per_strategy(b: &mut Bench) {
     }
 }
 
+/// Wall-clock cost of the schedule-shrinking pass (PR 4): hunt a seeded bug
+/// once (untimed), then time `shrink_trace` reducing its recorded schedule
+/// to a minimal replayable counterexample. The row's `steps` column carries
+/// the minimized decision count, so the JSON tracks reduction quality along
+/// with shrink time.
+fn shrink_pass(b: &mut Bench) {
+    let group = "shrink";
+    let (_, chain_config) = chaintable::named_bugs()
+        .into_iter()
+        .find(|(name, _)| *name == "DeletePrimaryKey")
+        .expect("known seeded bug");
+    let build = move |rt: &mut Runtime| {
+        chaintable::build_harness(rt, &chain_config);
+    };
+    let config = TestConfig::new()
+        .with_iterations(2_000)
+        .with_max_steps(10_000)
+        .with_seed(11);
+    let report = TestEngine::new(config.clone()).run(build);
+    let bug_report = report.bug.expect("the seeded bug is reachable");
+    let shrink_config = config.shrink_config();
+    let mut last_summary = String::new();
+    b.bench(group, "chaintable_delete_primary_key", 1, || {
+        let result = shrink_trace(&shrink_config, &bug_report.bug, &bug_report.trace, &build);
+        last_summary = result.summary();
+        result.minimized_decisions as u64
+    });
+    println!("    {last_summary}");
+}
+
 /// Serial vs work-stealing parallel engine over the same bug-free exploration
 /// budget, demonstrating the throughput multiplier on multi-core hosts.
 fn parallel_engine_comparison(b: &mut Bench) {
@@ -396,7 +428,7 @@ fn write_report(b: &Bench) {
         .map(|r| r.execs_per_sec)
         .unwrap_or(0.0);
     let json = Json::object([
-        ("pr", Json::UInt(3)),
+        ("pr", Json::UInt(4)),
         (
             "bench",
             Json::Str("crates/bench/benches/schedulers.rs".to_string()),
@@ -457,6 +489,7 @@ fn main() {
     pct_budget_ablation(&mut b);
     liveness_bound_ablation(&mut b);
     portfolio_per_strategy(&mut b);
+    shrink_pass(&mut b);
     parallel_engine_comparison(&mut b);
     write_report(&b);
 }

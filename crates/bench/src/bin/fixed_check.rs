@@ -3,18 +3,19 @@
 //! 100,000 executions" check after the fixes were applied (§3.6).
 //!
 //! Usage: `fixed_check [--iterations N] [--workers W|max]
-//! [--scheduler random|pct|delay|prob|round-robin] [--portfolio]` (defaults:
-//! 2,000 executions, 1 worker, random scheduling). `--portfolio` verifies
-//! under the full default strategy portfolio instead of a single scheduler.
+//! [--scheduler random|pct|delay|prob|round-robin] [--portfolio]
+//! [--trace-mode full|ring:N|decisions]` (defaults: 2,000 executions, 1
+//! worker, random scheduling, full traces). `--portfolio` verifies under
+//! the full default strategy portfolio instead of a single scheduler;
+//! `--trace-mode ring:N` bounds per-execution trace memory on long
+//! verification runs.
 //!
-//! Caveat: the case-study liveness monitors rely on the paper's §2.5
-//! bounded-horizon heuristic ("hot at the step bound" = violation), with
-//! step bounds tuned for *fair* schedulers. Unfair strategies (PCT,
-//! delay-bounding) can flood mailboxes during their priority-driven prefix
-//! faster than the fair tail can drain them, so a `--scheduler pct`,
-//! `--scheduler delay` or `--portfolio` run may flag a liveness "violation"
-//! on a correct system at these default bounds — an artifact of the
-//! heuristic, not a system bug. Safety monitors are unaffected.
+//! The PR 3 caveat about spurious liveness "violations" under unfair
+//! strategies (PCT, delay-bounding, the probabilistic walk) is resolved: the
+//! runtime now confirms bounded-horizon liveness verdicts of
+//! starvation-prone strategies over a fair grace period, so `--scheduler
+//! pct`, `--scheduler delay`, `--scheduler prob` and `--portfolio` runs
+//! stay clean on the fixed systems at the default bounds.
 
 use bench::{parse_scheduler, verify_fixed_config};
 use psharp::prelude::*;
@@ -24,9 +25,15 @@ fn main() {
     let mut workers: usize = 1;
     let mut scheduler = SchedulerKind::Random;
     let mut portfolio = false;
+    let mut trace_mode = TraceMode::Full;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
+            "--trace-mode" => {
+                let name = argv.next().expect("--trace-mode requires a mode");
+                trace_mode = TraceMode::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown trace mode {name:?}"));
+            }
             "--iterations" => {
                 iterations = argv
                     .next()
@@ -103,7 +110,8 @@ fn main() {
             .with_max_steps(max_steps)
             .with_seed(99)
             .with_scheduler(scheduler)
-            .with_workers(workers);
+            .with_workers(workers)
+            .with_trace_mode(trace_mode);
         if portfolio {
             config = config.with_default_portfolio();
         }

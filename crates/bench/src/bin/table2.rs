@@ -9,7 +9,14 @@
 //! table2 [--iterations N] [--seed S]
 //!        [--scheduler random|pct|delay|prob|round-robin|both|all]
 //!        [--json PATH] [--workers W] [--portfolio]
+//!        [--shrink] [--trace-mode full|ring:N|decisions]
 //! ```
+//!
+//! `--shrink` delta-debugs every found bug's schedule down to a minimal
+//! replayable counterexample (extra `MinNDC` column + `minimized_ndc` /
+//! `shrink_time_seconds` JSON fields). `--trace-mode` bounds how much of the
+//! human-facing annotated schedule each execution retains (`ring:N` keeps
+//! the last N steps, `decisions` keeps none); replay is unaffected.
 //!
 //! `--scheduler both` runs the paper's random + PCT pair (the default);
 //! `--scheduler all` adds the delay-bounding, probabilistic-random and
@@ -30,9 +37,9 @@
 
 use std::fs;
 
-use bench::{bug_cases, hunt_parallel, hunt_portfolio, parse_scheduler, BugHuntResult};
+use bench::{bug_cases, hunt_with_config, parse_scheduler, BugHuntResult};
 use psharp::json::{Json, ToJson};
-use psharp::prelude::SchedulerKind;
+use psharp::prelude::{SchedulerKind, TestConfig, TraceMode};
 
 struct Args {
     iterations: u64,
@@ -41,6 +48,8 @@ struct Args {
     json: Option<String>,
     workers: usize,
     portfolio: bool,
+    shrink: bool,
+    trace_mode: TraceMode,
 }
 
 fn parse_args() -> Args {
@@ -54,6 +63,8 @@ fn parse_args() -> Args {
         json: None,
         workers: 1,
         portfolio: false,
+        shrink: false,
+        trace_mode: TraceMode::Full,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -88,6 +99,12 @@ fn parse_args() -> Args {
             },
             "--json" => args.json = argv.next(),
             "--portfolio" => args.portfolio = true,
+            "--shrink" => args.shrink = true,
+            "--trace-mode" => {
+                let name = argv.next().expect("--trace-mode requires a mode");
+                args.trace_mode = TraceMode::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown trace mode {name:?}"));
+            }
             "--workers" => {
                 args.workers = match argv.next().as_deref() {
                     Some("max") => std::thread::available_parallelism()
@@ -114,16 +131,22 @@ fn main() {
     );
     println!("{}", BugHuntResult::table_header());
 
+    let base_config = TestConfig::new()
+        .with_iterations(args.iterations)
+        .with_seed(args.seed)
+        .with_workers(args.workers)
+        .with_shrink(args.shrink)
+        .with_trace_mode(args.trace_mode);
+
     let mut results: Vec<BugHuntResult> = Vec::new();
     for case in bug_cases() {
         if args.portfolio {
-            let result = hunt_portfolio(&case, args.iterations, args.seed, args.workers);
+            let result = hunt_with_config(&case, base_config.clone().with_default_portfolio());
             println!("{}", result.table_row());
             results.push(result);
         } else {
             for &scheduler in &args.schedulers {
-                let result =
-                    hunt_parallel(&case, scheduler, args.iterations, args.seed, args.workers);
+                let result = hunt_with_config(&case, base_config.clone().with_scheduler(scheduler));
                 println!("{}", result.table_row());
                 results.push(result);
             }

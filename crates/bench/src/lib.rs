@@ -96,6 +96,11 @@ pub struct BugHuntResult {
     /// strategy) columns, this aggregate depends on how far other workers
     /// got before cancellation in runs that find a bug.
     pub executions: u64,
+    /// Decision count of the minimized counterexample, when the hunt ran
+    /// with schedule shrinking enabled and found a bug.
+    pub minimized_ndc: Option<usize>,
+    /// Wall-clock seconds the shrink pass spent, when it ran.
+    pub shrink_time_seconds: Option<f64>,
 }
 
 impl ToJson for BugHuntResult {
@@ -134,12 +139,27 @@ impl ToJson for BugHuntResult {
                 },
             ),
             ("executions", Json::UInt(self.executions)),
+            (
+                "minimized_ndc",
+                match self.minimized_ndc {
+                    Some(n) => Json::UInt(n as u64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "shrink_time_seconds",
+                match self.shrink_time_seconds {
+                    Some(t) => Json::Float(t),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
 
 impl BugHuntResult {
-    /// Renders one row of the Table 2 layout.
+    /// Renders one row of the Table 2 layout. The `MinNDC` column holds the
+    /// minimized decision count when the hunt ran with `--shrink`.
     pub fn table_row(&self) -> String {
         let found = if self.found { "yes" } else { "no " };
         let iteration = self
@@ -154,17 +174,29 @@ impl BugHuntResult {
             .ndc
             .map(|n| format!("{n:8}"))
             .unwrap_or_else(|| format!("{:>8}", "-"));
+        let minimized = self
+            .minimized_ndc
+            .map(|n| format!("{n:8}"))
+            .unwrap_or_else(|| format!("{:>8}", "-"));
         format!(
-            "{:>2}  {:<38} {:<11} {}  {}  {}  {}  {:>9}",
-            self.case_study, self.bug, self.scheduler, found, iteration, time, ndc, self.executions
+            "{:>2}  {:<38} {:<11} {}  {}  {}  {}  {:>9}  {}",
+            self.case_study,
+            self.bug,
+            self.scheduler,
+            found,
+            iteration,
+            time,
+            ndc,
+            self.executions,
+            minimized
         )
     }
 
     /// The header matching [`BugHuntResult::table_row`].
     pub fn table_header() -> String {
         format!(
-            "{:>2}  {:<38} {:<11} {}  {:>7}  {:>10}  {:>8}  {:>9}",
-            "CS", "Bug Identifier", "Sched", "BF?", "Iter", "Time(s)", "#NDC", "Execs"
+            "{:>2}  {:<38} {:<11} {}  {:>7}  {:>10}  {:>8}  {:>9}  {:>8}",
+            "CS", "Bug Identifier", "Sched", "BF?", "Iter", "Time(s)", "#NDC", "Execs", "MinNDC"
         )
     }
 }
@@ -234,12 +266,16 @@ pub fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
     }
 }
 
-/// Shared hunt runner: the result's `scheduler` column is the report's label
-/// (the configured strategy, or the winning portfolio strategy).
-fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
-    let engine = ParallelTestEngine::new(config);
+/// Shared hunt runner under an arbitrary configuration (scheduler,
+/// portfolio, worker count, trace mode, shrinking): the result's `scheduler`
+/// column is the report's label (the configured strategy, or the winning
+/// portfolio strategy). The case's own step bound overrides the
+/// configuration's.
+pub fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
+    let engine = ParallelTestEngine::new(config.with_max_steps(case.max_steps));
     let build = &case.build;
     let report = engine.run(|rt| build(rt));
+    let shrink = report.bug.as_ref().and_then(|b| b.shrink.as_ref());
     BugHuntResult {
         case_study: case.case_study,
         bug: case.name.to_string(),
@@ -249,6 +285,8 @@ fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
         seed: report.bug.as_ref().map(|b| b.trace.seed),
         time_to_bug_seconds: report.bug.as_ref().map(|b| b.time_to_bug.as_secs_f64()),
         ndc: report.bug.as_ref().map(|b| b.ndc),
+        minimized_ndc: shrink.map(|s| s.minimized_decisions),
+        shrink_time_seconds: shrink.map(|s| s.elapsed.as_secs_f64()),
         executions: report.iterations_run,
     }
 }
@@ -392,6 +430,8 @@ mod tests {
             seed: None,
             time_to_bug_seconds: None,
             ndc: None,
+            minimized_ndc: None,
+            shrink_time_seconds: None,
             executions: 1000,
         }
         .table_row();

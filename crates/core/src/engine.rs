@@ -33,8 +33,9 @@ use crate::error::Bug;
 use crate::rng::{mix64, GOLDEN_GAMMA};
 use crate::runtime::{CancelToken, ExecutionOutcome, Runtime, RuntimeConfig};
 use crate::scheduler::{ReplayScheduler, SchedulerKind};
+use crate::shrink::{shrink_trace, ShrinkConfig, ShrinkReport};
 use crate::stats::StrategyStats;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceMode};
 
 /// Salt decorrelating the strategy-selection stream from the per-iteration
 /// execution seeds: both are derived from [`TestConfig::seed`], but through
@@ -67,6 +68,16 @@ pub struct TestConfig {
     /// seed-derived, worker-count-independent assignment) instead of
     /// [`TestConfig::scheduler`].
     pub portfolio: Option<Vec<SchedulerKind>>,
+    /// How much of the human-facing annotated schedule each execution's
+    /// trace retains ([`TraceMode::Full`] by default). Replayability is
+    /// unaffected: the decision stream is always recorded in full.
+    pub trace_mode: TraceMode,
+    /// Whether a found bug's trace is automatically delta-debugged down to a
+    /// minimal replayable counterexample ([`crate::shrink`]) before the
+    /// report is returned.
+    pub shrink: bool,
+    /// Maximum number of candidate executions one shrink pass may spend.
+    pub shrink_budget: u64,
 }
 
 impl Default for TestConfig {
@@ -80,6 +91,9 @@ impl Default for TestConfig {
             catch_panics: true,
             workers: 1,
             portfolio: None,
+            trace_mode: TraceMode::Full,
+            shrink: false,
+            shrink_budget: 2_000,
         }
     }
 }
@@ -142,6 +156,54 @@ impl TestConfig {
         self.with_portfolio(SchedulerKind::default_portfolio())
     }
 
+    /// Sets how much of the annotated schedule each execution's trace
+    /// retains. `TraceMode::RingBuffer(cap)` bounds peak trace memory on
+    /// very long executions; replay is unaffected under every mode.
+    pub fn with_trace_mode(mut self, trace_mode: TraceMode) -> Self {
+        self.trace_mode = trace_mode;
+        self
+    }
+
+    /// Enables (or disables) automatic schedule shrinking: a found bug's
+    /// trace is delta-debugged down to a minimal replayable counterexample
+    /// and attached to the report as [`BugReport::shrink`].
+    pub fn with_shrink(mut self, shrink: bool) -> Self {
+        self.shrink = shrink;
+        self
+    }
+
+    /// Bounds the number of candidate executions one shrink pass may spend.
+    pub fn with_shrink_budget(mut self, shrink_budget: u64) -> Self {
+        self.shrink_budget = shrink_budget;
+        self
+    }
+
+    /// The shrink-pass parameters derived from this configuration.
+    pub fn shrink_config(&self) -> ShrinkConfig {
+        ShrinkConfig {
+            max_steps: self.max_steps,
+            check_liveness_at_quiescence: self.check_liveness_at_quiescence,
+            catch_panics: self.catch_panics,
+            max_candidates: self.shrink_budget,
+        }
+    }
+
+    /// Runs the configured shrink pass over a found bug and attaches the
+    /// result to the report. No-op when shrinking is disabled.
+    fn attach_shrink<F>(&self, report: &mut BugReport, setup: &F)
+    where
+        F: Fn(&mut Runtime),
+    {
+        if self.shrink {
+            report.shrink = Some(shrink_trace(
+                &self.shrink_config(),
+                &report.bug,
+                &report.trace,
+                setup,
+            ));
+        }
+    }
+
     /// The index of the portfolio entry that drives `iteration`, or `None`
     /// when no portfolio is configured.
     ///
@@ -177,6 +239,7 @@ impl TestConfig {
             max_steps: self.max_steps,
             check_liveness_at_quiescence: self.check_liveness_at_quiescence,
             catch_panics: self.catch_panics,
+            trace_mode: self.trace_mode,
         }
     }
 
@@ -223,18 +286,28 @@ impl TestConfig {
     where
         F: Fn(&mut Runtime),
     {
-        self.run_iteration_seeded(iteration, self.seed_for_iteration(iteration), cancel, setup)
+        self.run_iteration_seeded(
+            iteration,
+            self.seed_for_iteration(iteration),
+            cancel,
+            setup,
+            &mut None,
+        )
     }
 
     /// [`TestConfig::run_iteration`] with the seed precomputed by
     /// [`TestConfig::seeds_for_chunk`] (must equal
-    /// `seed_for_iteration(iteration)`).
+    /// `seed_for_iteration(iteration)`) and an optional recycled trace:
+    /// engines thread the previous iteration's trace storage back in through
+    /// `scratch`, so steady-state iterations record into pre-grown buffers
+    /// instead of re-allocating them ([`Runtime::recycle_trace`]).
     fn run_iteration_seeded<F>(
         &self,
         iteration: u64,
         seed: u64,
         cancel: Option<CancelToken>,
         setup: &F,
+        scratch: &mut Option<Trace>,
     ) -> IterationOutcome
     where
         F: Fn(&mut Runtime),
@@ -247,6 +320,9 @@ impl TestConfig {
         };
         let scheduler = strategy.build(seed, self.max_steps);
         let mut runtime = Runtime::new(scheduler, self.runtime_config(), seed);
+        if let Some(recycled) = scratch.take() {
+            runtime.recycle_trace(recycled);
+        }
         if let Some(token) = cancel {
             runtime.set_cancel_token(token);
         }
@@ -255,19 +331,24 @@ impl TestConfig {
             ExecutionOutcome::BugFound(bug) => IterationStatus::BugFound {
                 bug,
                 ndc: runtime.trace().decision_count(),
-                trace: runtime.take_trace(),
+                trace: Box::new(runtime.take_trace()),
             },
             ExecutionOutcome::Cancelled => IterationStatus::Cancelled,
             ExecutionOutcome::Quiescent | ExecutionOutcome::MaxStepsReached => {
                 IterationStatus::Completed
             }
         };
+        let steps = runtime.steps() as u64;
+        // Hand the trace storage back for the next iteration. (After a bug
+        // the recorded trace went into the outcome and this is an empty
+        // replacement — recycling it is still correct, just free.)
+        *scratch = Some(runtime.into_trace());
         IterationOutcome {
             iteration,
             seed,
             strategy,
             portfolio_entry,
-            steps: runtime.steps() as u64,
+            steps,
             status,
         }
     }
@@ -281,14 +362,15 @@ pub enum IterationStatus {
     /// The parallel engine cancelled the execution mid-flight (a lower
     /// iteration already holds a bug); its partial step count still tallies.
     Cancelled,
-    /// The execution violated a property.
+    /// The execution violated a property. The trace is boxed so the common
+    /// `Completed` outcome stays a few machine words.
     BugFound {
         /// The violation.
         bug: Bug,
         /// Number of nondeterministic choices in the buggy execution.
         ndc: usize,
         /// The replayable trace of the buggy execution.
-        trace: Trace,
+        trace: Box<Trace>,
     },
 }
 
@@ -327,10 +409,33 @@ pub struct BugReport {
     /// Number of nondeterministic choices made in the buggy execution
     /// (the paper's `#NDC`).
     pub ndc: usize,
-    /// The replayable trace of the buggy execution.
+    /// The replayable trace of the buggy execution, as originally recorded
+    /// (see [`BugReport::original`]).
     pub trace: Trace,
     /// Time elapsed from the start of the run until the bug was found.
     pub time_to_bug: Duration,
+    /// The schedule-shrinking result, when the run was configured with
+    /// [`TestConfig::with_shrink`]: reduction statistics plus the minimized,
+    /// replay-verified counterexample.
+    pub shrink: Option<ShrinkReport>,
+}
+
+impl BugReport {
+    /// The originally recorded trace of the buggy execution.
+    pub fn original(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The minimized counterexample, when a shrink pass ran.
+    pub fn minimized(&self) -> Option<&Trace> {
+        self.shrink.as_ref().map(|s| &s.minimized)
+    }
+
+    /// The best trace to hand a human: the minimized counterexample when
+    /// shrinking ran, the original recording otherwise.
+    pub fn best_trace(&self) -> &Trace {
+        self.minimized().unwrap_or(&self.trace)
+    }
 }
 
 /// Outcome of a systematic testing run.
@@ -465,8 +570,16 @@ impl TestEngine {
         let config = &self.config;
         let mut tally = StrategyTally::new(config);
         let mut total_steps: u64 = 0;
+        // Trace storage recycled from one iteration to the next.
+        let mut scratch: Option<Trace> = None;
         for iteration in 0..config.iterations {
-            let outcome = config.run_iteration(iteration, None, &setup);
+            let outcome = config.run_iteration_seeded(
+                iteration,
+                config.seed_for_iteration(iteration),
+                None,
+                &setup,
+                &mut scratch,
+            );
             total_steps += outcome.steps;
             let row = tally.row_mut(outcome.portfolio_entry);
             row.total_steps += outcome.steps;
@@ -474,14 +587,17 @@ impl TestEngine {
             if let IterationStatus::BugFound { bug, ndc, trace } = outcome.status {
                 row.bugs_found += 1;
                 let elapsed = start.elapsed();
+                let mut report = BugReport {
+                    bug,
+                    iteration,
+                    ndc,
+                    trace: *trace,
+                    time_to_bug: elapsed,
+                    shrink: None,
+                };
+                config.attach_shrink(&mut report, &setup);
                 return TestReport {
-                    bug: Some(BugReport {
-                        bug,
-                        iteration,
-                        ndc,
-                        trace,
-                        time_to_bug: elapsed,
-                    }),
+                    bug: Some(report),
                     iterations_run: iteration + 1,
                     total_steps,
                     elapsed,
@@ -724,6 +840,9 @@ impl ParallelTestEngine {
                         let mut tally = StrategyTally::new(config);
                         // Reused per-chunk seed buffer (batch derivation).
                         let mut seeds: Vec<u64> = Vec::new();
+                        // Trace storage recycled across this worker's
+                        // iterations.
+                        let mut scratch: Option<Trace> = None;
                         loop {
                             // Work remains only below the bug bound: once a
                             // bug at iteration `k` is published, iterations
@@ -751,6 +870,7 @@ impl ParallelTestEngine {
                                     seeds[offset],
                                     Some(CancelToken::new(Arc::clone(&bug_bound), iteration)),
                                     setup,
+                                    &mut scratch,
                                 );
                                 let row = tally.row_mut(outcome.portfolio_entry);
                                 row.total_steps += outcome.steps;
@@ -778,8 +898,9 @@ impl ParallelTestEngine {
                                                     bug,
                                                     iteration,
                                                     ndc,
-                                                    trace,
+                                                    trace: *trace,
                                                     time_to_bug: start.elapsed(),
+                                                    shrink: None,
                                                 },
                                                 scheduler: outcome.strategy.label(),
                                             });
@@ -813,6 +934,12 @@ impl ParallelTestEngine {
             Some(first) => first.scheduler,
             None => no_bug_label(config),
         };
+        // Shrinking runs serially over the deterministic winner, so the
+        // minimized counterexample is identical at any worker count.
+        let winner = winner.map(|mut first| {
+            config.attach_shrink(&mut first.report, &setup);
+            first
+        });
         TestReport {
             bug: winner.map(|first| first.report),
             iterations_run,

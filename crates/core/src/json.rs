@@ -95,6 +95,28 @@ impl Json {
         Ok(self.as_u64()? as usize)
     }
 
+    /// The value as an `f64`, accepting any JSON number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Float(v) => Ok(*v),
+            Json::UInt(v) => Ok(*v as f64),
+            Json::Int(v) => Ok(*v as f64),
+            other => Err(JsonError::new(format!(
+                "expected number, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Looks up a key of an object, returning `None` when the key is absent
+    /// (used for schema fields added after the format was first shipped).
+    pub fn opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
     /// The value as a `bool`.
     pub fn as_bool(&self) -> Result<bool, JsonError> {
         match self {

@@ -95,6 +95,7 @@ pub mod monitor;
 pub mod rng;
 pub mod runtime;
 pub mod scheduler;
+pub mod shrink;
 pub mod stats;
 pub mod timer;
 pub mod trace;
@@ -111,7 +112,8 @@ pub mod prelude {
     pub use crate::monitor::{Monitor, MonitorContext, Temperature};
     pub use crate::runtime::{CancelToken, Context, ExecutionOutcome, Runtime, RuntimeConfig};
     pub use crate::scheduler::SchedulerKind;
+    pub use crate::shrink::{shrink_trace, ShrinkConfig, ShrinkReport};
     pub use crate::stats::{ModelStats, StrategyStats};
     pub use crate::timer::{Timer, TimerTick};
-    pub use crate::trace::{NameId, NameTable, Trace};
+    pub use crate::trace::{NameId, NameTable, Trace, TraceMode};
 }

@@ -37,7 +37,7 @@ use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner};
 use crate::mailbox::Mailbox;
 use crate::monitor::{Monitor, MonitorContext, Temperature};
 use crate::scheduler::Scheduler;
-use crate::trace::{Decision, NameId, Trace, TraceStep};
+use crate::trace::{Decision, NameId, Trace, TraceMode, TraceStep};
 
 /// How an execution of the system-under-test ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +96,10 @@ pub struct RuntimeConfig {
     /// Whether panics inside machine handlers are caught and reported as
     /// [`BugKind::Panic`] bugs (default) or propagated.
     pub catch_panics: bool,
+    /// How much of the human-facing annotated schedule the trace retains
+    /// ([`TraceMode::Full`] by default). The replay-bearing decision stream
+    /// is recorded in full under every mode.
+    pub trace_mode: TraceMode,
 }
 
 impl Default for RuntimeConfig {
@@ -104,6 +108,7 @@ impl Default for RuntimeConfig {
             max_steps: 5_000,
             check_liveness_at_quiescence: true,
             catch_panics: true,
+            trace_mode: TraceMode::Full,
         }
     }
 }
@@ -129,6 +134,28 @@ struct MonitorSlot {
     name: Arc<str>,
 }
 
+/// Bookkeeping of a fair grace period (see [`Runtime::run`]): an unfair
+/// strategy ended its bounded execution with at least one hot liveness
+/// monitor, and the runtime keeps fair-scheduling to observe whether they
+/// cool.
+struct LivenessGrace {
+    /// Every monitor that was hot at the bound, with its verdict as captured
+    /// *at the step bound*. An entry is dropped as soon as its monitor
+    /// cools; the first surviving entry is reported if any remain at the
+    /// deadline. Capturing at the bound keeps the bug byte-identical to
+    /// what a strict replay of the trace reports when it reaches the same
+    /// bound.
+    pending: Vec<(usize, Bug)>,
+    /// The step bound at which the verdicts were captured.
+    bound_step: usize,
+    /// Decision count at the bound: on confirmation the trace is truncated
+    /// back to this point, so the reported trace and `#NDC` cover exactly
+    /// the replayable pre-bound execution, not the observation window.
+    decisions_at_bound: usize,
+    /// Step at which the grace period ends.
+    deadline: usize,
+}
+
 /// One execution of the system-under-test: machines, monitors, scheduler and
 /// the recorded trace.
 pub struct Runtime {
@@ -149,18 +176,45 @@ pub struct Runtime {
 impl Runtime {
     /// Creates a runtime driven by the given scheduler.
     pub fn new(scheduler: Box<dyn Scheduler>, config: RuntimeConfig, seed: u64) -> Self {
+        let trace = Trace::with_mode(seed, config.trace_mode);
         Runtime {
             slots: Vec::new(),
             monitors: Vec::new(),
             monitor_index: HashMap::new(),
             scheduler,
             config,
-            trace: Trace::new(seed),
+            trace,
             bug: None,
             steps: 0,
             enabled_buf: Vec::new(),
             cancel: None,
         }
+    }
+
+    /// Replaces the runtime's empty trace with a recycled one, keeping the
+    /// recycled trace's allocated buffers so recording does not re-allocate.
+    ///
+    /// The recycled trace is reset to this runtime's seed and
+    /// [`TraceMode`]; names of machines already created are re-interned, so
+    /// the swap is valid at any point before the run starts.
+    pub fn recycle_trace(&mut self, mut recycled: Trace) {
+        recycled.reset(self.trace.seed, self.config.trace_mode);
+        let discarded = std::mem::replace(&mut self.trace, recycled);
+        for slot in &mut self.slots {
+            // Slot names were interned in the discarded trace; re-intern them
+            // into the recycled table. (Engines recycle before machines are
+            // created, so this loop is normally empty.)
+            slot.name = self.trace.intern(discarded.names.resolve(slot.name));
+        }
+    }
+
+    /// Consumes the runtime and returns its recorded trace, buffers and all.
+    ///
+    /// Engines use this to recycle trace storage across iterations: the
+    /// returned trace is handed to the next iteration's runtime via
+    /// [`Runtime::recycle_trace`].
+    pub fn into_trace(self) -> Trace {
+        self.trace
     }
 
     /// Installs a cancellation token; [`Runtime::run`] polls it once per step
@@ -237,10 +291,40 @@ impl Runtime {
     /// A detected violation is moved into the returned
     /// [`ExecutionOutcome::BugFound`]; after that, [`Runtime::bug`] returns
     /// `None`.
+    ///
+    /// # Liveness and unfair strategies: the fair grace period
+    ///
+    /// A hot monitor at the step bound is the paper's bounded-horizon
+    /// approximation of "hot forever". Under a *fair* scheduler that verdict
+    /// is trusted as is. Under a starvation-prone strategy (PCT,
+    /// delay-bounding, the probabilistic walk — they report a
+    /// [`Scheduler::unfair_prefix_len`]) the unfair stretch can pile up
+    /// event backlogs that fair scheduling has not finished draining by the
+    /// bound, so "hot at the bound" may just mean "still catching up", not
+    /// "stuck". Instead of reporting immediately, the runtime then enters a
+    /// *fair grace period*: it keeps stepping (PCT and delay-bounding are
+    /// already in their fair random tail past the bound) for up to
+    /// `unfair-prefix × machine-count` additional steps, watching the hot
+    /// monitor. If the monitor cools — even once — the obligation was met
+    /// and the execution ends as a plain [`ExecutionOutcome::MaxStepsReached`].
+    /// Only a monitor that stays hot through the entire grace period is
+    /// reported, and the reported bug is the verdict *as captured at the
+    /// bound*, so a strict replay of the trace (which stops at the same
+    /// bound, with no grace of its own) reproduces the identical bug.
+    /// Violations raised by machines or safety monitors during the grace
+    /// period are discarded: grace steps lie past the configured horizon and
+    /// exist only to confirm or refute the liveness verdict — a bug found
+    /// there could not be replayed within the configured bound.
     pub fn run(&mut self) -> ExecutionOutcome {
+        let mut grace: Option<LivenessGrace> = None;
         loop {
             if self.bug.is_some() {
-                return ExecutionOutcome::BugFound(self.take_bug());
+                if grace.is_some() {
+                    // Observation-only window past the horizon; see above.
+                    self.bug = None;
+                } else {
+                    return ExecutionOutcome::BugFound(self.take_bug());
+                }
             }
             if let Some(token) = &self.cancel {
                 if token.is_cancelled() {
@@ -248,11 +332,34 @@ impl Runtime {
                 }
             }
             if self.steps >= self.config.max_steps {
-                self.check_liveness();
-                return match self.bug.is_some() {
-                    true => ExecutionOutcome::BugFound(self.take_bug()),
-                    false => ExecutionOutcome::MaxStepsReached,
-                };
+                match grace.take() {
+                    None => {
+                        if let Some(pending) = self.liveness_grace_at_bound() {
+                            grace = Some(pending);
+                        } else {
+                            self.check_liveness();
+                            return match self.bug.is_some() {
+                                true => ExecutionOutcome::BugFound(self.take_bug()),
+                                false => ExecutionOutcome::MaxStepsReached,
+                            };
+                        }
+                    }
+                    Some(mut pending) => {
+                        // A monitor that cools — even once — met its
+                        // obligation: its bound verdict was a backlog
+                        // artifact, not a stuck system.
+                        pending.pending.retain(|&(index, _)| {
+                            self.monitor_temperature(index) == Temperature::Hot
+                        });
+                        if pending.pending.is_empty() {
+                            return ExecutionOutcome::MaxStepsReached;
+                        }
+                        if self.steps >= pending.deadline {
+                            return ExecutionOutcome::BugFound(self.confirm_grace(pending));
+                        }
+                        grace = Some(pending);
+                    }
+                }
             }
             self.enabled_buf.clear();
             for (index, slot) in self.slots.iter().enumerate() {
@@ -261,6 +368,12 @@ impl Runtime {
                 }
             }
             if self.enabled_buf.is_empty() {
+                if let Some(pending) = grace {
+                    // Quiescent while hot (the cooled entries were retained
+                    // away above): the monitor can never cool again, so the
+                    // bound verdict is confirmed.
+                    return ExecutionOutcome::BugFound(self.confirm_grace(pending));
+                }
                 if self.config.check_liveness_at_quiescence {
                     self.check_liveness();
                 }
@@ -351,24 +464,81 @@ impl Runtime {
         }
     }
 
+    /// Checks every liveness monitor and records a violation for the first
+    /// hot one.
     fn check_liveness(&mut self) {
         if self.bug.is_some() {
             return;
         }
-        for slot in &self.monitors {
-            let monitor = slot
-                .monitor
-                .as_ref()
-                .expect("monitor is present outside of observe calls");
-            if monitor.temperature() == Temperature::Hot {
-                self.bug = Some(
-                    Bug::new(BugKind::LivenessViolation, monitor.hot_message())
-                        .with_source(Arc::clone(&slot.name))
-                        .with_step(self.steps),
-                );
-                return;
-            }
+        if let Some(index) = self.first_hot_monitor() {
+            self.bug = Some(self.liveness_bug(index));
         }
+    }
+
+    /// The index of the first registered monitor that is currently hot.
+    fn first_hot_monitor(&self) -> Option<usize> {
+        (0..self.monitors.len()).find(|&index| self.monitor_temperature(index) == Temperature::Hot)
+    }
+
+    /// The current temperature of the monitor at `index`.
+    fn monitor_temperature(&self, index: usize) -> Temperature {
+        self.monitors[index]
+            .monitor
+            .as_ref()
+            .expect("monitor is present outside of observe calls")
+            .temperature()
+    }
+
+    /// Builds the liveness-violation bug for the (hot) monitor at `index`.
+    fn liveness_bug(&self, index: usize) -> Bug {
+        let slot = &self.monitors[index];
+        let monitor = slot
+            .monitor
+            .as_ref()
+            .expect("monitor is present outside of observe calls");
+        Bug::new(BugKind::LivenessViolation, monitor.hot_message())
+            .with_source(Arc::clone(&slot.name))
+            .with_step(self.steps)
+    }
+
+    /// Decides at the step bound whether a fair grace period should start
+    /// instead of an immediate liveness verdict: only for starvation-prone
+    /// strategies, and only when a liveness monitor is actually hot. Every
+    /// monitor hot at the bound is watched, each with its verdict captured
+    /// here.
+    fn liveness_grace_at_bound(&self) -> Option<LivenessGrace> {
+        let prefix = self.scheduler.unfair_prefix_len()?;
+        let pending: Vec<(usize, Bug)> = (0..self.monitors.len())
+            .filter(|&index| self.monitor_temperature(index) == Temperature::Hot)
+            .map(|index| (index, self.liveness_bug(index)))
+            .collect();
+        if pending.is_empty() {
+            return None;
+        }
+        // The unfair prefix can queue O(prefix) events into one starved
+        // mailbox, and fair scheduling over M machines drains such a backlog
+        // at a net rate well below one event per step (producers keep
+        // producing). The window therefore scales with both the prefix
+        // length and the machine count, so a backlog the prefix *could* have
+        // built can actually drain before the verdict is confirmed.
+        let machines = self.slots.len().max(2);
+        let grace = prefix.max(1).saturating_mul(machines);
+        Some(LivenessGrace {
+            pending,
+            bound_step: self.steps,
+            decisions_at_bound: self.trace.decision_count(),
+            deadline: self.steps + grace,
+        })
+    }
+
+    /// Confirms a grace period's surviving verdict: the trace is rolled back
+    /// to the step bound (the grace window exists only to observe the
+    /// monitors, and a strict replay stops at the bound anyway), and the
+    /// first surviving bound verdict is returned.
+    fn confirm_grace(&mut self, mut grace: LivenessGrace) -> Bug {
+        self.trace
+            .truncate_to_step(grace.decisions_at_bound, grace.bound_step);
+        grace.pending.remove(0).1
     }
 
     fn deliver_to_monitor<M: Monitor>(&mut self, event: &Event, step: usize) {
@@ -412,7 +582,8 @@ impl Runtime {
     /// further steps and bug reports resolve correctly.
     pub fn take_trace(&mut self) -> Trace {
         let seed = self.trace.seed;
-        let taken = std::mem::replace(&mut self.trace, Trace::new(seed));
+        let mode = self.trace.mode();
+        let taken = std::mem::replace(&mut self.trace, Trace::with_mode(seed, mode));
         for slot in &mut self.slots {
             slot.name = self.trace.intern(taken.names.resolve(slot.name));
         }
@@ -1037,7 +1208,7 @@ mod tests {
         });
         assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
         let first = rt.take_trace();
-        assert_eq!(first.steps.len(), 8);
+        assert_eq!(first.retained_step_count(), 8);
         // Machine names survive the swap: a fresh round of events records
         // steps that resolve against the new table. (The requester halted
         // during the first run, so poke the responder.)

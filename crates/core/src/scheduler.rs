@@ -57,6 +57,23 @@ pub trait Scheduler {
     fn replay_error(&self) -> Option<&ReplayError> {
         None
     }
+
+    /// The length of the execution prefix during which this strategy may
+    /// starve individual machines: the priority-driven prefix for PCT and
+    /// delay-bounding (their fair tail takes over afterwards), the entire
+    /// bounded horizon for the probabilistic random walk. `None` for
+    /// strategies that are uniformly fair at every step (random,
+    /// round-robin, replay).
+    ///
+    /// The runtime uses this to qualify bounded-horizon liveness verdicts:
+    /// under a starvation-prone strategy, a monitor that is hot at the step
+    /// bound may just reflect a backlog the starved machines have not
+    /// finished draining, so the runtime confirms the verdict over a fair
+    /// grace period (see [`Runtime::run`](crate::runtime::Runtime::run))
+    /// instead of reporting it immediately.
+    fn unfair_prefix_len(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Identifies which scheduling strategy a [`TestEngine`](crate::engine::TestEngine)
@@ -102,9 +119,9 @@ impl SchedulerKind {
             SchedulerKind::DelayBounding { delays } => {
                 Box::new(DelayBoundingScheduler::new(seed, delays, max_steps))
             }
-            SchedulerKind::ProbabilisticRandom { switch_percent } => {
-                Box::new(ProbabilisticRandomScheduler::new(seed, switch_percent))
-            }
+            SchedulerKind::ProbabilisticRandom { switch_percent } => Box::new(
+                ProbabilisticRandomScheduler::new(seed, switch_percent).with_horizon(max_steps),
+            ),
             SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
         }
     }
@@ -300,6 +317,10 @@ impl Scheduler for PctScheduler {
     fn next_int(&mut self, bound: usize) -> usize {
         self.rng.next_below(bound)
     }
+
+    fn unfair_prefix_len(&self) -> Option<usize> {
+        Some(self.fair_after)
+    }
 }
 
 /// Delay-bounded scheduler (Emmi et al., POPL'11).
@@ -395,6 +416,10 @@ impl Scheduler for DelayBoundingScheduler {
     fn next_int(&mut self, bound: usize) -> usize {
         self.rng.next_below(bound)
     }
+
+    fn unfair_prefix_len(&self) -> Option<usize> {
+        Some(self.fair_after)
+    }
 }
 
 /// Probabilistic random-walk scheduler (Coyote's probabilistic strategy).
@@ -412,6 +437,11 @@ pub struct ProbabilisticRandomScheduler {
     rng: SplitMix64,
     switch_percent: u32,
     current: Option<MachineId>,
+    /// The bounded horizon of the execution, reported as the strategy's
+    /// starvation-prone prefix: the walk can park on one machine for long
+    /// stretches at *any* point of the run, so liveness verdicts at the
+    /// bound always go through the runtime's fair grace period.
+    horizon: Option<usize>,
 }
 
 impl ProbabilisticRandomScheduler {
@@ -422,7 +452,15 @@ impl ProbabilisticRandomScheduler {
             rng: SplitMix64::new(seed),
             switch_percent: switch_percent.min(100),
             current: None,
+            horizon: None,
         }
+    }
+
+    /// Declares the step bound of the executions this scheduler will drive,
+    /// enabling the liveness grace period for its starvation-prone walk.
+    pub fn with_horizon(mut self, max_steps: usize) -> Self {
+        self.horizon = Some(max_steps);
+        self
     }
 }
 
@@ -461,6 +499,10 @@ impl Scheduler for ProbabilisticRandomScheduler {
 
     fn next_int(&mut self, bound: usize) -> usize {
         self.rng.next_below(bound)
+    }
+
+    fn unfair_prefix_len(&self) -> Option<usize> {
+        self.horizon
     }
 }
 
@@ -509,36 +551,76 @@ impl Scheduler for RoundRobinScheduler {
     }
 }
 
-/// Scheduler that replays a previously recorded [`Trace`].
+/// Scheduler that replays a previously recorded [`Trace`], strictly or
+/// tolerantly.
 ///
-/// If the program diverges from the recording (for example because the
-/// system-under-test changed since the trace was captured), the divergence is
-/// recorded and the scheduler falls back to deterministic defaults so the
-/// execution can still terminate; callers should check [`ReplayScheduler::error`]
-/// via [`Runtime::replay_error`](crate::runtime::Runtime::replay_error).
+/// **Strict** replay ([`ReplayScheduler::from_trace`]) expects the execution
+/// to follow the recording decision for decision. If the program diverges
+/// (for example because the system-under-test changed since the trace was
+/// captured), the divergence is recorded and the scheduler falls back to
+/// deterministic defaults so the execution can still terminate; callers
+/// should check [`ReplayScheduler::error`] via
+/// [`Runtime::replay_error`](crate::runtime::Runtime::replay_error).
+///
+/// **Tolerant** replay ([`ReplayScheduler::tolerant`]) follows the decision
+/// prefix for as long as it fits and resolves everything else — a missing
+/// decision, a recorded machine that is not enabled, a wrong decision type,
+/// an out-of-bounds integer — from a deterministic seeded random tail
+/// instead of flagging an error. This is what lets *mutated* schedules (the
+/// candidates the [`shrink`](crate::shrink) pass produces by deleting chunks
+/// of a recording) still drive complete executions: the schedule stays
+/// pinned wherever the prefix applies and explores deterministically where
+/// it no longer does.
 #[derive(Debug, Clone)]
 pub struct ReplayScheduler {
     decisions: Vec<Decision>,
     position: usize,
     error: Option<ReplayError>,
+    /// `Some` in tolerant mode: the deterministic random tail that resolves
+    /// decisions the prefix cannot.
+    tail: Option<SplitMix64>,
 }
 
 impl ReplayScheduler {
-    /// Creates a replay scheduler from a recorded trace.
+    /// Creates a strict replay scheduler from a recorded trace.
     pub fn from_trace(trace: &Trace) -> Self {
         ReplayScheduler {
             decisions: trace.decisions.clone(),
             position: 0,
             error: None,
+            tail: None,
         }
     }
 
-    /// The divergence error, if replay did not follow the recording.
+    /// Creates a tolerant replay scheduler: `decisions` (typically a mutated
+    /// subsequence of a recording) are followed positionally where they
+    /// apply, and every gap is resolved by a deterministic random tail
+    /// seeded with `tail_seed`.
+    pub fn tolerant(decisions: Vec<Decision>, tail_seed: u64) -> Self {
+        ReplayScheduler {
+            decisions,
+            position: 0,
+            error: None,
+            tail: Some(SplitMix64::new(tail_seed)),
+        }
+    }
+
+    /// The divergence error, if strict replay did not follow the recording.
+    /// Tolerant replay never reports one.
     pub fn error(&self) -> Option<&ReplayError> {
         self.error.as_ref()
     }
 
+    /// Number of recorded decisions consumed so far (followed or skipped).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
     fn record_divergence(&mut self, message: String) {
+        if self.tail.is_some() {
+            // Tolerant mode: gaps are expected, not errors.
+            return;
+        }
         if self.error.is_none() {
             self.error = Some(ReplayError {
                 message,
@@ -551,6 +633,29 @@ impl ReplayScheduler {
         let d = self.decisions.get(self.position).copied();
         self.position += 1;
         d
+    }
+
+    /// Resolves a machine pick the prefix could not: deterministic random in
+    /// tolerant mode, first-enabled in strict mode.
+    fn fallback_machine(&mut self, enabled: &[MachineId]) -> MachineId {
+        match &mut self.tail {
+            Some(rng) => enabled[rng.next_below(enabled.len())],
+            None => enabled[0],
+        }
+    }
+
+    fn fallback_bool(&mut self) -> bool {
+        match &mut self.tail {
+            Some(rng) => rng.next_bool(),
+            None => false,
+        }
+    }
+
+    fn fallback_int(&mut self, bound: usize) -> usize {
+        match &mut self.tail {
+            Some(rng) => rng.next_below(bound),
+            None => 0,
+        }
     }
 }
 
@@ -566,13 +671,13 @@ impl Scheduler for ReplayScheduler {
                 self.record_divergence(format!(
                     "recorded machine {id} is not enabled during replay"
                 ));
-                enabled[0]
+                self.fallback_machine(enabled)
             }
             other => {
                 self.record_divergence(format!(
                     "expected a Schedule decision, recording has {other:?}"
                 ));
-                enabled[0]
+                self.fallback_machine(enabled)
             }
         }
     }
@@ -584,7 +689,7 @@ impl Scheduler for ReplayScheduler {
                 self.record_divergence(format!(
                     "expected a Bool decision, recording has {other:?}"
                 ));
-                false
+                self.fallback_bool()
             }
         }
     }
@@ -600,13 +705,13 @@ impl Scheduler for ReplayScheduler {
                 self.record_divergence(format!(
                     "recorded int {v} is out of bounds (bound {bound})"
                 ));
-                0
+                self.fallback_int(bound)
             }
             other => {
                 self.record_divergence(format!(
                     "expected an Int decision, recording has {other:?}"
                 ));
-                0
+                self.fallback_int(bound)
             }
         }
     }
@@ -940,6 +1045,89 @@ mod tests {
         let enabled = ids(&[0, 1]);
         s.next_machine(&enabled, 0);
         assert!(s.error().is_some());
+    }
+
+    #[test]
+    fn tolerant_replay_follows_prefix_then_deterministic_tail() {
+        let decisions = vec![
+            Decision::Schedule(MachineId::from_raw(1)),
+            Decision::Bool(true),
+        ];
+        let enabled = ids(&[0, 1]);
+        let run = || {
+            let mut s = ReplayScheduler::tolerant(decisions.clone(), 42);
+            let first = s.next_machine(&enabled, 0);
+            let flag = s.next_bool();
+            // The prefix is now exhausted; everything below comes from the
+            // seeded tail and must not be flagged as a divergence.
+            let tail: Vec<u64> = (1..20).map(|i| s.next_machine(&enabled, i).raw()).collect();
+            let int = s.next_int(10);
+            assert!(s.error().is_none(), "tolerant replay never errors");
+            (first, flag, tail, int)
+        };
+        let (first, flag, tail, int) = run();
+        assert_eq!(first, MachineId::from_raw(1), "prefix is followed");
+        assert!(flag);
+        assert!(int < 10);
+        // The tail is deterministic: a second run is identical.
+        assert_eq!(run(), (first, flag, tail.clone(), int));
+        // And it actually explores: both machines appear in the tail.
+        assert!(tail.contains(&0) && tail.contains(&1));
+    }
+
+    #[test]
+    fn tolerant_replay_resolves_unusable_decisions_from_the_tail() {
+        let decisions = vec![
+            // Machine 9 does not exist -> tail pick, no error.
+            Decision::Schedule(MachineId::from_raw(9)),
+            // Wrong type for the next_int query -> tail pick, no error.
+            Decision::Bool(true),
+            // Out of bounds for bound 3 -> tail pick, no error.
+            Decision::Int(100),
+        ];
+        let enabled = ids(&[0, 1]);
+        let mut s = ReplayScheduler::tolerant(decisions, 7);
+        assert!(enabled.contains(&s.next_machine(&enabled, 0)));
+        assert!(s.next_int(5) < 5);
+        assert!(s.next_int(3) < 3);
+        assert!(s.error().is_none());
+        assert_eq!(s.position(), 3, "unusable decisions are still consumed");
+    }
+
+    #[test]
+    fn unfair_prefix_reported_by_starvation_prone_strategies_only() {
+        assert_eq!(RandomScheduler::new(1).unfair_prefix_len(), None);
+        assert_eq!(RoundRobinScheduler::new().unfair_prefix_len(), None);
+        assert_eq!(
+            PctScheduler::new(1, 2, 1_000).unfair_prefix_len(),
+            Some(500)
+        );
+        assert_eq!(
+            DelayBoundingScheduler::new(1, 2, 1_000).unfair_prefix_len(),
+            Some(500)
+        );
+        // The probabilistic walk is starvation-prone over its whole horizon.
+        assert_eq!(
+            ProbabilisticRandomScheduler::new(1, 10).unfair_prefix_len(),
+            None
+        );
+        assert_eq!(
+            ProbabilisticRandomScheduler::new(1, 10)
+                .with_horizon(2_000)
+                .unfair_prefix_len(),
+            Some(2_000)
+        );
+        assert_eq!(
+            SchedulerKind::ProbabilisticRandom { switch_percent: 10 }
+                .build(1, 2_000)
+                .unfair_prefix_len(),
+            Some(2_000)
+        );
+        let trace = Trace::new(0);
+        assert_eq!(
+            ReplayScheduler::from_trace(&trace).unfair_prefix_len(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Automatic schedule shrinking: delta-debugging a buggy trace down to a
+//! minimal replayable counterexample.
+//!
+//! The traces that fall out of thousands-of-steps executions are far too long
+//! for a human to read — the paper's replayable schedules are only a
+//! productivity win if the engineer can actually see *which* interleaving
+//! breaks the system. This module implements ddmin-style reduction (Zeller &
+//! Hildebrandt's delta debugging, the same family of techniques P#-era tools
+//! use to reduce schedules before showing them to developers) over the
+//! replay-bearing decision stream of a recorded [`Trace`]:
+//!
+//! 1. delete a chunk of decisions from the current sequence;
+//! 2. re-execute the harness under a *tolerant* replay
+//!    ([`ReplayScheduler::tolerant`]): the surviving prefix is followed where
+//!    it applies and every gap is resolved by a deterministic seeded tail;
+//! 3. keep the mutation iff the **same bug** reproduces — in which case the
+//!    new current sequence is the *recording* of the reduced execution
+//!    (which ends exactly at bug detection, so it is self-trimming);
+//! 4. repeat at finer granularities until no single deletion reproduces the
+//!    bug (1-minimality) or the candidate budget is exhausted.
+//!
+//! The final sequence is re-executed once more under **strict** replay with a
+//! full annotated schedule, so the [`ShrinkReport::minimized`] trace is
+//! replay-verified end to end. Every candidate execution is deterministic
+//! (seeded tail, serialized runtime), so shrinking the same bug report yields
+//! byte-identical output on every run and at any engine worker count — and
+//! shrinking an already-minimal trace is a no-op.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{Bug, BugKind};
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::runtime::{ExecutionOutcome, Runtime, RuntimeConfig};
+use crate::scheduler::ReplayScheduler;
+use crate::trace::{Decision, Trace, TraceMode};
+
+/// Salt decorrelating the tolerant-replay tail stream from the scheduler
+/// stream that produced the original execution: candidate tails must not
+/// accidentally mirror the choices the original scheduler would make.
+const SHRINK_TAIL_STREAM: u64 = 0x51B2_7F4E_8D93_C601;
+
+/// Bounds and execution parameters of one shrink pass, derived from the
+/// owning test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkConfig {
+    /// Step bound per candidate execution (use the hunt's own bound).
+    pub max_steps: usize,
+    /// Whether liveness monitors are checked at quiescence.
+    pub check_liveness_at_quiescence: bool,
+    /// Whether machine panics are caught and classified.
+    pub catch_panics: bool,
+    /// Maximum number of candidate executions before the pass gives up and
+    /// returns the best sequence found so far.
+    pub max_candidates: u64,
+}
+
+impl Default for ShrinkConfig {
+    fn default() -> Self {
+        ShrinkConfig {
+            max_steps: 5_000,
+            check_liveness_at_quiescence: true,
+            catch_panics: true,
+            max_candidates: 2_000,
+        }
+    }
+}
+
+/// The outcome of shrinking one buggy trace: the replay-verified minimal
+/// counterexample plus reduction statistics.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// Decision count of the original buggy trace (the paper's `#NDC`).
+    pub original_decisions: usize,
+    /// Decision count of the minimized trace.
+    pub minimized_decisions: usize,
+    /// Candidate executions tried (including rejected ones).
+    pub candidates_tried: u64,
+    /// Candidate executions that reproduced the bug (accepted mutations).
+    pub candidates_reproduced: u64,
+    /// Wall-clock time of the whole pass.
+    pub elapsed: Duration,
+    /// The minimized, replay-verified trace: strict replay of this trace
+    /// reproduces the same bug as the original.
+    pub minimized: Trace,
+}
+
+impl ShrinkReport {
+    /// Returns `true` when shrinking removed at least one decision.
+    pub fn improved(&self) -> bool {
+        self.minimized_decisions < self.original_decisions
+    }
+
+    /// The fraction of decisions removed, in percent (`0.0` for an
+    /// already-minimal trace).
+    pub fn reduction_percent(&self) -> f64 {
+        if self.original_decisions == 0 {
+            return 0.0;
+        }
+        let removed = self.original_decisions - self.minimized_decisions;
+        removed as f64 * 100.0 / self.original_decisions as f64
+    }
+
+    /// Renders a one-line human-readable summary of the reduction.
+    pub fn summary(&self) -> String {
+        format!(
+            "shrunk {} -> {} decisions ({:.0}% removed, {} of {} candidates reproduced, {:.2}s)",
+            self.original_decisions,
+            self.minimized_decisions,
+            self.reduction_percent(),
+            self.candidates_reproduced,
+            self.candidates_tried,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+impl ToJson for ShrinkReport {
+    fn to_json_value(&self) -> Json {
+        Json::object([
+            (
+                "original_decisions",
+                Json::UInt(self.original_decisions as u64),
+            ),
+            (
+                "minimized_decisions",
+                Json::UInt(self.minimized_decisions as u64),
+            ),
+            ("candidates_tried", Json::UInt(self.candidates_tried)),
+            (
+                "candidates_reproduced",
+                Json::UInt(self.candidates_reproduced),
+            ),
+            ("elapsed_seconds", Json::Float(self.elapsed.as_secs_f64())),
+            ("minimized", self.minimized.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ShrinkReport {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(ShrinkReport {
+            original_decisions: value.get("original_decisions")?.as_usize()?,
+            minimized_decisions: value.get("minimized_decisions")?.as_usize()?,
+            candidates_tried: value.get("candidates_tried")?.as_u64()?,
+            candidates_reproduced: value.get("candidates_reproduced")?.as_u64()?,
+            elapsed: Duration::from_secs_f64(value.get("elapsed_seconds")?.as_f64()?),
+            minimized: Trace::from_json_value(value.get("minimized")?)?,
+        })
+    }
+}
+
+/// Two bugs are "the same" for shrinking purposes when they agree on kind,
+/// message and source. The detection *step* is deliberately excluded: the
+/// whole point of a reduced schedule is that the bug fires earlier.
+pub fn same_bug(a: &Bug, b: &Bug) -> bool {
+    a.kind == b.kind && a.message == b.message && a.source == b.source
+}
+
+/// Temporarily replaces the process panic hook with a silent one, restoring
+/// the previous hook on drop. Shrink passes over panic-kind bugs re-panic
+/// (inside `catch_unwind`) once per reproducing candidate; without this the
+/// default hook would print a backtrace for every one of them.
+///
+/// The hook is process-global, so this is only installed from the shrink
+/// pass, which both engines run on one thread after all workers have joined.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+struct QuietPanicHook {
+    previous: Option<PanicHook>,
+}
+
+impl QuietPanicHook {
+    fn install(active: bool) -> Self {
+        let previous = active.then(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            previous
+        });
+        QuietPanicHook { previous }
+    }
+}
+
+impl Drop for QuietPanicHook {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            std::panic::set_hook(previous);
+        }
+    }
+}
+
+/// Delta-debugs `trace` (which reproduces `bug` on the harness built by
+/// `setup`) down to a minimal replayable counterexample.
+///
+/// The returned report always carries a replay-verified minimized trace; if
+/// no deletion reproduces the bug (or the budget runs out before any does),
+/// the "minimized" trace is the strict re-recording of the original decision
+/// sequence and [`ShrinkReport::improved`] is `false`.
+pub fn shrink_trace<F>(config: &ShrinkConfig, bug: &Bug, trace: &Trace, setup: &F) -> ShrinkReport
+where
+    F: Fn(&mut Runtime),
+{
+    let start = Instant::now();
+    let pass = ShrinkPass {
+        config,
+        bug,
+        seed: trace.seed,
+        setup,
+    };
+
+    let original = trace.decisions.clone();
+    let mut current = original.clone();
+    let mut tried: u64 = 0;
+    let mut reproduced: u64 = 0;
+    // Recycled trace storage for the candidate runtimes.
+    let mut scratch: Option<Trace> = None;
+    // Reproducing candidates of a panic-kind bug re-panic inside
+    // `catch_unwind` once per candidate; without this guard the default
+    // panic hook would print hundreds of backtraces over one shrink pass.
+    let _quiet = QuietPanicHook::install(config.catch_panics && bug.kind == BugKind::Panic);
+
+    // Classic ddmin over complements: delete one of `granularity` chunks,
+    // refine the granularity when no deletion reproduces, restart coarse
+    // after a success (the accepted recording may enable big deletions
+    // again).
+    let mut granularity: usize = 2;
+    'ddmin: while current.len() >= 2
+        && granularity <= current.len()
+        && tried < config.max_candidates
+    {
+        let chunk = current.len().div_ceil(granularity);
+        let mut start_index = 0;
+        let mut accepted = false;
+        while start_index < current.len() && tried < config.max_candidates {
+            let end_index = (start_index + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end_index - start_index));
+            candidate.extend_from_slice(&current[..start_index]);
+            candidate.extend_from_slice(&current[end_index..]);
+            tried += 1;
+            if let Some(recording) = pass.reproduces(candidate, &mut scratch) {
+                if recording.len() < current.len() {
+                    reproduced += 1;
+                    current = recording;
+                    // Back to the coarsest useful granularity: deletions that
+                    // failed before may succeed on the shorter sequence.
+                    granularity = 2;
+                    accepted = true;
+                    break;
+                }
+            }
+            start_index = end_index;
+        }
+        if accepted {
+            continue 'ddmin;
+        }
+        if chunk <= 1 {
+            // Single-decision deletions all failed: 1-minimal.
+            break;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+
+    // Re-record the winning sequence under strict replay with a full
+    // annotated schedule: the minimized trace must stand on its own as a
+    // replayable, human-readable counterexample.
+    let minimized = pass
+        .record_verified(&current)
+        .or_else(|| pass.record_verified(&original))
+        .unwrap_or_else(|| trace.clone());
+
+    ShrinkReport {
+        original_decisions: original.len(),
+        minimized_decisions: minimized.decision_count(),
+        candidates_tried: tried,
+        candidates_reproduced: reproduced,
+        elapsed: start.elapsed(),
+        minimized,
+    }
+}
+
+/// The immutable ingredients of one shrink pass.
+struct ShrinkPass<'a, F> {
+    config: &'a ShrinkConfig,
+    bug: &'a Bug,
+    seed: u64,
+    setup: &'a F,
+}
+
+impl<F> ShrinkPass<'_, F>
+where
+    F: Fn(&mut Runtime),
+{
+    fn runtime_config(&self, trace_mode: TraceMode) -> RuntimeConfig {
+        RuntimeConfig {
+            max_steps: self.config.max_steps,
+            check_liveness_at_quiescence: self.config.check_liveness_at_quiescence,
+            catch_panics: self.config.catch_panics,
+            trace_mode,
+        }
+    }
+
+    /// The deterministic seed of the tolerant-replay tail. Derived from the
+    /// execution seed through its own stream so candidate tails do not
+    /// mirror the original scheduler's choices.
+    fn tail_seed(&self) -> u64 {
+        crate::rng::mix64(self.seed ^ SHRINK_TAIL_STREAM)
+    }
+
+    /// Executes one candidate decision sequence under tolerant replay.
+    /// Returns the recording of the run iff it reproduces the same bug.
+    ///
+    /// Candidates run with [`TraceMode::DecisionsOnly`] — the annotated
+    /// schedule is irrelevant during the search — and recycle trace storage
+    /// via `scratch` across calls.
+    fn reproduces(
+        &self,
+        candidate: Vec<Decision>,
+        scratch: &mut Option<Trace>,
+    ) -> Option<Vec<Decision>> {
+        let scheduler = Box::new(ReplayScheduler::tolerant(candidate, self.tail_seed()));
+        let mut runtime = Runtime::new(
+            scheduler,
+            self.runtime_config(TraceMode::DecisionsOnly),
+            self.seed,
+        );
+        if let Some(recycled) = scratch.take() {
+            runtime.recycle_trace(recycled);
+        }
+        (self.setup)(&mut runtime);
+        let outcome = runtime.run();
+        let trace = runtime.into_trace();
+        let reproduced =
+            matches!(&outcome, ExecutionOutcome::BugFound(found) if same_bug(found, self.bug));
+        // The recording ends at bug detection, so it is already trimmed.
+        let decisions = reproduced.then(|| trace.decisions.clone());
+        *scratch = Some(trace);
+        decisions
+    }
+
+    /// Strictly replays `decisions` with a full annotated schedule and
+    /// returns the recorded trace iff it reproduces the same bug without
+    /// divergence.
+    fn record_verified(&self, decisions: &[Decision]) -> Option<Trace> {
+        let mut probe = Trace::new(self.seed);
+        probe.decisions = decisions.to_vec();
+        let scheduler = Box::new(ReplayScheduler::from_trace(&probe));
+        let mut runtime = Runtime::new(scheduler, self.runtime_config(TraceMode::Full), self.seed);
+        (self.setup)(&mut runtime);
+        match runtime.run() {
+            ExecutionOutcome::BugFound(found)
+                if same_bug(&found, self.bug) && runtime.replay_error().is_none() =>
+            {
+                Some(runtime.take_trace())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::BugKind;
+
+    #[test]
+    fn same_bug_ignores_the_detection_step() {
+        let a = Bug::new(BugKind::SafetyViolation, "boom")
+            .with_source("M")
+            .with_step(10);
+        let b = Bug::new(BugKind::SafetyViolation, "boom")
+            .with_source("M")
+            .with_step(3);
+        assert!(same_bug(&a, &b));
+        let c = Bug::new(BugKind::SafetyViolation, "other").with_source("M");
+        assert!(!same_bug(&a, &c));
+        let d = Bug::new(BugKind::LivenessViolation, "boom").with_source("M");
+        assert!(!same_bug(&a, &d));
+    }
+
+    #[test]
+    fn shrink_report_json_round_trip() {
+        let mut minimized = Trace::new(7);
+        minimized.push_decision(Decision::Bool(true));
+        let report = ShrinkReport {
+            original_decisions: 120,
+            minimized_decisions: 1,
+            candidates_tried: 40,
+            candidates_reproduced: 6,
+            elapsed: Duration::from_millis(125),
+            minimized,
+        };
+        let json = report.to_json_value().to_string_pretty();
+        let back =
+            ShrinkReport::from_json_value(&Json::parse(&json).expect("parse")).expect("roundtrip");
+        assert_eq!(back.original_decisions, 120);
+        assert_eq!(back.minimized_decisions, 1);
+        assert_eq!(back.candidates_tried, 40);
+        assert_eq!(back.candidates_reproduced, 6);
+        assert!((back.elapsed.as_secs_f64() - 0.125).abs() < 1e-9);
+        assert_eq!(back.minimized, report.minimized);
+        assert!(back.improved());
+        assert!(back.summary().contains("120 -> 1"));
+    }
+
+    #[test]
+    fn reduction_percent_handles_empty_and_partial() {
+        let empty = ShrinkReport {
+            original_decisions: 0,
+            minimized_decisions: 0,
+            candidates_tried: 0,
+            candidates_reproduced: 0,
+            elapsed: Duration::ZERO,
+            minimized: Trace::new(0),
+        };
+        assert_eq!(empty.reduction_percent(), 0.0);
+        assert!(!empty.improved());
+        let half = ShrinkReport {
+            original_decisions: 10,
+            minimized_decisions: 5,
+            ..empty
+        };
+        assert_eq!(half.reduction_percent(), 50.0);
+    }
+}

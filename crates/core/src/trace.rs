@@ -10,6 +10,25 @@
 //! the paper identifies as the key productivity advantage over production
 //! logs.
 //!
+//! # The two streams of a trace
+//!
+//! A trace carries two distinct records of one execution:
+//!
+//! * the **decision stream** ([`Trace::decisions`]) — every nondeterministic
+//!   choice, in order. This is the *replay-bearing* stream: it is always
+//!   recorded in full, because dropping any part of it would destroy
+//!   replayability.
+//! * the **annotated schedule** ([`Trace::steps`]) — one human-readable
+//!   entry per machine step (who ran, which event it handled). This stream
+//!   exists purely for debugging output and can be bounded.
+//!
+//! How much of the annotated schedule is retained is controlled by a
+//! [`TraceMode`]: `Full` keeps everything, `RingBuffer(cap)` keeps only the
+//! last `cap` steps (capping trace memory on very long executions while the
+//! most recent — and for debugging, most relevant — window survives), and
+//! `DecisionsOnly` records no annotated steps at all. Replay works
+//! identically under every mode.
+//!
 //! # Name interning
 //!
 //! The annotated schedule is recorded on the execution hot path (once per
@@ -58,6 +77,69 @@ impl FromJson for Decision {
             return Ok(Decision::Int(v.as_usize()?));
         }
         Err(JsonError::new("decision must be Schedule, Bool or Int"))
+    }
+}
+
+/// How much of the human-facing annotated schedule a [`Trace`] retains.
+///
+/// The replay-bearing decision stream is unaffected: every mode records all
+/// decisions, so traces stay replayable regardless of how the annotated
+/// schedule is bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Keep every annotated step (the historical behavior). Memory grows
+    /// linearly with the execution length.
+    #[default]
+    Full,
+    /// Keep only the last `N` annotated steps in a ring buffer. Older steps
+    /// are evicted and counted in [`Trace::dropped_steps`]; peak trace
+    /// memory is bounded by the capacity regardless of execution length.
+    RingBuffer(usize),
+    /// Record no annotated steps at all — the trace carries only the
+    /// decision stream. The cheapest mode for huge throughput runs where
+    /// schedules are rendered from a replay, not from the original run.
+    DecisionsOnly,
+}
+
+impl TraceMode {
+    /// Parses a CLI spelling of a trace mode: `full`, `ring:N` (aliases
+    /// `ring-buffer:N`, `ringbuffer:N`) or `decisions` (alias
+    /// `decisions-only`).
+    pub fn parse(text: &str) -> Option<TraceMode> {
+        match text {
+            "full" => Some(TraceMode::Full),
+            "decisions" | "decisions-only" => Some(TraceMode::DecisionsOnly),
+            other => {
+                let (name, cap) = other.split_once(':')?;
+                if !matches!(name, "ring" | "ring-buffer" | "ringbuffer") {
+                    return None;
+                }
+                cap.parse().ok().map(TraceMode::RingBuffer)
+            }
+        }
+    }
+}
+
+impl ToJson for TraceMode {
+    fn to_json_value(&self) -> Json {
+        match self {
+            TraceMode::Full => Json::Str("full".to_string()),
+            TraceMode::RingBuffer(cap) => Json::object([("ring_buffer", Json::UInt(*cap as u64))]),
+            TraceMode::DecisionsOnly => Json::Str("decisions_only".to_string()),
+        }
+    }
+}
+
+impl FromJson for TraceMode {
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        if let Ok(cap) = value.get("ring_buffer") {
+            return Ok(TraceMode::RingBuffer(cap.as_usize()?));
+        }
+        match value.as_str()? {
+            "full" => Ok(TraceMode::Full),
+            "decisions_only" => Ok(TraceMode::DecisionsOnly),
+            other => Err(JsonError::new(format!("unknown trace mode '{other}'"))),
+        }
     }
 }
 
@@ -136,6 +218,13 @@ impl NameTable {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Forgets every interned name, keeping the allocated capacity of the
+    /// table so re-use does not re-allocate its backbone.
+    pub fn clear(&mut self) {
+        self.names.clear();
+        self.index.clear();
+    }
 }
 
 /// An annotated step of an execution, used for human-readable bug reports.
@@ -157,31 +246,42 @@ pub struct TraceStep {
 }
 
 /// The full record of one execution: every decision plus an annotated,
-/// human-readable schedule.
+/// human-readable schedule (bounded by the trace's [`TraceMode`]).
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// The seed that parameterized the scheduler for this execution.
     pub seed: u64,
-    /// Every nondeterministic decision, in order.
+    /// Every nondeterministic decision, in order. Always complete — this is
+    /// the stream replay consumes.
     pub decisions: Vec<Decision>,
-    /// Human readable schedule: one entry per machine step, names interned
-    /// in [`Trace::names`].
-    pub steps: Vec<TraceStep>,
-    /// The interning table resolving the names referenced by
-    /// [`Trace::steps`].
+    /// Retained annotated steps. Under `TraceMode::RingBuffer` this is ring
+    /// storage: the oldest retained step lives at `ring_head`, so in-order
+    /// iteration must go through [`Trace::steps`].
+    steps: Vec<TraceStep>,
+    /// Index of the oldest retained step once the ring has wrapped.
+    ring_head: usize,
+    /// How the annotated schedule is bounded.
+    mode: TraceMode,
+    /// Number of annotated steps that were executed but not retained
+    /// (evicted from the ring, or never recorded under `DecisionsOnly`).
+    dropped_steps: usize,
+    /// The interning table resolving the names referenced by the steps.
     pub names: NameTable,
 }
 
 /// Trace equality is structural on the *resolved* schedule: two traces are
-/// equal when they record the same decisions and the same named steps, even
-/// if their name tables interned the names in a different order (as happens
-/// after a JSON round trip).
+/// equal when they record the same decisions, the same retention counters and
+/// the same named steps in the same order, even if their name tables interned
+/// the names in a different order or their rings wrapped at different offsets
+/// (as happens after a JSON round trip).
 impl PartialEq for Trace {
     fn eq(&self, other: &Self) -> bool {
         self.seed == other.seed
             && self.decisions == other.decisions
+            && self.mode == other.mode
+            && self.dropped_steps == other.dropped_steps
             && self.steps.len() == other.steps.len()
-            && self.steps.iter().zip(&other.steps).all(|(a, b)| {
+            && self.steps().zip(other.steps()).all(|(a, b)| {
                 a.step == b.step
                     && a.machine == b.machine
                     && self.names.resolve(a.machine_name) == other.names.resolve(b.machine_name)
@@ -193,14 +293,41 @@ impl PartialEq for Trace {
 impl Eq for Trace {}
 
 impl Trace {
-    /// Creates an empty trace for an execution driven by `seed`.
+    /// Creates an empty trace for an execution driven by `seed`, retaining
+    /// the full annotated schedule.
     pub fn new(seed: u64) -> Self {
+        Trace::with_mode(seed, TraceMode::Full)
+    }
+
+    /// Creates an empty trace whose annotated schedule is bounded by `mode`.
+    pub fn with_mode(seed: u64, mode: TraceMode) -> Self {
         Trace {
             seed,
             decisions: Vec::new(),
             steps: Vec::new(),
+            ring_head: 0,
+            mode,
+            dropped_steps: 0,
             names: NameTable::new(),
         }
+    }
+
+    /// Clears the trace for re-use by a fresh execution driven by `seed`,
+    /// keeping every allocated buffer (decision vector, step storage, name
+    /// table backbone) so a recycled trace records without re-allocating.
+    pub fn reset(&mut self, seed: u64, mode: TraceMode) {
+        self.seed = seed;
+        self.decisions.clear();
+        self.steps.clear();
+        self.ring_head = 0;
+        self.mode = mode;
+        self.dropped_steps = 0;
+        self.names.clear();
+    }
+
+    /// How the annotated schedule of this trace is bounded.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
     }
 
     /// Number of nondeterministic choices recorded (the paper's `#NDC`).
@@ -208,15 +335,80 @@ impl Trace {
         self.decisions.len()
     }
 
+    /// Number of annotated steps currently retained.
+    pub fn retained_step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of annotated steps that were executed but not retained.
+    pub fn dropped_steps(&self) -> usize {
+        self.dropped_steps
+    }
+
+    /// Total number of machine steps the execution performed (retained plus
+    /// dropped).
+    pub fn total_step_count(&self) -> usize {
+        self.steps.len() + self.dropped_steps
+    }
+
+    /// The retained annotated steps in execution order (oldest first).
+    pub fn steps(&self) -> impl Iterator<Item = &TraceStep> {
+        let (wrapped, oldest) = self.steps.split_at(self.ring_head);
+        oldest.iter().chain(wrapped.iter())
+    }
+
     /// Appends a decision.
     pub fn push_decision(&mut self, decision: Decision) {
         self.decisions.push(decision);
     }
 
-    /// Appends an annotated machine step. The step's name ids must come from
-    /// [`Trace::intern`] on this trace.
+    /// Records an annotated machine step, subject to the trace's
+    /// [`TraceMode`]. The step's name ids must come from [`Trace::intern`] on
+    /// this trace.
     pub fn push_step(&mut self, step: TraceStep) {
-        self.steps.push(step);
+        match self.mode {
+            TraceMode::Full => self.steps.push(step),
+            TraceMode::DecisionsOnly => self.dropped_steps += 1,
+            TraceMode::RingBuffer(cap) => {
+                if self.steps.len() < cap {
+                    self.steps.push(step);
+                } else if cap == 0 {
+                    self.dropped_steps += 1;
+                } else {
+                    self.steps[self.ring_head] = step;
+                    self.ring_head = (self.ring_head + 1) % cap;
+                    self.dropped_steps += 1;
+                }
+            }
+        }
+    }
+
+    /// Rolls the trace back to the state it had after `bound_step` machine
+    /// steps: the decision stream is truncated to `decision_count` and every
+    /// annotated step at or past the bound is discarded. Used by the runtime
+    /// when a liveness grace period confirms a bound verdict — the
+    /// observation window's recording must not leak into the reported trace.
+    ///
+    /// Annotated steps *before* the bound that a ring buffer evicted during
+    /// the window cannot be restored; the dropped counter is recomputed so
+    /// [`Trace::total_step_count`] equals `bound_step` exactly (the runtime
+    /// records one annotated step per machine step).
+    pub fn truncate_to_step(&mut self, decision_count: usize, bound_step: usize) {
+        self.decisions.truncate(decision_count);
+        let mut retained: Vec<TraceStep> = self
+            .steps()
+            .filter(|step| step.step < bound_step)
+            .copied()
+            .collect();
+        self.steps.clear();
+        self.steps.append(&mut retained);
+        self.ring_head = 0;
+        self.dropped_steps = match self.mode {
+            TraceMode::Full => 0,
+            TraceMode::RingBuffer(_) | TraceMode::DecisionsOnly => {
+                bound_step.saturating_sub(self.steps.len())
+            }
+        };
     }
 
     /// Interns a name into this trace's table.
@@ -236,8 +428,9 @@ impl Trace {
 
     /// Serializes the trace to pretty JSON for storage alongside a bug report.
     ///
-    /// Interned names are resolved to plain strings, so the format is stable
-    /// and self-contained regardless of interning order.
+    /// Interned names are resolved to plain strings and ring storage is
+    /// unrolled into execution order, so the format is stable and
+    /// self-contained regardless of interning order or ring offset.
     ///
     /// # Errors
     ///
@@ -249,6 +442,9 @@ impl Trace {
 
     /// Parses a trace previously produced by [`Trace::to_json`].
     ///
+    /// Traces written before the trace-mode refactor (no `mode` /
+    /// `dropped_steps` keys) parse as `TraceMode::Full` with nothing dropped.
+    ///
     /// # Errors
     ///
     /// Returns an error if the JSON does not describe a trace.
@@ -256,10 +452,18 @@ impl Trace {
         Trace::from_json_value(&Json::parse(json)?)
     }
 
-    /// Renders the annotated schedule as indented text, one line per step.
+    /// Renders the annotated schedule as indented text, one line per retained
+    /// step. When earlier steps were dropped (ring buffer or decisions-only
+    /// recording), the rendering starts with a marker saying how many.
     pub fn render_schedule(&self) -> String {
         let mut out = String::new();
-        for step in &self.steps {
+        if self.dropped_steps > 0 {
+            out.push_str(&format!(
+                "[..... {} earlier step(s) not retained ({:?} trace mode) .....]\n",
+                self.dropped_steps, self.mode
+            ));
+        }
+        for step in self.steps() {
             out.push_str(&format!(
                 "[{:>5}] {} ({}) <- {}\n",
                 step.step,
@@ -276,6 +480,8 @@ impl ToJson for Trace {
     fn to_json_value(&self) -> Json {
         Json::object([
             ("seed", Json::UInt(self.seed)),
+            ("mode", self.mode.to_json_value()),
+            ("dropped_steps", Json::UInt(self.dropped_steps as u64)),
             (
                 "decisions",
                 Json::Array(self.decisions.iter().map(ToJson::to_json_value).collect()),
@@ -283,8 +489,7 @@ impl ToJson for Trace {
             (
                 "steps",
                 Json::Array(
-                    self.steps
-                        .iter()
+                    self.steps()
                         .map(|step| {
                             Json::object([
                                 ("step", Json::UInt(step.step as u64)),
@@ -322,6 +527,14 @@ impl FromJson for Trace {
                 })
             })
             .collect::<Result<_, JsonError>>()?;
+        let mode = match value.get("mode") {
+            Ok(mode) => TraceMode::from_json_value(mode)?,
+            Err(_) => TraceMode::Full,
+        };
+        let dropped_steps = match value.get("dropped_steps") {
+            Ok(count) => count.as_usize()?,
+            Err(_) => 0,
+        };
         Ok(Trace {
             seed: value.get("seed")?.as_u64()?,
             decisions: value
@@ -331,6 +544,9 @@ impl FromJson for Trace {
                 .map(Decision::from_json_value)
                 .collect::<Result<_, _>>()?,
             steps,
+            ring_head: 0,
+            mode,
+            dropped_steps,
             names,
         })
     }
@@ -356,6 +572,17 @@ mod tests {
         t
     }
 
+    fn numbered_step(t: &mut Trace, index: usize) -> TraceStep {
+        let machine_name = t.intern("M");
+        let event = t.intern("E");
+        TraceStep {
+            step: index,
+            machine: MachineId::from_raw(0),
+            machine_name,
+            event,
+        }
+    }
+
     #[test]
     fn decision_count_counts_all_decisions() {
         assert_eq!(sample_trace().decision_count(), 3);
@@ -367,6 +594,117 @@ mod tests {
         let json = t.to_json().expect("serialize");
         let back = Trace::from_json(&json).expect("deserialize");
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_without_mode_keys_parses_as_full_trace() {
+        // Traces serialized before the trace-mode refactor carry no
+        // `mode` / `dropped_steps` keys.
+        let legacy = r#"{
+            "seed": 7,
+            "decisions": [{"Bool": true}],
+            "steps": [{"step": 0, "machine": 0, "machine_name": "A", "event": "start"}]
+        }"#;
+        let t = Trace::from_json(legacy).expect("legacy trace parses");
+        assert_eq!(t.mode(), TraceMode::Full);
+        assert_eq!(t.dropped_steps(), 0);
+        assert_eq!(t.retained_step_count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_retains_only_the_newest_steps() {
+        let mut t = Trace::with_mode(5, TraceMode::RingBuffer(3));
+        for i in 0..10 {
+            let step = numbered_step(&mut t, i);
+            t.push_step(step);
+        }
+        assert_eq!(t.retained_step_count(), 3);
+        assert_eq!(t.dropped_steps(), 7);
+        assert_eq!(t.total_step_count(), 10);
+        let retained: Vec<usize> = t.steps().map(|s| s.step).collect();
+        assert_eq!(retained, vec![7, 8, 9], "oldest steps are evicted first");
+        let rendered = t.render_schedule();
+        assert!(rendered.contains("7 earlier step(s) not retained"));
+    }
+
+    #[test]
+    fn ring_buffer_round_trips_through_json() {
+        let mut t = Trace::with_mode(5, TraceMode::RingBuffer(3));
+        t.push_decision(Decision::Int(1));
+        for i in 0..10 {
+            let step = numbered_step(&mut t, i);
+            t.push_step(step);
+        }
+        let back = Trace::from_json(&t.to_json().expect("serialize")).expect("deserialize");
+        assert_eq!(t, back);
+        assert_eq!(back.mode(), TraceMode::RingBuffer(3));
+        assert_eq!(back.dropped_steps(), 7);
+        let retained: Vec<usize> = back.steps().map(|s| s.step).collect();
+        assert_eq!(retained, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn decisions_only_mode_records_no_steps() {
+        let mut t = Trace::with_mode(1, TraceMode::DecisionsOnly);
+        t.push_decision(Decision::Bool(false));
+        for i in 0..4 {
+            let step = numbered_step(&mut t, i);
+            t.push_step(step);
+        }
+        assert_eq!(t.retained_step_count(), 0);
+        assert_eq!(t.dropped_steps(), 4);
+        assert_eq!(t.decision_count(), 1, "decisions are always kept");
+        let back = Trace::from_json(&t.to_json().expect("serialize")).expect("deserialize");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut t = Trace::with_mode(1, TraceMode::RingBuffer(0));
+        let step = numbered_step(&mut t, 0);
+        t.push_step(step);
+        assert_eq!(t.retained_step_count(), 0);
+        assert_eq!(t.dropped_steps(), 1);
+    }
+
+    #[test]
+    fn reset_clears_content_and_applies_the_new_mode() {
+        let mut t = sample_trace();
+        t.reset(123, TraceMode::RingBuffer(2));
+        assert_eq!(t.seed, 123);
+        assert_eq!(t.mode(), TraceMode::RingBuffer(2));
+        assert_eq!(t.decision_count(), 0);
+        assert_eq!(t.retained_step_count(), 0);
+        assert_eq!(t.dropped_steps(), 0);
+        assert!(t.names.is_empty());
+        for i in 0..5 {
+            let step = numbered_step(&mut t, i);
+            t.push_step(step);
+        }
+        assert_eq!(t.retained_step_count(), 2);
+    }
+
+    #[test]
+    fn trace_mode_parses_cli_spellings() {
+        assert_eq!(TraceMode::parse("full"), Some(TraceMode::Full));
+        assert_eq!(
+            TraceMode::parse("ring:256"),
+            Some(TraceMode::RingBuffer(256))
+        );
+        assert_eq!(
+            TraceMode::parse("ring-buffer:8"),
+            Some(TraceMode::RingBuffer(8))
+        );
+        assert_eq!(
+            TraceMode::parse("decisions"),
+            Some(TraceMode::DecisionsOnly)
+        );
+        assert_eq!(
+            TraceMode::parse("decisions-only"),
+            Some(TraceMode::DecisionsOnly)
+        );
+        assert_eq!(TraceMode::parse("ring:"), None);
+        assert_eq!(TraceMode::parse("nope"), None);
     }
 
     #[test]
@@ -424,7 +762,7 @@ mod tests {
     #[test]
     fn step_name_accessors_resolve() {
         let t = sample_trace();
-        let step = t.steps[0];
+        let step = *t.steps().next().expect("one step");
         assert_eq!(t.step_machine_name(&step), "Server");
         assert_eq!(t.step_event_name(&step), "ClientReq");
     }

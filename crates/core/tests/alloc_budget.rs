@@ -1,4 +1,4 @@
-//! Allocation-budget regression test for the step loop.
+//! Allocation-budget regression tests for the step loop and the trace path.
 //!
 //! PR 2 made the hot path allocation-free in the steady state: the enabled
 //! set lives in a reusable buffer and trace records store interned name ids
@@ -7,37 +7,57 @@
 //! `#[global_allocator]` asserts that budget so a future change cannot
 //! silently reintroduce per-step heap traffic.
 //!
+//! PR 4 added two more guarantees covered here: `TraceMode::RingBuffer`
+//! bounds the *peak live memory* of the annotated schedule on very long
+//! executions (the allocator tracks net live bytes and their high-water
+//! mark), and engines recycle trace storage across iterations, so the
+//! steady-state cost of an iteration no longer includes re-growing the
+//! trace vectors from scratch.
+//!
 //! These tests live alone in their integration-test binary (a global
 //! allocator is process-wide) and serialize their measurement windows on a
 //! mutex so libtest's default parallelism cannot cross-pollute the counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use psharp::prelude::*;
 
-/// Counts every allocation (and growth `realloc`) while armed.
+/// Counts every allocation (and growth `realloc`) while armed, and tracks
+/// the net live bytes plus their high-water mark.
 struct CountingAllocator;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+
+fn track_alloc(bytes: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            track_alloc(layout.size());
         }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if ARMED.load(Ordering::Relaxed) {
+            LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        }
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            track_alloc(new_size);
+            LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -50,15 +70,28 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// tests measuring concurrently would count each other's allocations.
 static MEASURE: Mutex<()> = Mutex::new(());
 
-/// Runs `body` with the counter armed and returns how many allocations it
-/// performed.
-fn count_allocations<R>(body: impl FnOnce() -> R) -> (u64, R) {
+/// One armed measurement window: allocation count, peak net-new live bytes,
+/// and the body's result.
+fn measure<R>(body: impl FnOnce() -> R) -> (u64, u64, R) {
     let _window = MEASURE.lock().expect("measurement lock poisoned");
     ALLOCATIONS.store(0, Ordering::SeqCst);
+    LIVE_BYTES.store(0, Ordering::SeqCst);
+    PEAK_BYTES.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     let result = body();
     ARMED.store(false, Ordering::SeqCst);
-    (ALLOCATIONS.load(Ordering::SeqCst), result)
+    (
+        ALLOCATIONS.load(Ordering::SeqCst),
+        PEAK_BYTES.load(Ordering::SeqCst).max(0) as u64,
+        result,
+    )
+}
+
+/// Runs `body` with the counter armed and returns how many allocations it
+/// performed.
+fn count_allocations<R>(body: impl FnOnce() -> R) -> (u64, R) {
+    let (allocations, _, result) = measure(body);
+    (allocations, result)
 }
 
 #[derive(Debug)]
@@ -143,5 +176,105 @@ fn pure_scheduling_steps_allocate_nothing_per_step() {
         allocations <= 64,
         "delivering {EVENTS} pre-queued events allocated {allocations} times; \
          the dispatch path must be allocation-free in the steady state"
+    );
+}
+
+/// A runtime that inherits a previous execution's trace storage
+/// ([`Runtime::recycle_trace`], the engines' cross-iteration path) records a
+/// same-shaped execution without growing the trace vectors at all: the only
+/// allowed allocations are the machine box, first-touch of the per-machine
+/// mailbox/slot vectors, and the re-interned machine names.
+#[test]
+fn recycled_trace_makes_the_next_iteration_allocation_free_on_the_trace_path() {
+    const EVENTS: usize = 8_192;
+    struct Sink;
+    impl Machine for Sink {
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+    let build = || {
+        Runtime::new(
+            SchedulerKind::Random.build(11, EVENTS * 2),
+            RuntimeConfig {
+                max_steps: EVENTS * 2,
+                ..RuntimeConfig::default()
+            },
+            11,
+        )
+    };
+
+    // Warm-up execution grows the trace to its full size.
+    let mut first = build();
+    let sink = first.create_machine(Sink);
+    for _ in 0..EVENTS {
+        first.send(sink, Event::new(Spin));
+    }
+    assert_eq!(first.run(), ExecutionOutcome::Quiescent);
+    let recycled = first.into_trace();
+
+    // Second execution re-uses that storage: recording must not re-allocate.
+    let mut second = build();
+    second.recycle_trace(recycled);
+    let sink = second.create_machine(Sink);
+    for _ in 0..EVENTS {
+        second.send(sink, Event::new(Spin));
+    }
+    let (allocations, outcome) = count_allocations(|| second.run());
+    assert_eq!(outcome, ExecutionOutcome::Quiescent);
+    assert!(
+        allocations <= 8,
+        "a recycled-trace execution allocated {allocations} times; \
+         pre-grown trace storage must absorb the whole recording"
+    );
+}
+
+/// `TraceMode::RingBuffer` bounds the peak memory of the annotated schedule
+/// on very long executions: the replay-bearing decision stream still grows
+/// (dropping it would destroy replayability), but the per-step `TraceStep`
+/// records — the larger of the two streams — stay capped at the ring
+/// capacity instead of scaling with the execution length.
+#[test]
+fn ring_buffer_trace_mode_bounds_peak_trace_memory() {
+    const STEPS: usize = 100_000;
+    const RING: usize = 256;
+    let run = |trace_mode| {
+        let mut rt = Runtime::new(
+            SchedulerKind::Random.build(7, STEPS),
+            RuntimeConfig {
+                max_steps: STEPS,
+                trace_mode,
+                ..RuntimeConfig::default()
+            },
+            7,
+        );
+        rt.create_machine(Spinner);
+        rt.create_machine(Spinner);
+        let (_, peak, outcome) = measure(|| rt.run());
+        assert_eq!(outcome, ExecutionOutcome::MaxStepsReached);
+        (peak, rt.into_trace())
+    };
+
+    let (full_peak, full_trace) = run(TraceMode::Full);
+    let (ring_peak, ring_trace) = run(TraceMode::RingBuffer(RING));
+
+    assert_eq!(full_trace.retained_step_count(), STEPS);
+    assert_eq!(ring_trace.retained_step_count(), RING);
+    assert_eq!(ring_trace.dropped_steps(), STEPS - RING);
+    assert_eq!(
+        ring_trace.decision_count(),
+        full_trace.decision_count(),
+        "the replay-bearing decision stream must be complete in every mode"
+    );
+
+    // The annotated schedule is ~24 bytes per step; the ring must save at
+    // least that (modulo growth slack), and land well below the full-mode
+    // high-water mark.
+    let step_bytes = (STEPS * std::mem::size_of::<psharp::trace::TraceStep>()) as u64;
+    assert!(
+        full_peak >= step_bytes,
+        "full-mode peak {full_peak} is implausibly below the step storage {step_bytes}"
+    );
+    assert!(
+        ring_peak + step_bytes / 2 <= full_peak,
+        "ring-buffer peak {ring_peak} saves too little vs full-mode peak {full_peak}"
     );
 }

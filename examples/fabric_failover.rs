@@ -2,26 +2,35 @@
 //! bug in the modeled replica-management platform, and the CScale-style
 //! uninitialized-configuration bug in a service running on top of it.
 //!
-//! Run with: `cargo run --release --example fabric_failover`
+//! Run with: `cargo run --release --example fabric_failover [--shrink]
+//! [--trace-mode full|ring:N|decisions]`
 
 use fabric::{build_harness, FabricConfig};
+use fast16::cli::{describe_shrink, DebugOptions};
 use psharp::prelude::*;
 
 fn main() {
+    let (opts, _) = DebugOptions::from_args();
+
     // Promotion bug: the primary fails while a new secondary is waiting for
     // its state copy; the buggy cluster manager elects that secondary and
     // then also promotes it to an active secondary.
     let engine = TestEngine::new(
-        TestConfig::new()
-            .with_iterations(20_000)
-            .with_max_steps(5_000)
-            .with_seed(2016),
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(20_000)
+                .with_max_steps(5_000)
+                .with_seed(2016),
+        ),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &FabricConfig::with_promotion_bug());
     });
     println!("-- promotion during pending copy (model assertion) --");
     println!("{}", report.summary());
+    if let Some(bug) = &report.bug {
+        describe_shrink(bug);
+    }
 
     // The same scenario with the fixed cluster manager stays clean.
     let engine = TestEngine::new(
@@ -39,14 +48,19 @@ fn main() {
     // CScale-style bug: the second pipeline stage dereferences its
     // configuration before it arrives; reported as a panic bug.
     let engine = TestEngine::new(
-        TestConfig::new()
-            .with_iterations(5_000)
-            .with_max_steps(2_000)
-            .with_seed(4),
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(5_000)
+                .with_max_steps(2_000)
+                .with_seed(4),
+        ),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &FabricConfig::with_pipeline_bug());
     });
     println!("\n-- CScale-like uninitialized configuration --");
     println!("{}", report.summary());
+    if let Some(bug) = &report.bug {
+        describe_shrink(bug);
+    }
 }

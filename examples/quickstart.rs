@@ -1,21 +1,27 @@
 //! Quickstart: systematically test the paper's running example (§2) and find
 //! both seeded bugs, then replay the safety bug from its recorded trace.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart [--shrink]
+//! [--trace-mode full|ring:N|decisions]`
 
+use fast16::cli::{describe_shrink, DebugOptions};
 use psharp::prelude::*;
 use replsim::{build_harness, ReplConfig};
 
 fn main() {
+    let (opts, _) = DebugOptions::from_args();
+
     // 1. The safety bug: the server counts duplicate replica confirmations,
     //    so it can acknowledge a request before three distinct storage nodes
     //    hold the data.
     let config = ReplConfig::with_duplicate_counting_bug();
     let engine = TestEngine::new(
-        TestConfig::new()
-            .with_iterations(5_000)
-            .with_max_steps(2_000)
-            .with_seed(1),
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(5_000)
+                .with_max_steps(2_000)
+                .with_seed(1),
+        ),
     );
     let report = engine.run(move |rt| {
         build_harness(rt, &config);
@@ -23,6 +29,7 @@ fn main() {
     println!("-- duplicate replica counting (safety) --");
     println!("{}", report.summary());
     let bug_report = report.bug.expect("the safety bug is always reachable");
+    describe_shrink(&bug_report);
 
     // The violation comes with a replayable trace: re-executing it
     // deterministically reproduces the same bug.
@@ -51,16 +58,21 @@ fn main() {
     //    the client's second request is never acknowledged.
     let config = ReplConfig::with_missing_reset_bug();
     let engine = TestEngine::new(
-        TestConfig::new()
-            .with_iterations(500)
-            .with_max_steps(3_000)
-            .with_seed(2),
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(500)
+                .with_max_steps(3_000)
+                .with_seed(2),
+        ),
     );
     let report = engine.run(move |rt| {
         build_harness(rt, &config);
     });
     println!("\n-- missing counter reset (liveness) --");
     println!("{}", report.summary());
+    if let Some(bug_report) = &report.bug {
+        describe_shrink(bug_report);
+    }
 
     // 3. The fixed system: no violation in a healthy number of executions.
     let engine = TestEngine::new(

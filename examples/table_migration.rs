@@ -2,27 +2,35 @@
 //! Table 2 and let the systematic tester find them by comparing the system
 //! against the reference model.
 //!
-//! Run with: `cargo run --release --example table_migration [BugName]`
+//! Run with: `cargo run --release --example table_migration [BugName]
+//! [--shrink] [--trace-mode full|ring:N|decisions]`
 
 use chaintable::{build_harness, named_bugs, ChainConfig};
+use fast16::cli::{describe_shrink, DebugOptions};
 use psharp::prelude::*;
 
-fn hunt(config: ChainConfig, scheduler: SchedulerKind) {
+fn hunt(config: ChainConfig, scheduler: SchedulerKind, opts: DebugOptions) {
     let engine = TestEngine::new(
-        TestConfig::new()
-            .with_iterations(20_000)
-            .with_max_steps(10_000)
-            .with_seed(2016)
-            .with_scheduler(scheduler),
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(20_000)
+                .with_max_steps(10_000)
+                .with_seed(2016)
+                .with_scheduler(scheduler),
+        ),
     );
     let report = engine.run(move |rt| {
         build_harness(rt, &config);
     });
     println!("  [{}] {}", scheduler.label(), report.summary());
+    if let Some(bug) = &report.bug {
+        describe_shrink(bug);
+    }
 }
 
 fn main() {
-    let only: Option<String> = std::env::args().nth(1);
+    let (opts, rest) = DebugOptions::from_args();
+    let only: Option<String> = rest.into_iter().next();
 
     for (name, config) in named_bugs() {
         if let Some(filter) = &only {
@@ -31,8 +39,8 @@ fn main() {
             }
         }
         println!("-- {name} --");
-        hunt(config, SchedulerKind::Random);
-        hunt(config, SchedulerKind::Pct { change_points: 2 });
+        hunt(config, SchedulerKind::Random, opts);
+        hunt(config, SchedulerKind::Pct { change_points: 2 }, opts);
     }
 
     println!("-- fixed MigratingTable --");

@@ -2,20 +2,26 @@
 //! bug that eluded months of stress testing, then show that the fixed Extent
 //! Manager passes the same test.
 //!
-//! Run with: `cargo run --release --example vnext_repair`
+//! Run with: `cargo run --release --example vnext_repair [--shrink]
+//! [--trace-mode full|ring:N|decisions]`
 
+use fast16::cli::{describe_shrink, DebugOptions};
 use psharp::prelude::*;
 use vnext::{build_harness, VnextConfig};
 
 fn main() {
+    let (opts, _) = DebugOptions::from_args();
+
     // The buggy Extent Manager accepts sync reports from extent nodes it has
     // already expired, silently "resurrecting" lost replicas so the repair
     // loop never runs.
     let engine = TestEngine::new(
-        TestConfig::new()
-            .with_iterations(20_000)
-            .with_max_steps(3_000)
-            .with_seed(2016),
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(20_000)
+                .with_max_steps(3_000)
+                .with_seed(2016),
+        ),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &VnextConfig::with_liveness_bug());
@@ -27,6 +33,7 @@ fn main() {
             "the repair monitor stayed hot: {}\n(first buggy execution used {} nondeterministic choices)",
             bug.bug.message, bug.ndc
         );
+        describe_shrink(bug);
     }
 
     // With the priority-based scheduler as well, as in Table 2.

@@ -15,3 +15,76 @@ pub use fabric;
 pub use psharp;
 pub use replsim;
 pub use vnext;
+
+/// Debug-workflow options shared by the case-study examples: every example
+/// accepts `--shrink` (delta-debug a found bug's schedule down to a minimal
+/// replayable counterexample) and `--trace-mode full|ring:N|decisions`
+/// (bound how much of the annotated schedule each execution retains).
+pub mod cli {
+    use psharp::engine::BugReport;
+    use psharp::prelude::*;
+
+    /// Parsed `--shrink` / `--trace-mode` options.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct DebugOptions {
+        /// Delta-debug found bugs down to minimal counterexamples.
+        pub shrink: bool,
+        /// How much of the annotated schedule each execution retains.
+        pub trace_mode: TraceMode,
+    }
+
+    impl DebugOptions {
+        /// Parses the debug flags out of `std::env::args`, returning the
+        /// options and the remaining (positional) arguments.
+        ///
+        /// # Panics
+        ///
+        /// Panics on a malformed `--trace-mode` value, mirroring the
+        /// fail-fast CLI style of the bench binaries.
+        pub fn from_args() -> (Self, Vec<String>) {
+            let mut options = DebugOptions::default();
+            let mut rest = Vec::new();
+            let mut argv = std::env::args().skip(1);
+            while let Some(arg) = argv.next() {
+                match arg.as_str() {
+                    "--shrink" => options.shrink = true,
+                    "--trace-mode" => {
+                        let name = argv.next().expect("--trace-mode requires a mode");
+                        options.trace_mode = TraceMode::parse(&name)
+                            .unwrap_or_else(|| panic!("unknown trace mode {name:?}"));
+                    }
+                    _ => rest.push(arg),
+                }
+            }
+            (options, rest)
+        }
+
+        /// Applies the options to a test configuration.
+        pub fn apply(&self, config: TestConfig) -> TestConfig {
+            config
+                .with_shrink(self.shrink)
+                .with_trace_mode(self.trace_mode)
+        }
+    }
+
+    /// Prints the shrink outcome attached to a bug report (no-op when the
+    /// run was not configured with `--shrink`): the reduction summary plus
+    /// the tail of the minimized, replay-verified schedule.
+    pub fn describe_shrink(report: &BugReport) {
+        let Some(shrink) = &report.shrink else {
+            return;
+        };
+        println!("shrink: {}", shrink.summary());
+        let rendered = shrink.minimized.render_schedule();
+        let lines: Vec<&str> = rendered.lines().collect();
+        let tail = lines.len().saturating_sub(12);
+        if tail > 0 {
+            println!("minimized schedule (last 12 of {} steps):", lines.len());
+        } else {
+            println!("minimized schedule:");
+        }
+        for line in &lines[tail..] {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Shrink acceptance across the four case-study crates: for a seeded bug in
+//! each crate, the shrink pass produces a minimized trace that (a) replays
+//! to the same bug, (b) has strictly fewer decisions than the original
+//! recording, and (c) is byte-identical across engines and worker counts.
+
+use psharp::prelude::*;
+
+struct Case {
+    name: &'static str,
+    max_steps: usize,
+    iterations: u64,
+    seed: u64,
+    build: fn(&mut Runtime),
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "replsim/duplicate-counting (safety)",
+            max_steps: 2_000,
+            iterations: 3_000,
+            seed: 1,
+            build: |rt| {
+                replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
+            },
+        },
+        Case {
+            name: "vnext/extent-node-liveness",
+            max_steps: 3_000,
+            iterations: 200,
+            seed: 2016,
+            build: |rt| {
+                vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
+            },
+        },
+        Case {
+            name: "chaintable/delete-primary-key (safety)",
+            max_steps: 10_000,
+            iterations: 500,
+            seed: 11,
+            build: |rt| {
+                let (_, config) = chaintable::named_bugs()
+                    .into_iter()
+                    .find(|(name, _)| *name == "DeletePrimaryKey")
+                    .expect("known seeded bug");
+                chaintable::build_harness(rt, &config);
+            },
+        },
+        Case {
+            name: "fabric/promote-pending-copy (safety)",
+            max_steps: 5_000,
+            iterations: 2_000,
+            seed: 2016,
+            build: |rt| {
+                fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
+            },
+        },
+    ]
+}
+
+fn config_for(case: &Case) -> TestConfig {
+    TestConfig::new()
+        .with_iterations(case.iterations)
+        .with_max_steps(case.max_steps)
+        .with_seed(case.seed)
+        .with_shrink(true)
+        // Keep the test budget moderate: even a partial pass must strictly
+        // reduce these seeded bugs' traces.
+        .with_shrink_budget(300)
+}
+
+#[test]
+fn every_case_study_bug_shrinks_to_a_replayable_smaller_trace() {
+    for case in cases() {
+        let engine = TestEngine::new(config_for(&case));
+        let report = engine.run(case.build);
+        let bug_report = report
+            .bug
+            .unwrap_or_else(|| panic!("{}: seeded bug not found", case.name));
+        let shrink = bug_report
+            .shrink
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: shrink did not run", case.name));
+
+        // (b) strictly fewer decisions.
+        assert!(
+            shrink.minimized_decisions < shrink.original_decisions,
+            "{}: no reduction ({})",
+            case.name,
+            shrink.summary()
+        );
+
+        // (a) the minimized trace replays to the same bug.
+        let replayed = engine
+            .replay(&shrink.minimized, case.build)
+            .unwrap_or_else(|| panic!("{}: minimized trace does not replay", case.name));
+        assert_eq!(replayed.kind, bug_report.bug.kind, "{}", case.name);
+        assert_eq!(replayed.message, bug_report.bug.message, "{}", case.name);
+    }
+}
+
+#[test]
+fn shrink_output_is_byte_identical_across_worker_counts() {
+    // One representative case (the fastest seeded bug) across the serial
+    // engine and several parallel worker counts: the whole (bug, iteration,
+    // minimized trace) tuple must be reproducible byte for byte.
+    let case = &cases()[0];
+    let serial = TestEngine::new(config_for(case)).run(case.build);
+    let reference = serial.bug.expect("serial engine finds the bug");
+    let reference_json = reference
+        .shrink
+        .as_ref()
+        .expect("shrink ran")
+        .minimized
+        .to_json()
+        .expect("serialize");
+
+    for workers in [2usize, 4] {
+        let parallel =
+            ParallelTestEngine::new(config_for(case).with_workers(workers)).run(case.build);
+        let found = parallel.bug.expect("parallel engine finds the bug");
+        assert_eq!(found.iteration, reference.iteration);
+        let json = found
+            .shrink
+            .as_ref()
+            .expect("shrink ran")
+            .minimized
+            .to_json()
+            .expect("serialize");
+        assert_eq!(json, reference_json, "at {workers} workers");
+    }
+}
