@@ -9,12 +9,12 @@
 //! prints the median wall-clock time plus executions/second.
 //!
 //! Besides the human-readable table the bench writes a machine-readable
-//! `BENCH_pr4.json` (override with `--json PATH`; schema-compatible with
-//! `BENCH_pr2.json`, plus per-strategy portfolio rows and the
-//! schedule-shrinking row added in PR 4) so the perf trajectory of the
-//! engine is tracked from PR 2 on — `dashboard` renders the whole
-//! `BENCH_*.json` series as a trend table. `--quick` shrinks every budget
-//! for CI smoke runs.
+//! `BENCH_pr5.json` (override with `--json PATH`; schema-compatible with
+//! `BENCH_pr2.json`, plus per-strategy portfolio rows, the
+//! schedule-shrinking row added in PR 4 and the fault-injection overhead
+//! rows added in PR 5) so the perf trajectory of the engine is tracked from
+//! PR 2 on — `dashboard` renders the whole `BENCH_*.json` series as a trend
+//! table. `--quick` shrinks every budget for CI smoke runs.
 //!
 //! Run with `cargo bench -p bench` — or directly:
 //! `cargo run --release -p bench --bench schedulers -- [--quick] [--json PATH]`.
@@ -72,7 +72,7 @@ fn parse_settings() -> Settings {
     let mut settings = Settings {
         reps: 5,
         scale: 1,
-        json: "BENCH_pr4.json".to_string(),
+        json: "BENCH_pr5.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -148,12 +148,26 @@ fn run_iterations<F>(iterations: u64, max_steps: usize, scheduler: SchedulerKind
 where
     F: Fn(&mut Runtime),
 {
+    run_iterations_with_faults(iterations, max_steps, scheduler, FaultPlan::none(), build)
+}
+
+fn run_iterations_with_faults<F>(
+    iterations: u64,
+    max_steps: usize,
+    scheduler: SchedulerKind,
+    faults: FaultPlan,
+    build: F,
+) -> u64
+where
+    F: Fn(&mut Runtime),
+{
     let engine = TestEngine::new(
         TestConfig::new()
             .with_iterations(iterations)
             .with_max_steps(max_steps)
             .with_seed(42)
-            .with_scheduler(scheduler),
+            .with_scheduler(scheduler)
+            .with_faults(faults),
     );
     engine.run(build).total_steps
 }
@@ -272,15 +286,26 @@ fn scheduler_ablation(b: &mut Bench) {
     }
 }
 
-/// Ablation: PCT priority-change budget on the vNext liveness bug.
+/// Ablation: PCT priority-change budget on the vNext liveness bug (the bug
+/// is fault-induced since PR 5: the EN crash is a scheduler-injected fault).
+/// These rows also track the PR 5 adaptive liveness early-confirm: the fair
+/// observation window is now sized by the backlog measured at the bound
+/// instead of the worst-case `unfair-prefix x machine-count`.
 fn pct_budget_ablation(b: &mut Bench) {
     let group = "pct_change_points_vnext";
+    let config = vnext::VnextConfig::with_liveness_bug();
     let n = b.budget(5);
     for change_points in [0usize, 2, 5] {
         b.bench(group, &format!("cp{change_points}"), n, || {
-            run_iterations(n, 3_000, SchedulerKind::Pct { change_points }, |rt| {
-                vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
-            })
+            run_iterations_with_faults(
+                n,
+                3_000,
+                SchedulerKind::Pct { change_points },
+                config.fault_plan(),
+                |rt| {
+                    vnext::build_harness(rt, &config);
+                },
+            )
         });
     }
 }
@@ -288,14 +313,58 @@ fn pct_budget_ablation(b: &mut Bench) {
 /// Ablation: the liveness "infinite execution" step bound (§2.5 heuristic).
 fn liveness_bound_ablation(b: &mut Bench) {
     let group = "liveness_step_bound_vnext";
+    let config = vnext::VnextConfig::with_liveness_bug();
     let n = b.budget(5);
     for max_steps in [1_000usize, 3_000, 6_000] {
         b.bench(group, &format!("bound{max_steps}"), n, || {
-            run_iterations(n, max_steps, SchedulerKind::Random, |rt| {
-                vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
-            })
+            run_iterations_with_faults(
+                n,
+                max_steps,
+                SchedulerKind::Random,
+                config.fault_plan(),
+                |rt| {
+                    vnext::build_harness(rt, &config);
+                },
+            )
         });
     }
+}
+
+/// Fault-injection overhead (PR 5): the cost of probing for faults on the
+/// step-loop hot path. `idle_budget` runs the spinner harness with a crash
+/// budget but no crashable machine — the probe scans candidates every step
+/// and never fires — against the plain `serial_random` row; the fabric rows
+/// compare the fixed failover harness with and without its one-crash budget
+/// (the crash actually fires and the failover machinery runs).
+fn fault_injection_overhead(b: &mut Bench) {
+    let group = "fault_injection";
+    let iterations = b.budget(HOTPATH_ITERATIONS);
+    b.bench(group, "hotpath_idle_budget", iterations, || {
+        run_iterations_with_faults(
+            iterations,
+            HOTPATH_MAX_STEPS,
+            SchedulerKind::Random,
+            FaultPlan::new().with_crashes(1),
+            hotpath::setup,
+        )
+    });
+    let n = b.budget(10);
+    b.bench(group, "fabric_fixed_no_faults", n, || {
+        run_iterations(n, 5_000, SchedulerKind::Random, |rt| {
+            fabric::build_harness(rt, &fabric::FabricConfig::default());
+        })
+    });
+    b.bench(group, "fabric_fixed_crash_budget", n, || {
+        run_iterations_with_faults(
+            n,
+            5_000,
+            SchedulerKind::Random,
+            fabric::FabricConfig::default().fault_plan(),
+            |rt| {
+                fabric::build_harness(rt, &fabric::FabricConfig::default());
+            },
+        )
+    });
 }
 
 /// Per-strategy throughput of a default-portfolio run on the hotpath
@@ -428,7 +497,7 @@ fn write_report(b: &Bench) {
         .map(|r| r.execs_per_sec)
         .unwrap_or(0.0);
     let json = Json::object([
-        ("pr", Json::UInt(4)),
+        ("pr", Json::UInt(5)),
         (
             "bench",
             Json::Str("crates/bench/benches/schedulers.rs".to_string()),
@@ -488,6 +557,7 @@ fn main() {
     scheduler_ablation(&mut b);
     pct_budget_ablation(&mut b);
     liveness_bound_ablation(&mut b);
+    fault_injection_overhead(&mut b);
     portfolio_per_strategy(&mut b);
     shrink_pass(&mut b);
     parallel_engine_comparison(&mut b);

@@ -4,11 +4,16 @@
 //!
 //! Usage: `fixed_check [--iterations N] [--workers W|max]
 //! [--scheduler random|pct|delay|prob|round-robin] [--portfolio]
-//! [--trace-mode full|ring:N|decisions]` (defaults: 2,000 executions, 1
-//! worker, random scheduling, full traces). `--portfolio` verifies under
-//! the full default strategy portfolio instead of a single scheduler;
-//! `--trace-mode ring:N` bounds per-execution trace memory on long
-//! verification runs.
+//! [--trace-mode full|ring:N|decisions]
+//! [--faults default|crash=N,restart=N,drop=N,dup=N]` (defaults: 2,000
+//! executions, 1 worker, random scheduling, full traces, no faults).
+//! `--portfolio` verifies under the full default strategy portfolio instead
+//! of a single scheduler; `--trace-mode ring:N` bounds per-execution trace
+//! memory on long verification runs; `--faults` additionally injects
+//! environment faults — `--faults default` uses each harness's designed
+//! fault budget (crashes for vNext/Fabric, message loss for replsim,
+//! crash+restart for MigratingTable), verifying the *fault tolerance* of the
+//! fixed systems, while an explicit plan applies globally.
 //!
 //! The PR 3 caveat about spurious liveness "violations" under unfair
 //! strategies (PCT, delay-bounding, the probabilistic walk) is resolved: the
@@ -20,19 +25,44 @@
 use bench::{parse_scheduler, verify_fixed_config};
 use psharp::prelude::*;
 
+/// How the check injects faults into the fixed systems.
+#[derive(Clone, Copy)]
+enum FaultMode {
+    /// No faults (the historical behavior).
+    None,
+    /// Each harness's own designed budget (`--faults default`).
+    PerHarness,
+    /// One explicit global plan.
+    Global(FaultPlan),
+}
+
 fn main() {
     let mut iterations: u64 = 2_000;
     let mut workers: usize = 1;
     let mut scheduler = SchedulerKind::Random;
     let mut portfolio = false;
-    let mut trace_mode = TraceMode::Full;
+    let mut trace_mode: Option<TraceMode> = None;
+    let mut fault_mode = FaultMode::None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
+            "--faults" => {
+                let spec = argv.next().expect("--faults requires a plan or 'default'");
+                fault_mode = if spec == "default" {
+                    FaultMode::PerHarness
+                } else {
+                    FaultMode::Global(
+                        FaultPlan::parse(&spec)
+                            .unwrap_or_else(|| panic!("unknown fault plan {spec:?}")),
+                    )
+                };
+            }
             "--trace-mode" => {
                 let name = argv.next().expect("--trace-mode requires a mode");
-                trace_mode = TraceMode::parse(&name)
-                    .unwrap_or_else(|| panic!("unknown trace mode {name:?}"));
+                trace_mode = Some(
+                    TraceMode::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown trace mode {name:?}")),
+                );
             }
             "--iterations" => {
                 iterations = argv
@@ -63,13 +93,14 @@ fn main() {
     }
 
     type Build = Box<dyn Fn(&mut psharp::runtime::Runtime) + Send + Sync>;
-    let checks: Vec<(&str, Build, usize)> = vec![
+    let checks: Vec<(&str, Build, usize, FaultPlan)> = vec![
         (
             "replsim (fixed server)",
             Box::new(|rt: &mut psharp::runtime::Runtime| {
                 replsim::build_harness(rt, &replsim::ReplConfig::default());
             }),
             2_500,
+            replsim::ReplConfig::default().fault_plan(),
         ),
         (
             "vNext extent manager (fixed)",
@@ -77,6 +108,7 @@ fn main() {
                 vnext::build_harness(rt, &vnext::VnextConfig::default());
             }),
             3_000,
+            vnext::VnextConfig::default().fault_plan(),
         ),
         (
             "MigratingTable (fixed)",
@@ -84,6 +116,7 @@ fn main() {
                 chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
             }),
             10_000,
+            chaintable::ChainConfig::fixed().fault_plan(),
         ),
         (
             "Fabric failover (fixed)",
@@ -91,6 +124,7 @@ fn main() {
                 fabric::build_harness(rt, &fabric::FabricConfig::default());
             }),
             5_000,
+            fabric::FabricConfig::default().fault_plan(),
         ),
     ];
 
@@ -99,11 +133,16 @@ fn main() {
     } else {
         scheduler.describe()
     };
+    let fault_label = match fault_mode {
+        FaultMode::None => "no faults".to_string(),
+        FaultMode::PerHarness => "per-harness fault budgets".to_string(),
+        FaultMode::Global(plan) => format!("faults {plan}"),
+    };
     println!(
-        "Fixed-system verification over {iterations} executions each ({workers} worker(s), {mode}):\n"
+        "Fixed-system verification over {iterations} executions each ({workers} worker(s), {mode}, {fault_label}):\n"
     );
     let mut clean = true;
-    for (name, build, max_steps) in checks {
+    for (name, build, max_steps, harness_faults) in checks {
         let start = std::time::Instant::now();
         let mut config = TestConfig::new()
             .with_iterations(iterations)
@@ -111,9 +150,16 @@ fn main() {
             .with_seed(99)
             .with_scheduler(scheduler)
             .with_workers(workers)
-            .with_trace_mode(trace_mode);
+            .with_faults(match fault_mode {
+                FaultMode::None => FaultPlan::none(),
+                FaultMode::PerHarness => harness_faults,
+                FaultMode::Global(plan) => plan,
+            });
         if portfolio {
             config = config.with_default_portfolio();
+        }
+        if let Some(trace_mode) = trace_mode {
+            config = config.with_trace_mode(trace_mode);
         }
         match verify_fixed_config(|rt| build(rt), config) {
             None => println!(

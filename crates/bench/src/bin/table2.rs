@@ -10,7 +10,15 @@
 //!        [--scheduler random|pct|delay|prob|round-robin|both|all]
 //!        [--json PATH] [--workers W] [--portfolio]
 //!        [--shrink] [--trace-mode full|ring:N|decisions]
+//!        [--faults crash=N,restart=N,drop=N,dup=N]
 //! ```
+//!
+//! Fault-induced bug cases carry their own fault budget (a crash for the
+//! vNext and Fabric failover bugs, message loss for the replsim
+//! retransmission bug, crash+restart for the MigratingTable recovery bug) —
+//! it is applied automatically. `--faults` overrides every case's budget
+//! with one global plan; `--faults none` disables fault injection entirely
+//! (the fault-induced bugs then become unreachable by design).
 //!
 //! `--shrink` delta-debugs every found bug's schedule down to a minimal
 //! replayable counterexample (extra `MinNDC` column + `minimized_ndc` /
@@ -37,9 +45,9 @@
 
 use std::fs;
 
-use bench::{bug_cases, hunt_with_config, parse_scheduler, BugHuntResult};
+use bench::{bug_cases, hunt_with_fault_override, parse_scheduler, BugHuntResult};
 use psharp::json::{Json, ToJson};
-use psharp::prelude::{SchedulerKind, TestConfig, TraceMode};
+use psharp::prelude::{FaultPlan, SchedulerKind, TestConfig, TraceMode};
 
 struct Args {
     iterations: u64,
@@ -49,7 +57,8 @@ struct Args {
     workers: usize,
     portfolio: bool,
     shrink: bool,
-    trace_mode: TraceMode,
+    trace_mode: Option<TraceMode>,
+    faults: Option<FaultPlan>,
 }
 
 fn parse_args() -> Args {
@@ -64,7 +73,8 @@ fn parse_args() -> Args {
         workers: 1,
         portfolio: false,
         shrink: false,
-        trace_mode: TraceMode::Full,
+        trace_mode: None,
+        faults: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -98,12 +108,21 @@ fn parse_args() -> Args {
                 None => panic!("--scheduler requires a name"),
             },
             "--json" => args.json = argv.next(),
+            "--faults" => {
+                let spec = argv.next().expect("--faults requires a plan");
+                args.faults = Some(
+                    FaultPlan::parse(&spec)
+                        .unwrap_or_else(|| panic!("unknown fault plan {spec:?}")),
+                );
+            }
             "--portfolio" => args.portfolio = true,
             "--shrink" => args.shrink = true,
             "--trace-mode" => {
                 let name = argv.next().expect("--trace-mode requires a mode");
-                args.trace_mode = TraceMode::parse(&name)
-                    .unwrap_or_else(|| panic!("unknown trace mode {name:?}"));
+                args.trace_mode = Some(
+                    TraceMode::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown trace mode {name:?}")),
+                );
             }
             "--workers" => {
                 args.workers = match argv.next().as_deref() {
@@ -131,22 +150,34 @@ fn main() {
     );
     println!("{}", BugHuntResult::table_header());
 
-    let base_config = TestConfig::new()
+    let mut base_config = TestConfig::new()
         .with_iterations(args.iterations)
         .with_seed(args.seed)
         .with_workers(args.workers)
-        .with_shrink(args.shrink)
-        .with_trace_mode(args.trace_mode);
+        .with_shrink(args.shrink);
+    if let Some(trace_mode) = args.trace_mode {
+        base_config = base_config.with_trace_mode(trace_mode);
+    }
 
     let mut results: Vec<BugHuntResult> = Vec::new();
     for case in bug_cases() {
         if args.portfolio {
-            let result = hunt_with_config(&case, base_config.clone().with_default_portfolio());
+            // `--faults` (including `none`) replaces every case's own fault
+            // budget with one global plan; without it each case's applies.
+            let result = hunt_with_fault_override(
+                &case,
+                base_config.clone().with_default_portfolio(),
+                args.faults,
+            );
             println!("{}", result.table_row());
             results.push(result);
         } else {
             for &scheduler in &args.schedulers {
-                let result = hunt_with_config(&case, base_config.clone().with_scheduler(scheduler));
+                let result = hunt_with_fault_override(
+                    &case,
+                    base_config.clone().with_scheduler(scheduler),
+                    args.faults,
+                );
                 println!("{}", result.table_row());
                 results.push(result);
             }

@@ -12,7 +12,8 @@ use psharp::prelude::*;
 /// One named, re-introducible bug together with the harness that exposes it.
 pub struct BugCase {
     /// The case-study index used by the paper's Table 2 ("1" = vNext,
-    /// "2" = MigratingTable, "3" = Fabric).
+    /// "2" = MigratingTable, "3" = Fabric; "0" = the §2 example replication
+    /// system).
     pub case_study: u8,
     /// The paper's bug identifier.
     pub name: &'static str,
@@ -20,14 +21,35 @@ pub struct BugCase {
     pub build: Box<dyn Fn(&mut Runtime) + Send + Sync>,
     /// Per-execution step bound appropriate for the harness.
     pub max_steps: usize,
+    /// The fault budget the bug needs ([`FaultPlan::none`] for bugs
+    /// reachable on a reliable network without crashes). Applied by
+    /// [`hunt_with_config`] unless the caller's configuration already
+    /// carries its own plan.
+    pub faults: FaultPlan,
 }
 
 /// The full list of re-introducible bugs across the case studies, in the
-/// order of the paper's Table 2, plus the Fabric bugs reported in §5.
+/// order of the paper's Table 2, plus the Fabric bugs reported in §5 and the
+/// fault-induced bugs of the PR 5 fault-injection refactor (one per
+/// case-study crate; each needs its [`BugCase::faults`] budget to be
+/// reachable).
 pub fn bug_cases() -> Vec<BugCase> {
     let mut cases: Vec<BugCase> = Vec::new();
 
-    // Case study 1: Azure Storage vNext.
+    // The §2 example replication system: the fault-induced missing
+    // retransmission bug (needs message loss on the lossy storage channel).
+    cases.push(BugCase {
+        case_study: 0,
+        name: "ReplReqLostNoRetransmit",
+        build: Box::new(|rt| {
+            replsim::build_harness(rt, &replsim::ReplConfig::with_lost_replication_bug());
+        }),
+        max_steps: 2_500,
+        faults: replsim::ReplConfig::with_lost_replication_bug().fault_plan(),
+    });
+
+    // Case study 1: Azure Storage vNext. The §3.6 liveness bug is
+    // fault-induced: it needs a scheduler-injected EN crash.
     cases.push(BugCase {
         case_study: 1,
         name: "ExtentNodeLivenessViolation",
@@ -35,6 +57,7 @@ pub fn bug_cases() -> Vec<BugCase> {
             vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
         }),
         max_steps: 3_000,
+        faults: vnext::VnextConfig::with_liveness_bug().fault_plan(),
     });
 
     // Case study 2: MigratingTable (the eleven named bugs of Table 2).
@@ -46,10 +69,23 @@ pub fn bug_cases() -> Vec<BugCase> {
                 chaintable::build_harness(rt, &config);
             }),
             max_steps: 10_000,
+            faults: FaultPlan::none(),
         });
     }
+    // ... plus the fault-induced migrator-recovery bug (needs a
+    // crash+restart of the migrator).
+    cases.push(BugCase {
+        case_study: 2,
+        name: "MigratorRestartSkipsStep",
+        build: Box::new(|rt| {
+            chaintable::build_harness(rt, &chaintable::ChainConfig::with_restart_bug());
+        }),
+        max_steps: 10_000,
+        faults: chaintable::ChainConfig::with_restart_bug().fault_plan(),
+    });
 
-    // Case study 3: Fabric (reported in §5, not part of Table 2).
+    // Case study 3: Fabric (reported in §5, not part of Table 2). The
+    // promotion bug is fault-induced: it needs a primary crash.
     cases.push(BugCase {
         case_study: 3,
         name: "FabricPromotePendingCopy",
@@ -57,6 +93,7 @@ pub fn bug_cases() -> Vec<BugCase> {
             fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
         }),
         max_steps: 5_000,
+        faults: fabric::FabricConfig::with_promotion_bug().fault_plan(),
     });
     cases.push(BugCase {
         case_study: 3,
@@ -65,6 +102,7 @@ pub fn bug_cases() -> Vec<BugCase> {
             fabric::build_harness(rt, &fabric::FabricConfig::with_pipeline_bug());
         }),
         max_steps: 2_000,
+        faults: FaultPlan::none(),
     });
 
     cases
@@ -101,6 +139,12 @@ pub struct BugHuntResult {
     pub minimized_ndc: Option<usize>,
     /// Wall-clock seconds the shrink pass spent, when it ran.
     pub shrink_time_seconds: Option<f64>,
+    /// Fault decisions in the first buggy execution (when found): the
+    /// injected fault set of the original recording.
+    pub fault_decisions: Option<usize>,
+    /// Fault decisions surviving in the minimized counterexample (when the
+    /// hunt ran with shrinking): the bug's *minimum fault set*.
+    pub minimized_fault_decisions: Option<usize>,
 }
 
 impl ToJson for BugHuntResult {
@@ -150,6 +194,20 @@ impl ToJson for BugHuntResult {
                 "shrink_time_seconds",
                 match self.shrink_time_seconds {
                     Some(t) => Json::Float(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "fault_decisions",
+                match self.fault_decisions {
+                    Some(n) => Json::UInt(n as u64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "minimized_fault_decisions",
+                match self.minimized_fault_decisions {
+                    Some(n) => Json::UInt(n as u64),
                     None => Json::Null,
                 },
             ),
@@ -270,8 +328,23 @@ pub fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
 /// portfolio, worker count, trace mode, shrinking): the result's `scheduler`
 /// column is the report's label (the configured strategy, or the winning
 /// portfolio strategy). The case's own step bound overrides the
-/// configuration's.
+/// configuration's and the case's own fault budget applies; use
+/// [`hunt_with_fault_override`] to replace the per-case budgets with one
+/// global plan (e.g. `table2 --faults`).
 pub fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
+    hunt_with_fault_override(case, config, None)
+}
+
+/// [`hunt_with_config`] with an optional global fault plan: `Some(plan)`
+/// replaces the case's own budget (including `Some(FaultPlan::none())`,
+/// which genuinely disables fault injection — the distinction an all-zero
+/// plan on the config could not express), `None` keeps the case's budget.
+pub fn hunt_with_fault_override(
+    case: &BugCase,
+    config: TestConfig,
+    fault_override: Option<FaultPlan>,
+) -> BugHuntResult {
+    let config = config.with_faults(fault_override.unwrap_or(case.faults));
     let engine = ParallelTestEngine::new(config.with_max_steps(case.max_steps));
     let build = &case.build;
     let report = engine.run(|rt| build(rt));
@@ -287,6 +360,8 @@ pub fn hunt_with_config(case: &BugCase, config: TestConfig) -> BugHuntResult {
         ndc: report.bug.as_ref().map(|b| b.ndc),
         minimized_ndc: shrink.map(|s| s.minimized_decisions),
         shrink_time_seconds: shrink.map(|s| s.elapsed.as_secs_f64()),
+        fault_decisions: report.bug.as_ref().map(|b| b.trace.fault_decision_count()),
+        minimized_fault_decisions: shrink.map(|s| s.minimized_faults),
         executions: report.iterations_run,
     }
 }
@@ -348,10 +423,27 @@ mod tests {
     #[test]
     fn bug_case_list_covers_all_case_studies() {
         let cases = bug_cases();
-        assert_eq!(cases.len(), 14);
+        assert_eq!(cases.len(), 16);
+        assert_eq!(cases.iter().filter(|c| c.case_study == 0).count(), 1);
         assert_eq!(cases.iter().filter(|c| c.case_study == 1).count(), 1);
-        assert_eq!(cases.iter().filter(|c| c.case_study == 2).count(), 11);
+        assert_eq!(cases.iter().filter(|c| c.case_study == 2).count(), 12);
         assert_eq!(cases.iter().filter(|c| c.case_study == 3).count(), 2);
+        // Exactly one fault-induced bug per case-study crate.
+        assert_eq!(cases.iter().filter(|c| !c.faults.is_none()).count(), 4);
+    }
+
+    #[test]
+    fn fault_induced_bug_cases_are_found_with_their_budgets() {
+        // One representative: the replsim lost-replication bug needs its
+        // drop budget (hunt_with_config applies the case's own plan).
+        let cases = bug_cases();
+        let case = cases
+            .iter()
+            .find(|c| c.name == "ReplReqLostNoRetransmit")
+            .expect("known case");
+        let result = hunt_with_config(case, TestConfig::new().with_iterations(800).with_seed(21));
+        assert!(result.found, "the fault-induced bug must be reachable");
+        assert!(result.fault_decisions.unwrap_or(0) >= 1);
     }
 
     #[test]
@@ -432,6 +524,8 @@ mod tests {
             ndc: None,
             minimized_ndc: None,
             shrink_time_seconds: None,
+            fault_decisions: None,
+            minimized_fault_decisions: None,
             executions: 1000,
         }
         .table_row();

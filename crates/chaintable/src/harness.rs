@@ -51,6 +51,24 @@ impl ChainConfig {
         ChainConfig::default()
     }
 
+    /// The *fault-induced* `MigratorRestartSkipsStep` defect: after a
+    /// crash-restart the migrator assumes its in-flight plan step completed
+    /// and skips it. Run it with [`ChainConfig::fault_plan`] (one crash, one
+    /// restart of the migrator); without faults the bug is unreachable.
+    pub fn with_restart_bug() -> Self {
+        let mut config = ChainConfig::default();
+        config.bugs.restart_skips_in_flight_step = true;
+        config
+    }
+
+    /// The fault budget this harness is designed around: the migrator is the
+    /// crash-restartable component, and one crash plus one restart exercise
+    /// its recovery path (the fixed migrator redoes its interrupted step;
+    /// re-running passes is idempotent).
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new().with_crashes(1).with_restarts(1)
+    }
+
     /// Builds the configuration for one of the named Table 2 bugs.
     ///
     /// Returns `None` when the identifier is unknown; see [`named_bugs`] for
@@ -164,6 +182,11 @@ pub fn build_harness(rt: &mut Runtime, config: &ChainConfig) -> ChainHarness {
         config.bugs,
         config.delete_after_copy,
     ));
+    // The migrator is the crash-restartable component of this case study:
+    // under a fault budget the scheduler may kill it mid-plan and restart it,
+    // exercising the recovery path (and the seeded
+    // `restart_skips_in_flight_step` defect).
+    rt.mark_restartable(migrator);
     let services = (0..config.services)
         .map(|_| {
             rt.create_machine(ServiceMachine::new(
@@ -307,6 +330,86 @@ mod tests {
     #[test]
     fn delete_primary_key_bug_is_found() {
         assert!(engine_finds("DeletePrimaryKey", 300, 11));
+    }
+
+    #[test]
+    fn fixed_system_survives_migrator_crash_restart() {
+        // Under a crash+restart budget the fixed migrator redoes its
+        // interrupted step; no schedule may diverge from the reference
+        // model. Restarts must actually occur across the run for the test
+        // to mean anything.
+        let config = ChainConfig::fixed();
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(300)
+                .with_max_steps(10_000)
+                .with_seed(23)
+                .with_faults(config.fault_plan()),
+        );
+        let report = engine.run(|rt| {
+            build_harness(rt, &config);
+        });
+        assert!(
+            !report.found_bug(),
+            "fixed MigratingTable flagged a bug under crash-restart faults: {:?}",
+            report.bug.map(|b| b.bug)
+        );
+        // Separately verify that crash+restart is actually reachable.
+        let mut restarts = 0;
+        for seed in 0..40 {
+            let mut rt = psharp::runtime::Runtime::new(
+                SchedulerKind::Random.build(seed, 10_000),
+                psharp::runtime::RuntimeConfig {
+                    max_steps: 10_000,
+                    faults: config.fault_plan(),
+                    ..psharp::runtime::RuntimeConfig::default()
+                },
+                seed,
+            );
+            let harness = build_harness(&mut rt, &config);
+            rt.run();
+            let migrator = rt
+                .machine_ref::<MigratorMachine>(harness.migrator)
+                .expect("migrator exists");
+            restarts += migrator.restarts();
+        }
+        assert!(restarts > 0, "no seed ever crash-restarted the migrator");
+    }
+
+    #[test]
+    fn restart_bug_is_found_via_injected_crash_restart() {
+        let config = ChainConfig::with_restart_bug();
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(2_000)
+                .with_max_steps(10_000)
+                .with_seed(29)
+                .with_faults(config.fault_plan()),
+        );
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        let bug = report.bug.expect("restart bug should be found");
+        assert_eq!(bug.bug.kind, BugKind::SafetyViolation);
+        assert!(
+            bug.trace.fault_decision_count() >= 2,
+            "the bug needs crash + restart in its decision stream"
+        );
+    }
+
+    #[test]
+    fn restart_bug_is_unreachable_without_faults() {
+        let config = ChainConfig::with_restart_bug();
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(300)
+                .with_max_steps(10_000)
+                .with_seed(29),
+        );
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        assert!(!report.found_bug());
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct MigratorRequest {
     pub from: MachineId,
     /// The step to perform.
     pub action: MigratorAction,
+    /// The migrator's incarnation epoch (bumped on every crash-restart).
+    /// Echoed in the response so a recovered migrator can discard responses
+    /// to requests issued by its previous incarnation — without this, a
+    /// stale `SetPhase` response arriving after a restart would be
+    /// misattributed to the re-issued step.
+    pub epoch: u64,
 }
 
 /// The migration steps the migrator can ask for.
@@ -118,6 +124,8 @@ pub struct MigratorResponse {
     pub copied_key: Option<String>,
     /// For cleanup steps: whether a tombstone was removed.
     pub progressed: bool,
+    /// The requesting incarnation's epoch, echoed back.
+    pub epoch: u64,
 }
 
 /// Monitor notification: a logical write executed (its linearization point).
@@ -201,12 +209,14 @@ impl Machine for TablesMachine {
                 }),
             );
         } else if let Some(req) = event.downcast_ref::<MigratorRequest>() {
+            let epoch = req.epoch;
             let response = match &req.action {
                 MigratorAction::SetPhase(phase) => {
                     self.store.set_phase(*phase);
                     MigratorResponse {
                         copied_key: None,
                         progressed: true,
+                        epoch,
                     }
                 }
                 MigratorAction::SetPhaseUnlessPopulated(phase) => {
@@ -217,6 +227,7 @@ impl Machine for TablesMachine {
                     MigratorResponse {
                         copied_key: None,
                         progressed: !populated,
+                        epoch,
                     }
                 }
                 MigratorAction::CopyNext {
@@ -227,6 +238,7 @@ impl Machine for TablesMachine {
                     MigratorResponse {
                         progressed: copied.is_some(),
                         copied_key: copied,
+                        epoch,
                     }
                 }
                 MigratorAction::CleanTombstone => {
@@ -234,6 +246,7 @@ impl Machine for TablesMachine {
                     MigratorResponse {
                         copied_key: None,
                         progressed,
+                        epoch,
                     }
                 }
             };
@@ -748,13 +761,27 @@ enum MigrationStep {
 }
 
 /// The background migrator job (the paper's Migrator machine).
+///
+/// The migrator is the crate's crashable/restartable component: the harness
+/// marks it `restartable`, so under a fault budget the core scheduler may
+/// crash it mid-plan (losing the in-flight `MigratorResponse` with its
+/// mailbox) and later restart it. The fixed recovery path re-issues the
+/// current plan step from the beginning of its pass — every step is
+/// idempotent (phase announcements repeat, copies are insert-if-absent) — so
+/// migration completes correctly after any crash. The seeded
+/// `restart_skips_in_flight_step` defect recovers optimistically instead.
 pub struct MigratorMachine {
     tables: MachineId,
+    bugs: ChainBugs,
     plan: Vec<MigrationStep>,
     step: usize,
     copy_cursor: String,
     delete_after_copy: bool,
     finished: bool,
+    restarts: usize,
+    /// Incarnation epoch: bumped on every crash-restart and carried on every
+    /// request, so responses addressed to a previous incarnation are ignored.
+    epoch: u64,
 }
 
 impl MigratorMachine {
@@ -799,17 +826,25 @@ impl MigratorMachine {
         };
         MigratorMachine {
             tables,
+            bugs,
             plan,
             step: 0,
             copy_cursor: String::new(),
             delete_after_copy,
             finished: false,
+            restarts: 0,
+            epoch: 0,
         }
     }
 
     /// Whether the migration plan has completed (exposed for tests).
     pub fn finished(&self) -> bool {
         self.finished
+    }
+
+    /// Number of times the migrator was crash-restarted (exposed for tests).
+    pub fn restarts(&self) -> usize {
+        self.restarts
     }
 
     fn issue_current_step(&mut self, ctx: &mut Context<'_>) {
@@ -830,7 +865,15 @@ impl MigratorMachine {
             MigrationStep::CleanPass => MigratorAction::CleanTombstone,
         };
         let from = ctx.id();
-        ctx.send(self.tables, Event::new(MigratorRequest { from, action }));
+        let epoch = self.epoch;
+        ctx.send(
+            self.tables,
+            Event::new(MigratorRequest {
+                from,
+                action,
+                epoch,
+            }),
+        );
     }
 }
 
@@ -843,6 +886,12 @@ impl Machine for MigratorMachine {
         let Some(response) = event.downcast_ref::<MigratorResponse>() else {
             return;
         };
+        if response.epoch != self.epoch {
+            // A response to a request issued before the last crash: the
+            // recovered incarnation already re-issued its step, so acting on
+            // the stale reply would double-advance the plan.
+            return;
+        }
         match self.plan.get(self.step) {
             Some(MigrationStep::CopyPass) => {
                 if let Some(copied) = &response.copied_key {
@@ -859,6 +908,27 @@ impl Machine for MigratorMachine {
                 self.step += 1;
             }
             None => {}
+        }
+        self.issue_current_step(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // The crash discarded the migrator's mailbox, so the response to its
+        // in-flight request (if any) is lost: the plan step's completion is
+        // unknown. Bump the incarnation epoch so any response still in
+        // flight from before the crash is discarded on arrival.
+        self.restarts += 1;
+        self.epoch += 1;
+        if self.bugs.restart_skips_in_flight_step {
+            // BUG: recover optimistically — assume the in-flight step
+            // finished. A copy pass interrupted mid-way is abandoned with
+            // rows stranded in the old table.
+            self.step += 1;
+        } else {
+            // Fixed: redo the current step from the beginning of its pass.
+            // Every step is idempotent (phase announcements repeat, copies
+            // are insert-if-absent), so redoing is always safe.
+            self.copy_cursor = String::new();
         }
         self.issue_current_step(ctx);
     }

@@ -128,6 +128,15 @@ pub struct ChainBugs {
     /// routed to the old table, behind the migrator's copy cursor, and are
     /// lost.
     pub insert_behind_migrator: bool,
+    /// `MigratorRestartSkipsStep` (*fault-induced*): after a crash+restart,
+    /// the recovering migrator assumes its in-flight plan step already
+    /// completed and resumes at the *next* step. Invisible without faults —
+    /// the plan only advances on confirmed responses — but a crash injected
+    /// mid-copy-pass (`Decision::CrashMachine` + `RestartMachine`) makes the
+    /// buggy migrator skip the rest of the copy: the phase advances to
+    /// new-table-only reads while rows are still stranded in the old table,
+    /// and queries diverge from the reference model.
+    pub restart_skips_in_flight_step: bool,
 }
 
 impl ChainBugs {

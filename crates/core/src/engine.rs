@@ -30,10 +30,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::Bug;
+use crate::fault::FaultPlan;
 use crate::rng::{mix64, GOLDEN_GAMMA};
 use crate::runtime::{CancelToken, ExecutionOutcome, Runtime, RuntimeConfig};
 use crate::scheduler::{ReplayScheduler, SchedulerKind};
-use crate::shrink::{shrink_trace, ShrinkConfig, ShrinkReport};
+use crate::shrink::{same_bug, shrink_trace, ShrinkConfig, ShrinkReport};
 use crate::stats::StrategyStats;
 use crate::trace::{Trace, TraceMode};
 
@@ -71,13 +72,28 @@ pub struct TestConfig {
     /// How much of the human-facing annotated schedule each execution's
     /// trace retains ([`TraceMode::Full`] by default). Replayability is
     /// unaffected: the decision stream is always recorded in full.
+    ///
+    /// When this field is left untouched (see
+    /// [`TestConfig::effective_trace_mode`]), portfolio sweeps without
+    /// shrinking automatically record in [`TraceMode::DecisionsOnly`] — the
+    /// cheapest mode — and a found bug's annotated schedule is re-recorded
+    /// from a strict replay before the report is returned.
     pub trace_mode: TraceMode,
+    /// Whether `trace_mode` was set explicitly
+    /// ([`TestConfig::with_trace_mode`]); an explicit choice disables the
+    /// automatic `DecisionsOnly` selection for portfolio sweeps.
+    pub trace_mode_explicit: bool,
     /// Whether a found bug's trace is automatically delta-debugged down to a
     /// minimal replayable counterexample ([`crate::shrink`]) before the
     /// report is returned.
     pub shrink: bool,
     /// Maximum number of candidate executions one shrink pass may spend.
     pub shrink_budget: u64,
+    /// Per-execution fault budget ([`FaultPlan::none`] by default): how many
+    /// crashes, restarts, message drops and duplications the scheduler may
+    /// inject into machines the harness marked crashable / restartable /
+    /// lossy. See [`crate::fault`].
+    pub faults: FaultPlan,
 }
 
 impl Default for TestConfig {
@@ -92,8 +108,10 @@ impl Default for TestConfig {
             workers: 1,
             portfolio: None,
             trace_mode: TraceMode::Full,
+            trace_mode_explicit: false,
             shrink: false,
             shrink_budget: 2_000,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -158,9 +176,24 @@ impl TestConfig {
 
     /// Sets how much of the annotated schedule each execution's trace
     /// retains. `TraceMode::RingBuffer(cap)` bounds peak trace memory on
-    /// very long executions; replay is unaffected under every mode.
+    /// very long executions; replay is unaffected under every mode. An
+    /// explicit choice here also disables the automatic `DecisionsOnly`
+    /// selection for portfolio sweeps
+    /// ([`TestConfig::effective_trace_mode`]).
     pub fn with_trace_mode(mut self, trace_mode: TraceMode) -> Self {
         self.trace_mode = trace_mode;
+        self.trace_mode_explicit = true;
+        self
+    }
+
+    /// Sets the per-execution fault budget: how many crashes, restarts,
+    /// message drops and duplications the scheduler may inject into machines
+    /// the harness marked crashable / restartable / lossy
+    /// ([`crate::fault`]). Injected faults are first-class decisions — they
+    /// replay byte-for-byte and the shrink pass reduces a buggy execution to
+    /// its minimum fault set.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -185,6 +218,55 @@ impl TestConfig {
             check_liveness_at_quiescence: self.check_liveness_at_quiescence,
             catch_panics: self.catch_panics,
             max_candidates: self.shrink_budget,
+            faults: self.faults,
+        }
+    }
+
+    /// Whether this configuration auto-selects [`TraceMode::DecisionsOnly`]:
+    /// a portfolio sweep with no explicit trace-mode choice and no shrink
+    /// pass records only the replay-bearing decision stream — peak trace
+    /// memory stops scaling with the execution length, and bug-free sweeps
+    /// (the common case for portfolio verification runs) never materialize
+    /// an annotated schedule at all. When a bug *is* found, the engine
+    /// re-records its annotated schedule from a strict replay, so reports
+    /// look identical to full-mode runs.
+    pub fn auto_decisions_only(&self) -> bool {
+        !self.trace_mode_explicit && self.portfolio.is_some() && !self.shrink
+    }
+
+    /// The trace mode executions actually record with: the configured
+    /// [`TestConfig::trace_mode`], or [`TraceMode::DecisionsOnly`] when
+    /// [`TestConfig::auto_decisions_only`] applies.
+    pub fn effective_trace_mode(&self) -> TraceMode {
+        if self.auto_decisions_only() {
+            TraceMode::DecisionsOnly
+        } else {
+            self.trace_mode
+        }
+    }
+
+    /// Re-records a found bug's annotated schedule via strict replay when
+    /// the run recorded under the auto-selected `DecisionsOnly` mode. The
+    /// replay is deterministic, so the rehydrated trace is identical at any
+    /// worker count; on the (impossible in practice) chance the replay does
+    /// not reproduce the bug, the decisions-only trace is kept as recorded.
+    fn rehydrate_report<F>(&self, report: &mut BugReport, setup: &F)
+    where
+        F: Fn(&mut Runtime),
+    {
+        if !self.auto_decisions_only() {
+            return;
+        }
+        let mut config = self.runtime_config();
+        config.trace_mode = TraceMode::Full;
+        let scheduler = Box::new(ReplayScheduler::from_trace(&report.trace));
+        let mut runtime = Runtime::new(scheduler, config, report.trace.seed);
+        setup(&mut runtime);
+        let outcome = runtime.run();
+        let reproduced =
+            matches!(&outcome, ExecutionOutcome::BugFound(found) if same_bug(found, &report.bug));
+        if reproduced && runtime.replay_error().is_none() {
+            report.trace = runtime.take_trace();
         }
     }
 
@@ -239,7 +321,8 @@ impl TestConfig {
             max_steps: self.max_steps,
             check_liveness_at_quiescence: self.check_liveness_at_quiescence,
             catch_panics: self.catch_panics,
-            trace_mode: self.trace_mode,
+            trace_mode: self.effective_trace_mode(),
+            faults: self.faults,
         }
     }
 
@@ -595,6 +678,7 @@ impl TestEngine {
                     time_to_bug: elapsed,
                     shrink: None,
                 };
+                config.rehydrate_report(&mut report, &setup);
                 config.attach_shrink(&mut report, &setup);
                 return TestReport {
                     bug: Some(report),
@@ -934,9 +1018,11 @@ impl ParallelTestEngine {
             Some(first) => first.scheduler,
             None => no_bug_label(config),
         };
-        // Shrinking runs serially over the deterministic winner, so the
-        // minimized counterexample is identical at any worker count.
+        // Rehydration and shrinking run serially over the deterministic
+        // winner, so the reported trace and minimized counterexample are
+        // identical at any worker count.
         let winner = winner.map(|mut first| {
+            config.rehydrate_report(&mut first.report, &setup);
             config.attach_shrink(&mut first.report, &setup);
             first
         });

@@ -51,6 +51,10 @@ impl<T: Any + Send + fmt::Debug> EventPayload for T {
 pub struct Event {
     name: &'static str,
     payload: Box<dyn EventPayload>,
+    /// Monomorphized copy constructor, present only for events created with
+    /// [`Event::replicable`]. Fault injection can only duplicate messages
+    /// that opted into replication this way.
+    duplicate: Option<fn(&Event) -> Event>,
 }
 
 impl Event {
@@ -62,7 +66,42 @@ impl Event {
         Event {
             name: short_type_name::<T>(),
             payload: Box::new(payload),
+            duplicate: None,
         }
+    }
+
+    /// Wraps a cloneable payload into an event that fault injection may
+    /// *duplicate* (re-deliver a copy of). Use this constructor for messages
+    /// sent over channels a harness marks lossy
+    /// ([`Runtime::mark_lossy`](crate::runtime::Runtime::mark_lossy)), so
+    /// the scheduler can explore at-least-once delivery; plain
+    /// [`Event::new`] events on a lossy channel can still be dropped, just
+    /// not duplicated.
+    pub fn replicable<T: EventPayload + Clone>(payload: T) -> Self {
+        fn duplicate_impl<T: EventPayload + Clone>(event: &Event) -> Event {
+            Event::replicable(
+                event
+                    .downcast_ref::<T>()
+                    .expect("duplicate constructor matches the payload type")
+                    .clone(),
+            )
+        }
+        Event {
+            name: short_type_name::<T>(),
+            payload: Box::new(payload),
+            duplicate: Some(duplicate_impl::<T>),
+        }
+    }
+
+    /// Returns `true` when this event was created with [`Event::replicable`]
+    /// and can therefore be duplicated by fault injection.
+    pub fn can_duplicate(&self) -> bool {
+        self.duplicate.is_some()
+    }
+
+    /// Clones the event, if it is replicable.
+    pub fn duplicate(&self) -> Option<Event> {
+        self.duplicate.map(|dup| dup(self))
     }
 
     /// The short type name of the payload (no module path).
@@ -154,5 +193,25 @@ mod tests {
         let e = Event::new(Ping(3));
         let s = format!("{e:?}");
         assert!(s.contains("Ping"));
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Payload(u32);
+
+    #[test]
+    fn replicable_events_can_be_duplicated() {
+        let e = Event::replicable(Payload(9));
+        assert!(e.can_duplicate());
+        assert_eq!(e.name(), "Payload");
+        let copy = e.duplicate().expect("replicable event duplicates");
+        assert_eq!(copy.downcast_ref::<Payload>(), Some(&Payload(9)));
+        assert!(copy.can_duplicate(), "the copy stays replicable");
+    }
+
+    #[test]
+    fn plain_events_cannot_be_duplicated() {
+        let e = Event::new(Ping(1));
+        assert!(!e.can_duplicate());
+        assert!(e.duplicate().is_none());
     }
 }

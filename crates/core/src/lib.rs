@@ -88,6 +88,7 @@
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod machine;
 pub mod mailbox;
@@ -108,6 +109,7 @@ pub mod prelude {
     };
     pub use crate::error::{Bug, BugKind};
     pub use crate::event::Event;
+    pub use crate::fault::{Fault, FaultPlan};
     pub use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner, Transition};
     pub use crate::monitor::{Monitor, MonitorContext, Temperature};
     pub use crate::runtime::{CancelToken, Context, ExecutionOutcome, Runtime, RuntimeConfig};
@@ -115,5 +117,5 @@ pub mod prelude {
     pub use crate::shrink::{shrink_trace, ShrinkConfig, ShrinkReport};
     pub use crate::stats::{ModelStats, StrategyStats};
     pub use crate::timer::{Timer, TimerTick};
-    pub use crate::trace::{NameId, NameTable, Trace, TraceMode};
+    pub use crate::trace::{Decision, NameId, NameTable, Trace, TraceMode};
 }

@@ -93,6 +93,30 @@ pub trait Machine: AsAny + 'static {
     /// Handles one event dequeued from the machine's mailbox.
     fn handle(&mut self, ctx: &mut Context<'_>, event: Event);
 
+    /// Invoked when the scheduler injects a crash fault into this machine
+    /// (the machine must have been marked
+    /// [`crashable`](crate::runtime::Runtime::mark_crashable)). The hook
+    /// models the environment *noticing* the failure — a failure detector, a
+    /// supervision signal — so it typically notifies a manager or a monitor.
+    /// The machine itself is already down: its mailbox has been discarded
+    /// and it will not be scheduled again unless restarted.
+    ///
+    /// The default implementation does nothing (a silent crash).
+    fn on_crash(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when the scheduler restarts this (previously crashed)
+    /// machine (the machine must have been marked
+    /// [`restartable`](crate::runtime::Runtime::mark_restartable)). The
+    /// machine's struct — its "persistent state" — survives the crash; the
+    /// hook is where volatile state is reset and recovery messages are sent.
+    ///
+    /// The default implementation does nothing (recover in place).
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
     /// The machine's display name, used in traces and bug reports.
     ///
     /// Defaults to the implementing type's short name.
@@ -139,6 +163,26 @@ pub trait StateMachine: 'static {
         ctx: &mut Context<'_>,
         event: Event,
     ) -> Transition<Self::State>;
+
+    /// Invoked when a crash fault is injected (see [`Machine::on_crash`]).
+    fn on_crash_in(
+        &mut self,
+        state: Self::State,
+        ctx: &mut Context<'_>,
+    ) -> Transition<Self::State> {
+        let _ = (state, ctx);
+        Transition::Stay
+    }
+
+    /// Invoked when the machine is restarted (see [`Machine::on_restart`]).
+    fn on_restart_in(
+        &mut self,
+        state: Self::State,
+        ctx: &mut Context<'_>,
+    ) -> Transition<Self::State> {
+        let _ = (state, ctx);
+        Transition::Stay
+    }
 
     /// The machine's display name.
     fn name(&self) -> &str {
@@ -202,6 +246,16 @@ impl<M: StateMachine> Machine for StateMachineRunner<M> {
 
     fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
         let t = self.inner.handle_in(self.state, ctx, event);
+        self.apply(ctx, t);
+    }
+
+    fn on_crash(&mut self, ctx: &mut Context<'_>) {
+        let t = self.inner.on_crash_in(self.state, ctx);
+        self.apply(ctx, t);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        let t = self.inner.on_restart_in(self.state, ctx);
         self.apply(ctx, t);
     }
 

@@ -49,6 +49,25 @@ impl Mailbox {
         self.queue.front().map(Event::name)
     }
 
+    /// Returns `true` when the oldest pending event exists and was created
+    /// with [`Event::replicable`], i.e. a duplication fault can target it.
+    pub fn front_can_duplicate(&self) -> bool {
+        self.queue.front().is_some_and(Event::can_duplicate)
+    }
+
+    /// Re-delivers a copy of the oldest pending event behind the queue (the
+    /// duplication fault). Returns `false` when the queue is empty or the
+    /// front event is not replicable.
+    pub fn duplicate_front(&mut self) -> bool {
+        match self.queue.front().and_then(Event::duplicate) {
+            Some(copy) => {
+                self.queue.push_back(copy);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drops all pending events (used when a machine halts).
     pub fn clear(&mut self) {
         self.queue.clear();
@@ -83,6 +102,29 @@ mod tests {
         mb.enqueue(Event::new(B));
         assert_eq!(mb.peek_name(), Some("B"));
         assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_front_requires_a_replicable_event() {
+        #[derive(Debug, Clone)]
+        struct C(u32);
+        let mut mb = Mailbox::new();
+        mb.enqueue(Event::new(B));
+        assert!(!mb.front_can_duplicate());
+        assert!(!mb.duplicate_front());
+        assert_eq!(mb.len(), 1);
+
+        let mut mb = Mailbox::new();
+        mb.enqueue(Event::replicable(C(7)));
+        mb.enqueue(Event::new(B));
+        assert!(mb.front_can_duplicate());
+        assert!(mb.duplicate_front());
+        assert_eq!(mb.len(), 3);
+        // The copy lands behind the queue; the original is still delivered
+        // first and in order.
+        assert_eq!(mb.dequeue().unwrap().downcast::<C>().unwrap().0, 7);
+        assert_eq!(mb.dequeue().unwrap().name(), "B");
+        assert_eq!(mb.dequeue().unwrap().downcast::<C>().unwrap().0, 7);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use crate::error::{Bug, BugKind, ReplayError};
 use crate::event::Event;
+use crate::fault::{Fault, FaultPlan};
 use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner};
 use crate::mailbox::Mailbox;
 use crate::monitor::{Monitor, MonitorContext, Temperature};
@@ -100,6 +101,15 @@ pub struct RuntimeConfig {
     /// ([`TraceMode::Full`] by default). The replay-bearing decision stream
     /// is recorded in full under every mode.
     pub trace_mode: TraceMode,
+    /// The execution's fault budget ([`FaultPlan::none`] by default): how
+    /// many crashes, restarts, message drops and message duplications the
+    /// scheduler may inject into machines the harness marked
+    /// [`crashable`](Runtime::mark_crashable) /
+    /// [`restartable`](Runtime::mark_restartable) /
+    /// [`lossy`](Runtime::mark_lossy). Injected faults are recorded in the
+    /// decision stream, so they replay and shrink like every other
+    /// nondeterministic choice.
+    pub faults: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
@@ -109,6 +119,7 @@ impl Default for RuntimeConfig {
             check_liveness_at_quiescence: true,
             catch_panics: true,
             trace_mode: TraceMode::Full,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -120,12 +131,28 @@ struct MachineSlot {
     name: NameId,
     started: bool,
     halted: bool,
+    /// Whether the scheduler may inject a crash fault into this machine.
+    crashable: bool,
+    /// Whether the scheduler may restart this machine after a crash.
+    restartable: bool,
+    /// Whether the channel *into* this machine is lossy: the scheduler may
+    /// drop (and, for replicable events, duplicate) queued messages.
+    lossy: bool,
+    /// Whether the machine is currently down due to an injected crash.
+    crashed: bool,
 }
 
 impl MachineSlot {
     fn is_enabled(&self) -> bool {
-        !self.halted && (!self.started || !self.mailbox.is_empty())
+        !self.halted && !self.crashed && (!self.started || !self.mailbox.is_empty())
     }
+}
+
+/// Which machine fault hook [`Runtime::run_fault_hook`] invokes.
+#[derive(Clone, Copy)]
+enum FaultHook {
+    Crash,
+    Restart,
 }
 
 struct MonitorSlot {
@@ -170,6 +197,12 @@ pub struct Runtime {
     /// Reused across steps so computing the enabled set never allocates in
     /// the steady state.
     enabled_buf: Vec<MachineId>,
+    /// Remaining fault budget of this execution (decremented as faults are
+    /// injected).
+    faults_remaining: FaultPlan,
+    /// Reused across steps so offering fault candidates never allocates in
+    /// the steady state.
+    fault_buf: Vec<Fault>,
     cancel: Option<CancelToken>,
 }
 
@@ -177,6 +210,7 @@ impl Runtime {
     /// Creates a runtime driven by the given scheduler.
     pub fn new(scheduler: Box<dyn Scheduler>, config: RuntimeConfig, seed: u64) -> Self {
         let trace = Trace::with_mode(seed, config.trace_mode);
+        let faults_remaining = config.faults;
         Runtime {
             slots: Vec::new(),
             monitors: Vec::new(),
@@ -187,6 +221,8 @@ impl Runtime {
             bug: None,
             steps: 0,
             enabled_buf: Vec::new(),
+            faults_remaining,
+            fault_buf: Vec::new(),
             cancel: None,
         }
     }
@@ -234,8 +270,65 @@ impl Runtime {
             name,
             started: false,
             halted: false,
+            crashable: false,
+            restartable: false,
+            lossy: false,
+            crashed: false,
         });
         id
+    }
+
+    /// Marks a machine as *crashable*: the scheduler may inject a
+    /// [`Fault::Crash`] into it, within the configured
+    /// [`RuntimeConfig::faults`] budget. Without a fault budget the marking
+    /// is inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this runtime.
+    pub fn mark_crashable(&mut self, id: MachineId) {
+        self.slot_mut(id).crashable = true;
+    }
+
+    /// Marks a machine as *restartable* (implies crashable): after an
+    /// injected crash, the scheduler may also inject a [`Fault::Restart`],
+    /// re-enabling the machine through its
+    /// [`Machine::on_restart`] hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this runtime.
+    pub fn mark_restartable(&mut self, id: MachineId) {
+        let slot = self.slot_mut(id);
+        slot.crashable = true;
+        slot.restartable = true;
+    }
+
+    /// Marks the channel *into* a machine as *lossy*: the scheduler may drop
+    /// queued messages ([`Fault::Drop`]) and re-deliver copies of
+    /// [`Event::replicable`] messages ([`Fault::Duplicate`]), within the
+    /// configured budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this runtime.
+    pub fn mark_lossy(&mut self, id: MachineId) {
+        self.slot_mut(id).lossy = true;
+    }
+
+    /// Returns `true` when the given machine is currently down due to an
+    /// injected crash fault.
+    pub fn is_crashed(&self, id: MachineId) -> bool {
+        self.slots
+            .get(id.raw() as usize)
+            .map(|s| s.crashed)
+            .unwrap_or(false)
+    }
+
+    fn slot_mut(&mut self, id: MachineId) -> &mut MachineSlot {
+        self.slots
+            .get_mut(id.raw() as usize)
+            .expect("machine id must belong to this runtime")
     }
 
     /// Creates a machine from a declarative [`StateMachine`].
@@ -265,7 +358,8 @@ impl Runtime {
     }
 
     /// Sends an event to a machine from outside the system (the test
-    /// harness). Events sent to halted machines are dropped.
+    /// harness). Events sent to halted or crashed machines are dropped, like
+    /// a network delivering to a dead node.
     ///
     /// # Panics
     ///
@@ -275,7 +369,7 @@ impl Runtime {
             .slots
             .get_mut(target.raw() as usize)
             .expect("send target must be a machine created by this runtime");
-        if !slot.halted {
+        if !slot.halted && !slot.crashed {
             slot.mailbox.enqueue(event);
         }
     }
@@ -358,6 +452,24 @@ impl Runtime {
                             return ExecutionOutcome::BugFound(self.confirm_grace(pending));
                         }
                         grace = Some(pending);
+                    }
+                }
+            }
+            // Fault injection point: while budget remains (and only within
+            // the configured horizon — the grace window is observation-only),
+            // offer the applicable faults to the scheduler. An injected fault
+            // is recorded as a decision and does not consume a machine step;
+            // the loop re-evaluates so the schedule sees the post-fault
+            // enabled set.
+            if grace.is_none() && self.faults_remaining.total() > 0 {
+                self.collect_fault_candidates();
+                if !self.fault_buf.is_empty() {
+                    let picked = self.scheduler.next_fault(&self.fault_buf, self.steps);
+                    // Defensive: a misbehaving scheduler must not inject a
+                    // fault the runtime did not offer.
+                    if let Some(fault) = picked.filter(|f| self.fault_buf.contains(f)) {
+                        self.apply_fault(fault);
+                        continue;
                     }
                 }
             }
@@ -464,6 +576,129 @@ impl Runtime {
         }
     }
 
+    /// Rebuilds the reusable fault-candidate buffer: every fault the
+    /// remaining budget and the machines' markings currently allow, in
+    /// machine-id order (crash, restart, drop, duplicate per machine), so
+    /// the offer order — and therefore replay — is deterministic.
+    fn collect_fault_candidates(&mut self) {
+        let mut buf = std::mem::take(&mut self.fault_buf);
+        buf.clear();
+        let budget = self.faults_remaining;
+        for (index, slot) in self.slots.iter().enumerate() {
+            if slot.halted {
+                continue;
+            }
+            let id = MachineId::from_raw(index as u64);
+            if slot.crashed {
+                if slot.restartable && budget.restarts > 0 {
+                    buf.push(Fault::Restart(id));
+                }
+                continue;
+            }
+            if slot.crashable && budget.crashes > 0 {
+                buf.push(Fault::Crash(id));
+            }
+            if slot.lossy && !slot.mailbox.is_empty() && budget.drops > 0 {
+                buf.push(Fault::Drop(id));
+            }
+            if slot.lossy && budget.duplicates > 0 && slot.mailbox.front_can_duplicate() {
+                buf.push(Fault::Duplicate(id));
+            }
+        }
+        self.fault_buf = buf;
+    }
+
+    /// Applies one injected fault: records the decision, mutates the target
+    /// machine's slot, decrements the budget, and runs the machine's crash /
+    /// restart hook where applicable.
+    fn apply_fault(&mut self, fault: Fault) {
+        self.trace.push_decision(fault.decision());
+        match fault {
+            Fault::Crash(id) => {
+                self.faults_remaining.crashes -= 1;
+                let slot = &mut self.slots[id.raw() as usize];
+                slot.crashed = true;
+                // Messages queued at a dead node are lost; the slot's
+                // `crashed` flag also drops everything sent until a restart.
+                slot.mailbox.clear();
+                self.run_fault_hook(id, FaultHook::Crash);
+            }
+            Fault::Restart(id) => {
+                self.faults_remaining.restarts -= 1;
+                let slot = &mut self.slots[id.raw() as usize];
+                slot.crashed = false;
+                if slot.started {
+                    // Recovery resumes through `on_restart`, never through a
+                    // second `on_start`.
+                    self.run_fault_hook(id, FaultHook::Restart);
+                }
+                // A machine that crashed before it ever ran boots normally:
+                // `started` stays false and `on_start` runs (with all its
+                // wiring/initial sends) when the scheduler first picks it —
+                // there is no prior incarnation for `on_restart` to recover.
+            }
+            Fault::Drop(id) => {
+                self.faults_remaining.drops -= 1;
+                self.slots[id.raw() as usize].mailbox.dequeue();
+            }
+            Fault::Duplicate(id) => {
+                self.faults_remaining.duplicates -= 1;
+                let duplicated = self.slots[id.raw() as usize].mailbox.duplicate_front();
+                debug_assert!(
+                    duplicated,
+                    "duplicate candidates are validated when offered"
+                );
+            }
+        }
+    }
+
+    /// Runs a machine's [`Machine::on_crash`] / [`Machine::on_restart`] hook
+    /// with the same panic discipline as an event handler.
+    fn run_fault_hook(&mut self, id: MachineId, hook: FaultHook) {
+        let index = id.raw() as usize;
+        let (mut machine, name) = {
+            let slot = &mut self.slots[index];
+            let machine = slot
+                .machine
+                .take()
+                .expect("machine is present when a fault hook runs");
+            (machine, slot.name)
+        };
+        let hook_name = match hook {
+            FaultHook::Crash => "crash",
+            FaultHook::Restart => "restart",
+        };
+        let mut run_hook = |rt: &mut Runtime| {
+            let mut ctx = Context { rt, id };
+            match hook {
+                FaultHook::Crash => machine.on_crash(&mut ctx),
+                FaultHook::Restart => machine.on_restart(&mut ctx),
+            }
+        };
+        if self.config.catch_panics {
+            let result = catch_unwind(AssertUnwindSafe(|| run_hook(self)));
+            if let Err(payload) = result {
+                let message = panic_message(payload.as_ref());
+                if self.bug.is_none() {
+                    let machine_name = self.trace.names.resolve_arc(name);
+                    self.bug = Some(
+                        Bug::new(
+                            BugKind::Panic,
+                            format!(
+                                "machine '{machine_name}' panicked in its {hook_name} hook: {message}"
+                            ),
+                        )
+                        .with_source(machine_name)
+                        .with_step(self.steps),
+                    );
+                }
+            }
+        } else {
+            run_hook(self);
+        }
+        self.slots[index].machine = Some(machine);
+    }
+
     /// Checks every liveness monitor and records a violation for the first
     /// hot one.
     fn check_liveness(&mut self) {
@@ -518,11 +753,34 @@ impl Runtime {
         // The unfair prefix can queue O(prefix) events into one starved
         // mailbox, and fair scheduling over M machines drains such a backlog
         // at a net rate well below one event per step (producers keep
-        // producing). The window therefore scales with both the prefix
-        // length and the machine count, so a backlog the prefix *could* have
-        // built can actually drain before the verdict is confirmed.
+        // producing). The worst-case window therefore scales with both the
+        // prefix length and the machine count.
         let machines = self.slots.len().max(2);
-        let grace = prefix.max(1).saturating_mul(machines);
+        let worst_case = prefix.max(1).saturating_mul(machines);
+        // Adaptive early-confirm: the window only exists so a backlog the
+        // unfair prefix *actually* piled up can drain — so size it by the
+        // backlog measured at the bound, not by what the prefix could have
+        // built in theory. Draining `B` queued events costs one visit to the
+        // starved machine per event, each visit spaced by the scheduler's
+        // post-bound visit spacing (`machines` for a uniformly random fair
+        // tail, more for the sticky probabilistic walk). The backlog term is
+        // doubled because draining spawns follow-up work the bound-time
+        // measurement cannot see (request → reply → monitor-cooling chains),
+        // and a slack of `8 × machines` extra visits covers the post-drain
+        // completion round trips (retries, timer-driven resyncs) that cool
+        // the monitor. A genuinely stuck system — whose backlog is a small
+        // steady-state ripple, not a prefix artifact — now confirms its
+        // verdict in O(spacing × machines) steps instead of paying the full
+        // `unfair-prefix × machine-count` window.
+        let backlog: usize = self
+            .slots
+            .iter()
+            .filter(|slot| !slot.halted && !slot.crashed)
+            .map(|slot| slot.mailbox.len())
+            .sum();
+        let spacing = self.scheduler.fair_step_spacing(machines).max(1);
+        let adaptive = spacing.saturating_mul(2 * backlog + 8 * machines);
+        let grace = worst_case.min(adaptive);
         Some(LivenessGrace {
             pending,
             bound_step: self.steps,
@@ -691,6 +949,24 @@ impl<'r> Context<'r> {
     /// Creates a new machine from a declarative [`StateMachine`].
     pub fn create_state_machine<M: StateMachine>(&mut self, machine: M) -> MachineId {
         self.rt.create_state_machine(machine)
+    }
+
+    /// Marks a machine as crashable (see [`Runtime::mark_crashable`]); used
+    /// when machines are created inside handlers, e.g. a manager launching a
+    /// replacement node that should be as fallible as the one it replaces.
+    pub fn mark_crashable(&mut self, id: MachineId) {
+        self.rt.mark_crashable(id);
+    }
+
+    /// Marks a machine as restartable (see [`Runtime::mark_restartable`]).
+    pub fn mark_restartable(&mut self, id: MachineId) {
+        self.rt.mark_restartable(id);
+    }
+
+    /// Marks the channel into a machine as lossy (see
+    /// [`Runtime::mark_lossy`]).
+    pub fn mark_lossy(&mut self, id: MachineId) {
+        self.rt.mark_lossy(id);
     }
 
     /// Resolves a controlled nondeterministic boolean (P#'s `Nondet()`).

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 
 use crate::error::ReplayError;
+use crate::fault::{Fault, FaultGate};
 use crate::machine::MachineId;
 use crate::rng::SplitMix64;
 use crate::trace::{Decision, Trace};
@@ -52,6 +53,22 @@ pub trait Scheduler {
     /// `bound` is always at least 1.
     fn next_int(&mut self, bound: usize) -> usize;
 
+    /// Fault probe: decides whether one of the offered `candidates` (the
+    /// faults the runtime could inject right now, within the remaining
+    /// [`FaultPlan`](crate::fault::FaultPlan) budget) fires at this
+    /// scheduling point.
+    ///
+    /// Every built-in strategy answers from a seeded [`FaultGate`] whose
+    /// random stream is decorrelated from the scheduling stream, so enabling
+    /// a fault budget does not perturb the schedule until a fault actually
+    /// fires. The replay scheduler instead re-fires exactly the faults its
+    /// recording contains. The default implementation (for custom
+    /// schedulers) never injects.
+    fn next_fault(&mut self, candidates: &[Fault], step: usize) -> Option<Fault> {
+        let _ = (candidates, step);
+        None
+    }
+
     /// The replay divergence error, when this scheduler replays a recording
     /// and the execution did not follow it. `None` for all other schedulers.
     fn replay_error(&self) -> Option<&ReplayError> {
@@ -73,6 +90,20 @@ pub trait Scheduler {
     /// instead of reporting it immediately.
     fn unfair_prefix_len(&self) -> Option<usize> {
         None
+    }
+
+    /// Expected number of steps between two consecutive visits to any given
+    /// machine once the strategy schedules past the step bound (i.e. during
+    /// a liveness grace window), given `machines` live machines. The runtime
+    /// scales its adaptive grace window by this spacing: draining a backlog
+    /// of `B` events costs roughly `B × spacing` steps.
+    ///
+    /// The default — uniformly random fair scheduling — visits each machine
+    /// every `machines` steps in expectation. Strategies whose post-bound
+    /// regime is less fair (the probabilistic walk keeps parking on one
+    /// machine) report a larger spacing.
+    fn fair_step_spacing(&self, machines: usize) -> usize {
+        machines
     }
 }
 
@@ -122,7 +153,7 @@ impl SchedulerKind {
             SchedulerKind::ProbabilisticRandom { switch_percent } => Box::new(
                 ProbabilisticRandomScheduler::new(seed, switch_percent).with_horizon(max_steps),
             ),
-            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::seeded(seed)),
         }
     }
 
@@ -176,6 +207,7 @@ impl SchedulerKind {
 #[derive(Debug, Clone)]
 pub struct RandomScheduler {
     rng: SplitMix64,
+    fault_gate: FaultGate,
 }
 
 impl RandomScheduler {
@@ -183,6 +215,7 @@ impl RandomScheduler {
     pub fn new(seed: u64) -> Self {
         RandomScheduler {
             rng: SplitMix64::new(seed),
+            fault_gate: FaultGate::new(seed),
         }
     }
 }
@@ -202,6 +235,10 @@ impl Scheduler for RandomScheduler {
 
     fn next_int(&mut self, bound: usize) -> usize {
         self.rng.next_below(bound)
+    }
+
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        self.fault_gate.pick(candidates)
     }
 }
 
@@ -227,6 +264,7 @@ pub struct PctScheduler {
     next_change: usize,
     next_low_priority: u64,
     fair_after: usize,
+    fault_gate: FaultGate,
 }
 
 impl PctScheduler {
@@ -257,6 +295,7 @@ impl PctScheduler {
             next_change: 0,
             next_low_priority: 0,
             fair_after,
+            fault_gate: FaultGate::new(seed),
         }
     }
 
@@ -318,6 +357,10 @@ impl Scheduler for PctScheduler {
         self.rng.next_below(bound)
     }
 
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        self.fault_gate.pick(candidates)
+    }
+
     fn unfair_prefix_len(&self) -> Option<usize> {
         Some(self.fair_after)
     }
@@ -347,6 +390,7 @@ pub struct DelayBoundingScheduler {
     next_delay: usize,
     current: Option<MachineId>,
     fair_after: usize,
+    fault_gate: FaultGate,
 }
 
 impl DelayBoundingScheduler {
@@ -366,6 +410,7 @@ impl DelayBoundingScheduler {
             next_delay: 0,
             current: None,
             fair_after,
+            fault_gate: FaultGate::new(seed),
         }
     }
 
@@ -417,6 +462,10 @@ impl Scheduler for DelayBoundingScheduler {
         self.rng.next_below(bound)
     }
 
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        self.fault_gate.pick(candidates)
+    }
+
     fn unfair_prefix_len(&self) -> Option<usize> {
         Some(self.fair_after)
     }
@@ -442,6 +491,7 @@ pub struct ProbabilisticRandomScheduler {
     /// stretches at *any* point of the run, so liveness verdicts at the
     /// bound always go through the runtime's fair grace period.
     horizon: Option<usize>,
+    fault_gate: FaultGate,
 }
 
 impl ProbabilisticRandomScheduler {
@@ -453,6 +503,7 @@ impl ProbabilisticRandomScheduler {
             switch_percent: switch_percent.min(100),
             current: None,
             horizon: None,
+            fault_gate: FaultGate::new(seed),
         }
     }
 
@@ -501,8 +552,21 @@ impl Scheduler for ProbabilisticRandomScheduler {
         self.rng.next_below(bound)
     }
 
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        self.fault_gate.pick(candidates)
+    }
+
     fn unfair_prefix_len(&self) -> Option<usize> {
         self.horizon
+    }
+
+    fn fair_step_spacing(&self, machines: usize) -> usize {
+        // The walk switches away from the current machine with
+        // `switch_percent`% probability per step, so it reaches any given
+        // other machine ~100/p times more slowly than uniform randomness.
+        machines
+            .saturating_mul((100 / self.switch_percent.max(1)) as usize)
+            .max(machines)
     }
 }
 
@@ -511,17 +575,38 @@ impl Scheduler for ProbabilisticRandomScheduler {
 /// Used as an ablation baseline; it explores only one schedule per
 /// configuration so it rarely exposes ordering bugs, but its nondeterministic
 /// value choices still vary via the cursor-free deterministic pattern
-/// (alternating booleans, zero integers).
-#[derive(Debug, Clone, Default)]
+/// (alternating booleans, zero integers). Fault probing is the exception:
+/// [`RoundRobinScheduler::seeded`] derives the fault stream from the
+/// execution seed (as every other strategy does), so in fault-injection
+/// mode the round-robin entry of a portfolio still explores a different
+/// fault timing per iteration instead of one fixed schedule forever.
+#[derive(Debug, Clone)]
 pub struct RoundRobinScheduler {
     cursor: u64,
     flip: bool,
+    fault_gate: FaultGate,
+}
+
+impl Default for RoundRobinScheduler {
+    fn default() -> Self {
+        RoundRobinScheduler::seeded(0)
+    }
 }
 
 impl RoundRobinScheduler {
-    /// Creates a round-robin scheduler.
+    /// Creates a round-robin scheduler (fault probes seeded with 0).
     pub fn new() -> Self {
         RoundRobinScheduler::default()
+    }
+
+    /// Creates a round-robin scheduler whose fault-probe stream is derived
+    /// from `seed`. Scheduling and value choices stay deterministic.
+    pub fn seeded(seed: u64) -> Self {
+        RoundRobinScheduler {
+            cursor: 0,
+            flip: false,
+            fault_gate: FaultGate::new(seed),
+        }
     }
 }
 
@@ -548,6 +633,10 @@ impl Scheduler for RoundRobinScheduler {
 
     fn next_int(&mut self, _bound: usize) -> usize {
         0
+    }
+
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        self.fault_gate.pick(candidates)
     }
 }
 
@@ -631,7 +720,11 @@ impl ReplayScheduler {
 
     fn next_decision(&mut self) -> Option<Decision> {
         let d = self.decisions.get(self.position).copied();
-        self.position += 1;
+        if d.is_some() {
+            // An exhausted recording stops counting: `position` reports how
+            // many recorded decisions were actually consumed.
+            self.position += 1;
+        }
         d
     }
 
@@ -662,6 +755,29 @@ impl ReplayScheduler {
 impl Scheduler for ReplayScheduler {
     fn name(&self) -> &'static str {
         "replay"
+    }
+
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        // Fire a fault iff the recording has one at this position. The probe
+        // *peeks*: a non-fault decision stays in place for the next
+        // `next_machine` / `next_bool` / `next_int` query.
+        let recorded = self
+            .decisions
+            .get(self.position)
+            .copied()
+            .and_then(Fault::from_decision)?;
+        self.position += 1;
+        if candidates.contains(&recorded) {
+            return Some(recorded);
+        }
+        // The recorded fault no longer applies (e.g. a shrink candidate
+        // deleted the crash that made this restart possible, or the machine
+        // id no longer exists): tolerant replay skips it, strict replay
+        // reports the divergence. Either way no fault fires here.
+        self.record_divergence(format!(
+            "recorded fault '{recorded:?}' is not injectable during replay"
+        ));
+        None
     }
 
     fn next_machine(&mut self, enabled: &[MachineId], _step: usize) -> MachineId {

@@ -29,6 +29,7 @@
 use std::time::{Duration, Instant};
 
 use crate::error::{Bug, BugKind};
+use crate::fault::FaultPlan;
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::runtime::{ExecutionOutcome, Runtime, RuntimeConfig};
 use crate::scheduler::ReplayScheduler;
@@ -52,6 +53,12 @@ pub struct ShrinkConfig {
     /// Maximum number of candidate executions before the pass gives up and
     /// returns the best sequence found so far.
     pub max_candidates: u64,
+    /// The fault budget of the hunt that recorded the trace. Candidate
+    /// executions replay under the same budget, so the recorded fault
+    /// decisions stay injectable; the tolerant tail itself never invents new
+    /// faults, which is what makes the minimized fault set monotonically
+    /// shrink.
+    pub faults: FaultPlan,
 }
 
 impl Default for ShrinkConfig {
@@ -61,6 +68,7 @@ impl Default for ShrinkConfig {
             check_liveness_at_quiescence: true,
             catch_panics: true,
             max_candidates: 2_000,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -73,6 +81,12 @@ pub struct ShrinkReport {
     pub original_decisions: usize,
     /// Decision count of the minimized trace.
     pub minimized_decisions: usize,
+    /// Fault decisions in the original buggy trace (the injected fault set).
+    pub original_faults: usize,
+    /// Fault decisions in the minimized trace: the *minimum fault set* the
+    /// bug still needs — the coarse first pass of the shrinker deletes whole
+    /// faults before chunk-deleting schedule decisions.
+    pub minimized_faults: usize,
     /// Candidate executions tried (including rejected ones).
     pub candidates_tried: u64,
     /// Candidate executions that reproduced the bug (accepted mutations).
@@ -102,8 +116,16 @@ impl ShrinkReport {
 
     /// Renders a one-line human-readable summary of the reduction.
     pub fn summary(&self) -> String {
+        let faults = if self.original_faults > 0 {
+            format!(
+                ", faults {} -> {}",
+                self.original_faults, self.minimized_faults
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "shrunk {} -> {} decisions ({:.0}% removed, {} of {} candidates reproduced, {:.2}s)",
+            "shrunk {} -> {} decisions ({:.0}% removed{faults}, {} of {} candidates reproduced, {:.2}s)",
             self.original_decisions,
             self.minimized_decisions,
             self.reduction_percent(),
@@ -125,6 +147,8 @@ impl ToJson for ShrinkReport {
                 "minimized_decisions",
                 Json::UInt(self.minimized_decisions as u64),
             ),
+            ("original_faults", Json::UInt(self.original_faults as u64)),
+            ("minimized_faults", Json::UInt(self.minimized_faults as u64)),
             ("candidates_tried", Json::UInt(self.candidates_tried)),
             (
                 "candidates_reproduced",
@@ -138,9 +162,19 @@ impl ToJson for ShrinkReport {
 
 impl FromJson for ShrinkReport {
     fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        // The fault counters postdate the fault-injection refactor; reports
+        // written before it parse with zero faults.
+        let fault_count = |key: &str| -> Result<usize, JsonError> {
+            match value.opt(key) {
+                Some(v) => v.as_usize(),
+                None => Ok(0),
+            }
+        };
         Ok(ShrinkReport {
             original_decisions: value.get("original_decisions")?.as_usize()?,
             minimized_decisions: value.get("minimized_decisions")?.as_usize()?,
+            original_faults: fault_count("original_faults")?,
+            minimized_faults: fault_count("minimized_faults")?,
             candidates_tried: value.get("candidates_tried")?.as_u64()?,
             candidates_reproduced: value.get("candidates_reproduced")?.as_u64()?,
             elapsed: Duration::from_secs_f64(value.get("elapsed_seconds")?.as_f64()?),
@@ -218,6 +252,46 @@ where
     // panic hook would print hundreds of backtraces over one shrink pass.
     let _quiet = QuietPanicHook::install(config.catch_panics && bug.kind == BugKind::Panic);
 
+    // Coarse fault-minimization first pass: before touching schedule
+    // decisions, try deleting whole injected faults — first the entire fault
+    // set at once (most bugs either need their faults or none of them), then
+    // each remaining fault individually until no single deletion reproduces.
+    // Dropped faults cannot reappear: the tolerant tail never invents
+    // faults, so every accepted recording carries a subset of the candidate's
+    // fault set — the minimized trace reports the bug's *minimum fault set*.
+    if current.iter().any(Decision::is_fault) {
+        let without_faults: Vec<Decision> =
+            current.iter().copied().filter(|d| !d.is_fault()).collect();
+        tried += 1;
+        if let Some(recording) = pass.reproduces(without_faults, &mut scratch) {
+            reproduced += 1;
+            current = recording;
+        }
+        'fault_pass: loop {
+            let fault_positions: Vec<usize> = current
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_fault())
+                .map(|(i, _)| i)
+                .collect();
+            for position in fault_positions {
+                if tried >= config.max_candidates {
+                    break 'fault_pass;
+                }
+                let mut candidate = current.clone();
+                candidate.remove(position);
+                tried += 1;
+                if let Some(recording) = pass.reproduces(candidate, &mut scratch) {
+                    reproduced += 1;
+                    current = recording;
+                    // Positions shifted; rescan the surviving faults.
+                    continue 'fault_pass;
+                }
+            }
+            break;
+        }
+    }
+
     // Classic ddmin over complements: delete one of `granularity` chunks,
     // refine the granularity when no deletion reproduces, restart coarse
     // after a success (the accepted recording may enable big deletions
@@ -270,6 +344,8 @@ where
     ShrinkReport {
         original_decisions: original.len(),
         minimized_decisions: minimized.decision_count(),
+        original_faults: original.iter().filter(|d| d.is_fault()).count(),
+        minimized_faults: minimized.fault_decision_count(),
         candidates_tried: tried,
         candidates_reproduced: reproduced,
         elapsed: start.elapsed(),
@@ -295,6 +371,7 @@ where
             check_liveness_at_quiescence: self.config.check_liveness_at_quiescence,
             catch_panics: self.config.catch_panics,
             trace_mode,
+            faults: self.config.faults,
         }
     }
 
@@ -383,6 +460,8 @@ mod tests {
         let report = ShrinkReport {
             original_decisions: 120,
             minimized_decisions: 1,
+            original_faults: 3,
+            minimized_faults: 1,
             candidates_tried: 40,
             candidates_reproduced: 6,
             elapsed: Duration::from_millis(125),
@@ -397,8 +476,28 @@ mod tests {
         assert_eq!(back.candidates_reproduced, 6);
         assert!((back.elapsed.as_secs_f64() - 0.125).abs() < 1e-9);
         assert_eq!(back.minimized, report.minimized);
+        assert_eq!(back.original_faults, 3);
+        assert_eq!(back.minimized_faults, 1);
         assert!(back.improved());
         assert!(back.summary().contains("120 -> 1"));
+        assert!(back.summary().contains("faults 3 -> 1"));
+    }
+
+    #[test]
+    fn legacy_shrink_report_json_parses_with_zero_faults() {
+        let legacy = r#"{
+            "original_decisions": 10,
+            "minimized_decisions": 2,
+            "candidates_tried": 5,
+            "candidates_reproduced": 1,
+            "elapsed_seconds": 0.5,
+            "minimized": {"seed": 1, "decisions": [], "steps": []}
+        }"#;
+        let report = ShrinkReport::from_json_value(&Json::parse(legacy).expect("parse"))
+            .expect("legacy report parses");
+        assert_eq!(report.original_faults, 0);
+        assert_eq!(report.minimized_faults, 0);
+        assert!(!report.summary().contains("faults"));
     }
 
     #[test]
@@ -406,6 +505,8 @@ mod tests {
         let empty = ShrinkReport {
             original_decisions: 0,
             minimized_decisions: 0,
+            original_faults: 0,
+            minimized_faults: 0,
             candidates_tried: 0,
             candidates_reproduced: 0,
             elapsed: Duration::ZERO,

@@ -53,6 +53,33 @@ pub enum Decision {
     /// A nondeterministic integer choice in `[0, bound)`
     /// (`Context::random_index`), recording the chosen value.
     Int(usize),
+    /// The scheduler injected a crash fault into this machine
+    /// ([`Scheduler::next_fault`](crate::scheduler::Scheduler::next_fault)).
+    CrashMachine(MachineId),
+    /// The scheduler restarted this (previously crashed) machine.
+    RestartMachine(MachineId),
+    /// The scheduler dropped the oldest message queued at this machine's
+    /// lossy inbox.
+    DropMessage(MachineId),
+    /// The scheduler re-delivered a copy of the oldest message queued at
+    /// this machine's lossy inbox.
+    DuplicateMessage(MachineId),
+}
+
+impl Decision {
+    /// Returns `true` for the fault decisions
+    /// (`CrashMachine` / `RestartMachine` / `DropMessage` /
+    /// `DuplicateMessage`): the injected-environment-failure subset of the
+    /// stream that the shrink pass minimizes first.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Decision::CrashMachine(_)
+                | Decision::RestartMachine(_)
+                | Decision::DropMessage(_)
+                | Decision::DuplicateMessage(_)
+        )
+    }
 }
 
 impl ToJson for Decision {
@@ -61,6 +88,10 @@ impl ToJson for Decision {
             Decision::Schedule(id) => Json::object([("Schedule", id.to_json_value())]),
             Decision::Bool(b) => Json::object([("Bool", Json::Bool(*b))]),
             Decision::Int(v) => Json::object([("Int", Json::UInt(*v as u64))]),
+            Decision::CrashMachine(id) => Json::object([("Crash", id.to_json_value())]),
+            Decision::RestartMachine(id) => Json::object([("Restart", id.to_json_value())]),
+            Decision::DropMessage(id) => Json::object([("Drop", id.to_json_value())]),
+            Decision::DuplicateMessage(id) => Json::object([("Duplicate", id.to_json_value())]),
         }
     }
 }
@@ -76,7 +107,19 @@ impl FromJson for Decision {
         if let Ok(v) = value.get("Int") {
             return Ok(Decision::Int(v.as_usize()?));
         }
-        Err(JsonError::new("decision must be Schedule, Bool or Int"))
+        for (key, make) in [
+            ("Crash", Decision::CrashMachine as fn(MachineId) -> Decision),
+            ("Restart", Decision::RestartMachine),
+            ("Drop", Decision::DropMessage),
+            ("Duplicate", Decision::DuplicateMessage),
+        ] {
+            if let Ok(id) = value.get(key) {
+                return Ok(make(MachineId::from_json_value(id)?));
+            }
+        }
+        Err(JsonError::new(
+            "decision must be Schedule, Bool, Int, Crash, Restart, Drop or Duplicate",
+        ))
     }
 }
 
@@ -335,6 +378,12 @@ impl Trace {
         self.decisions.len()
     }
 
+    /// Number of fault decisions recorded ([`Decision::is_fault`]): the size
+    /// of the execution's injected fault set.
+    pub fn fault_decision_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_fault()).count()
+    }
+
     /// Number of annotated steps currently retained.
     pub fn retained_step_count(&self) -> usize {
         self.steps.len()
@@ -586,6 +635,21 @@ mod tests {
     #[test]
     fn decision_count_counts_all_decisions() {
         assert_eq!(sample_trace().decision_count(), 3);
+    }
+
+    #[test]
+    fn fault_decisions_round_trip_and_are_counted() {
+        let mut t = Trace::new(4);
+        t.push_decision(Decision::Schedule(MachineId::from_raw(0)));
+        t.push_decision(Decision::CrashMachine(MachineId::from_raw(2)));
+        t.push_decision(Decision::RestartMachine(MachineId::from_raw(2)));
+        t.push_decision(Decision::DropMessage(MachineId::from_raw(1)));
+        t.push_decision(Decision::DuplicateMessage(MachineId::from_raw(1)));
+        assert_eq!(t.decision_count(), 5);
+        assert_eq!(t.fault_decision_count(), 4);
+        assert!(!Decision::Schedule(MachineId::from_raw(0)).is_fault());
+        let back = Trace::from_json(&t.to_json().expect("serialize")).expect("deserialize");
+        assert_eq!(back.decisions, t.decisions);
     }
 
     #[test]

@@ -227,6 +227,57 @@ fn recycled_trace_makes_the_next_iteration_allocation_free_on_the_trace_path() {
     );
 }
 
+/// Bug-free portfolio sweeps auto-select `TraceMode::DecisionsOnly` when
+/// neither shrinking nor an explicit trace mode was requested
+/// (`TestConfig::effective_trace_mode`): the annotated schedule — the larger
+/// trace stream — is never materialized, so the sweep's peak memory drops
+/// measurably below the same sweep pinned to `TraceMode::Full`.
+#[test]
+fn portfolio_sweep_auto_decisions_only_drops_peak_memory() {
+    const ITERATIONS: u64 = 12;
+    const STEPS: usize = 20_000;
+    let run = |config: TestConfig| {
+        let engine = TestEngine::new(
+            config
+                .with_iterations(ITERATIONS)
+                .with_max_steps(STEPS)
+                .with_seed(5)
+                .with_default_portfolio(),
+        );
+        let (_, peak, report) = measure(|| {
+            engine.run(|rt| {
+                rt.create_machine(Spinner);
+                rt.create_machine(Spinner);
+            })
+        });
+        assert!(!report.found_bug(), "the sweep must be bug-free");
+        peak
+    };
+
+    let auto = TestConfig::new().with_default_portfolio();
+    assert_eq!(auto.effective_trace_mode(), TraceMode::DecisionsOnly);
+    assert_eq!(
+        auto.clone().with_shrink(true).effective_trace_mode(),
+        TraceMode::Full,
+        "shrink runs keep the annotated schedule"
+    );
+    assert_eq!(
+        auto.clone()
+            .with_trace_mode(TraceMode::Full)
+            .effective_trace_mode(),
+        TraceMode::Full,
+        "an explicit trace mode wins over the auto-selection"
+    );
+
+    let auto_peak = run(TestConfig::new());
+    let full_peak = run(TestConfig::new().with_trace_mode(TraceMode::Full));
+    let step_bytes = (STEPS * std::mem::size_of::<psharp::trace::TraceStep>()) as u64;
+    assert!(
+        auto_peak + step_bytes / 2 <= full_peak,
+        "auto decisions-only peak {auto_peak} saves too little vs full-mode peak {full_peak}"
+    );
+}
+
 /// `TraceMode::RingBuffer` bounds the peak memory of the annotated schedule
 /// on very long executions: the replay-bearing decision stream still grows
 /// (dropping it would destroy replayability), but the per-step `TraceStep`

@@ -1,5 +1,13 @@
 //! The modeled Fabric replica-management platform: cluster manager, replicas,
-//! failure injection and the consistency / promotion specifications.
+//! and the consistency / promotion specifications.
+//!
+//! Replica failures are no longer injected by a bespoke harness machine:
+//! every replica is marked *crashable*, and the core scheduler decides —
+//! within the test's [`FaultPlan`] budget — whether, when and which replica
+//! crashes (`Decision::CrashMachine`, replayable and shrinkable like any
+//! other decision). A crashed replica's [`Machine::on_crash`] hook models
+//! the platform's failure detector reporting [`ReplicaFailed`] to the
+//! cluster manager.
 
 use std::collections::BTreeMap;
 
@@ -88,20 +96,15 @@ pub struct CopyCompleted {
     pub replica: MachineId,
 }
 
-/// Failure injected into the current primary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FailPrimary;
-
-/// Internal notification that a replica halted due to an injected failure.
+/// Failure-detection signal to the cluster manager: a replica went down.
+/// Emitted by the replica's [`Machine::on_crash`] hook when the core
+/// scheduler injects a crash fault (`Decision::CrashMachine`), modeling the
+/// platform's failure detector noticing the dead node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplicaFailed {
     /// The failed replica.
     pub replica: MachineId,
 }
-
-/// Tick driving the failure injector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InjectorTick;
 
 /// Monitor notification: a replica applied operation `sequence` and its
 /// service state is now `state`.
@@ -288,11 +291,18 @@ impl Machine for ReplicaMachine {
                     ctx.send(self.manager, Event::new(CopyStateRequest { requester }));
                 }
             }
-        } else if event.is::<FailPrimary>() {
-            let replica = ctx.id();
-            ctx.send(self.manager, Event::new(ReplicaFailed { replica }));
-            ctx.halt();
         }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Context<'_>) {
+        // The platform's failure detector notices the dead replica and
+        // reports it to the cluster manager, which triggers failover or
+        // replacement. This replaces the old bespoke `FailPrimary` event the
+        // harness used to deliver by hand: crashes are now injected by the
+        // core scheduler (`Decision::CrashMachine`) under the test's fault
+        // budget and replay like every other decision.
+        let replica = ctx.id();
+        ctx.send(self.manager, Event::new(ReplicaFailed { replica }));
     }
 
     fn name(&self) -> &str {
@@ -358,6 +368,8 @@ impl ClusterManagerMachine {
     fn launch_idle_secondary(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.id();
         let replica = ctx.create(ReplicaMachine::new(me, Role::IdleSecondary));
+        // Replacement replicas are as fallible as the nodes they replace.
+        ctx.mark_crashable(replica);
         self.idle_secondaries.push(replica);
     }
 
@@ -418,10 +430,14 @@ impl ClusterManagerMachine {
 impl Machine for ClusterManagerMachine {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.id();
+        // Every replica is a crash candidate: which one fails (if any,
+        // within the test's fault budget) is the scheduler's decision.
         let primary = ctx.create(ReplicaMachine::new(me, Role::Primary));
+        ctx.mark_crashable(primary);
         self.primary = Some(primary);
         for _ in 0..self.secondary_count {
             let secondary = ctx.create(ReplicaMachine::new(me, Role::ActiveSecondary));
+            ctx.mark_crashable(secondary);
             self.active_secondaries.push(secondary);
         }
         for _ in 0..self.initial_idle_secondaries {
@@ -452,10 +468,6 @@ impl Machine for ClusterManagerMachine {
                 );
                 self.broadcast_secondaries(ctx);
             }
-        } else if event.is::<FailPrimary>() {
-            if let Some(primary) = self.primary {
-                ctx.send(primary, Event::new(FailPrimary));
-            }
         } else if let Some(failed) = event.downcast_ref::<ReplicaFailed>() {
             self.handle_primary_failure(ctx, failed.replica);
         }
@@ -467,7 +479,7 @@ impl Machine for ClusterManagerMachine {
 }
 
 // ---------------------------------------------------------------------------
-// Client and failure injector
+// Client
 // ---------------------------------------------------------------------------
 
 /// Modeled client issuing a fixed number of counter increments through the
@@ -511,39 +523,6 @@ impl Machine for FabricClient {
 
     fn name(&self) -> &str {
         "FabricClient"
-    }
-}
-
-/// Fails the primary at a nondeterministically chosen moment (at most once).
-pub struct PrimaryFailureInjector {
-    manager: MachineId,
-    injected: bool,
-}
-
-impl PrimaryFailureInjector {
-    /// Creates the injector.
-    pub fn new(manager: MachineId) -> Self {
-        PrimaryFailureInjector {
-            manager,
-            injected: false,
-        }
-    }
-}
-
-impl Machine for PrimaryFailureInjector {
-    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
-        if (event.is::<InjectorTick>() || event.is::<TimerTick>())
-            && !self.injected
-            && ctx.random_bool()
-        {
-            self.injected = true;
-            ctx.send(self.manager, Event::new(FailPrimary));
-            ctx.halt();
-        }
-    }
-
-    fn name(&self) -> &str {
-        "PrimaryFailureInjector"
     }
 }
 
@@ -602,11 +581,12 @@ mod tests {
     use psharp::runtime::{Runtime, RuntimeConfig};
     use psharp::scheduler::{RandomScheduler, RoundRobinScheduler};
 
-    fn new_runtime(seed: u64) -> Runtime {
+    fn new_runtime(seed: u64, faults: FaultPlan) -> Runtime {
         Runtime::new(
             Box::new(RandomScheduler::new(seed)),
             RuntimeConfig {
                 max_steps: 5_000,
+                faults,
                 ..RuntimeConfig::default()
             },
             seed,
@@ -641,21 +621,26 @@ mod tests {
 
     #[test]
     fn failover_in_fixed_model_keeps_assertions_intact() {
+        // The fixed model must survive a scheduler-injected replica crash
+        // (primary or secondary — the scheduler picks) without violating
+        // the consistency monitor or the promotion assertion.
+        let mut crashes_observed = 0;
         for seed in 0..20 {
-            let mut rt = new_runtime(seed);
+            let mut rt = new_runtime(seed, FaultPlan::new().with_crashes(1));
             rt.add_monitor(ConsistencyMonitor::new());
             let manager = rt.create_machine(ClusterManagerMachine::new(2, FabricBugs::default()));
             rt.create_machine(FabricClient::new(manager, 3));
-            let injector = rt.create_machine(PrimaryFailureInjector::new(manager));
-            for _ in 0..8 {
-                rt.send(injector, Event::new(InjectorTick));
-            }
             let outcome = rt.run();
             assert!(
                 !matches!(outcome, ExecutionOutcome::BugFound(_)),
                 "fixed fabric model flagged a bug with seed {seed}: {outcome:?}"
             );
+            crashes_observed += rt.trace().fault_decision_count();
         }
+        assert!(
+            crashes_observed > 0,
+            "at least one seed must actually crash a replica"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn portfolio_hunt_on_the_promotion_bug_is_worker_count_independent() {
         .with_iterations(1_500)
         .with_max_steps(5_000)
         .with_seed(3)
+        .with_faults(config.fault_plan())
         .with_default_portfolio();
     let serial = portfolio_hunt(&config, base.clone().with_workers(1));
     let expected = serial.bug.expect("portfolio finds the promotion bug");

@@ -53,7 +53,7 @@ impl ReplConfig {
         ReplConfig {
             bugs: ReplBugs {
                 count_duplicate_replicas: true,
-                no_counter_reset: false,
+                ..ReplBugs::default()
             },
             ..ReplConfig::default()
         }
@@ -65,9 +65,35 @@ impl ReplConfig {
             bugs: ReplBugs {
                 count_duplicate_replicas: false,
                 no_counter_reset: true,
+                ..ReplBugs::default()
             },
             ..ReplConfig::default()
         }
+    }
+
+    /// Configuration with the third, *fault-induced* bug re-introduced: the
+    /// server never retransmits to lagging storage nodes, so a single
+    /// dropped `ReplReq` on the lossy storage-node channel
+    /// (`--faults drop=1`) leaves a request unacknowledged forever. Run it
+    /// with [`ReplConfig::fault_plan`]; without message loss the bug is
+    /// unreachable.
+    pub fn with_lost_replication_bug() -> Self {
+        ReplConfig {
+            bugs: ReplBugs {
+                no_retransmit_on_lag: true,
+                ..ReplBugs::default()
+            },
+            ..ReplConfig::default()
+        }
+    }
+
+    /// The fault budget this harness is designed around: the storage-node
+    /// channels are lossy, and the fixed server tolerates any bounded amount
+    /// of loss and duplication through timer-driven resync — two drops and
+    /// one duplication give the scheduler room without drowning the run in
+    /// faults.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new().with_drops(2).with_duplicates(1)
     }
 }
 
@@ -97,6 +123,11 @@ pub fn build_harness(rt: &mut Runtime, config: &ReplConfig) -> ReplHarness {
     let mut timers = Vec::with_capacity(config.storage_nodes);
     for _ in 0..config.storage_nodes {
         let node = rt.create_machine(StorageNode::new(server));
+        // The network into a storage node is lossy: under a fault budget the
+        // scheduler may drop queued messages and duplicate replicable ones
+        // (the server sends `ReplReq` via `Event::replicable`). The fixed
+        // server recovers through timer-driven resync and retransmission.
+        rt.mark_lossy(node);
         let mut timer = Timer::with_event(node, || Event::new(Timeout));
         if let Some(max_ticks) = config.timer_max_ticks {
             timer = timer.with_max_ticks(max_ticks);
@@ -209,6 +240,69 @@ mod tests {
         let bug = report.bug.expect("safety bug should be found");
         assert_eq!(bug.bug.kind, BugKind::SafetyViolation);
         assert_eq!(bug.bug.source.as_deref(), Some("ReplicaSafetyMonitor"));
+    }
+
+    #[test]
+    fn fixed_system_stays_clean_on_a_lossy_network() {
+        // The fixed server tolerates dropped and duplicated replication
+        // requests: timer-driven resync retransmits until every node caught
+        // up, so no liveness (or safety) verdict may fire under the fault
+        // budget.
+        let config = ReplConfig::default();
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(300)
+                .with_max_steps(2_500)
+                .with_seed(5)
+                .with_faults(config.fault_plan()),
+        );
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        assert!(
+            !report.found_bug(),
+            "fixed replsim flagged a bug under message loss: {:?}",
+            report.bug.map(|b| b.bug)
+        );
+    }
+
+    #[test]
+    fn lost_replication_bug_is_found_via_injected_message_loss() {
+        let config = ReplConfig::with_lost_replication_bug();
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(600)
+                .with_max_steps(2_500)
+                .with_seed(21)
+                .with_faults(config.fault_plan()),
+        );
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        let bug = report.bug.expect("lost-replication bug should be found");
+        assert_eq!(bug.bug.kind, BugKind::LivenessViolation);
+        assert_eq!(bug.bug.source.as_deref(), Some("AckLivenessMonitor"));
+        assert!(
+            bug.trace.fault_decision_count() >= 1,
+            "the bug needs an injected drop in its decision stream"
+        );
+    }
+
+    #[test]
+    fn lost_replication_bug_is_unreachable_without_message_loss() {
+        // On a reliable network the missing retransmission is dead code:
+        // every node receives the original request.
+        let config = ReplConfig::with_lost_replication_bug();
+        let engine = TestEngine::new(
+            TestConfig::new()
+                .with_iterations(300)
+                .with_max_steps(2_500)
+                .with_seed(21),
+        );
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        assert!(!report.found_bug());
     }
 
     #[test]

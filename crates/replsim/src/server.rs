@@ -11,7 +11,7 @@ use psharp::prelude::*;
 use crate::events::{Ack, ClientReq, NotifyAck, NotifyClientReq, ReplReq, Sync};
 use crate::monitors::{AckLivenessMonitor, ReplicaSafetyMonitor};
 
-/// Which of the paper's two seeded bugs are active in the server.
+/// Which of the server's seeded bugs are active.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerBugs {
     /// Bug 1 (safety): count every up-to-date sync towards the replica
@@ -21,6 +21,13 @@ pub struct ServerBugs {
     /// round completes (neither after sending an `Ack` nor when the next
     /// request begins), so later requests are never acknowledged.
     pub no_counter_reset: bool,
+    /// Bug 3 (liveness, *fault-induced*): do not re-send the replication
+    /// request when a periodic sync shows a storage node lagging behind.
+    /// Invisible on a reliable network — the original `ReplReq` always
+    /// arrives eventually — but a single dropped message on the lossy
+    /// storage-node channel (`Decision::DropMessage`) leaves that node
+    /// permanently stale and the request unacknowledged forever.
+    pub no_retransmit_on_lag: bool,
 }
 
 /// Wiring information delivered to the server before the first request.
@@ -98,7 +105,9 @@ impl Server {
         ctx.notify_monitor::<ReplicaSafetyMonitor>(Event::new(NotifyClientReq { data: req.data }));
         ctx.notify_monitor::<AckLivenessMonitor>(Event::new(NotifyClientReq { data: req.data }));
         for &node in &self.nodes.clone() {
-            ctx.send(node, Event::new(ReplReq { data: req.data }));
+            // Replicable: the lossy storage-node channel may drop *or*
+            // duplicate replication requests under a fault budget.
+            ctx.send(node, Event::replicable(ReplReq { data: req.data }));
         }
     }
 
@@ -108,7 +117,14 @@ impl Server {
             return;
         };
         if !self.is_up_to_date(&sync.log) {
-            ctx.send(sync.node, Event::new(ReplReq { data }));
+            if !self.bugs.no_retransmit_on_lag {
+                // Retransmission is what makes replication loss-tolerant:
+                // a lagging node is simply asked again. The seeded bug skips
+                // it, which only matters once the network actually loses a
+                // message. Replication requests are replicable events, so a
+                // lossy channel can also duplicate them.
+                ctx.send(sync.node, Event::replicable(ReplReq { data }));
+            }
             return;
         }
         let counted = if self.bugs.count_duplicate_replicas {
@@ -223,6 +239,7 @@ mod tests {
             ServerBugs {
                 count_duplicate_replicas: true,
                 no_counter_reset: false,
+                ..ServerBugs::default()
             },
             vec![sync(2, vec![7]), sync(2, vec![7]), sync(2, vec![7])],
         );
@@ -245,6 +262,7 @@ mod tests {
             ServerBugs {
                 count_duplicate_replicas: false,
                 no_counter_reset: true,
+                ..ServerBugs::default()
             },
             vec![sync(2, vec![7]), sync(3, vec![7]), sync(4, vec![7])],
         );

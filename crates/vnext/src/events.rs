@@ -39,9 +39,15 @@ pub struct ManagerTick;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnTick;
 
-/// Tick that drives the testing driver's failure-injection logic.
+/// Supervision signal from a crashed EN to the testing driver: the core
+/// scheduler injected a crash fault (`Decision::CrashMachine`) into the EN,
+/// and the driver reacts by launching a replacement EN — the cluster-operator
+/// half of the paper's fail-and-repair scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DriverTick;
+pub struct EnCrashed {
+    /// The cluster id of the crashed EN.
+    pub en: crate::types::EnId,
+}
 
 /// Repair request delivered to an EN: copy `extent` from the EN hosted by
 /// `source_machine`.
@@ -70,11 +76,6 @@ pub struct ExtentCopyResponse {
     /// Whether the source still held a replica and the copy succeeded.
     pub success: bool,
 }
-
-/// Failure injected into an EN by the testing driver; the EN notifies the
-/// monitor and halts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FailureEvent;
 
 /// Monitor notification: a (real) replica of `extent` now exists on `en`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +109,7 @@ mod tests {
             "EnToManager"
         );
         assert_eq!(Event::new(ManagerTick).name(), "ManagerTick");
-        assert_eq!(Event::new(FailureEvent).name(), "FailureEvent");
+        assert_eq!(Event::new(EnCrashed { en: EnId(2) }).name(), "EnCrashed");
     }
 
     #[test]

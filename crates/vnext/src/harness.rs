@@ -6,7 +6,7 @@ use psharp::prelude::*;
 use psharp::timer::Timer;
 
 use crate::en_store::EnExtentStore;
-use crate::events::{DriverTick, EnTick, ManagerTick, NotifyReplicaAdded};
+use crate::events::{EnTick, ManagerTick, NotifyReplicaAdded};
 use crate::extent_manager::{ExtentManagerBugs, ExtentManagerConfig};
 use crate::machines::driver::{DriverInit, TestingDriver};
 use crate::machines::extent_node::ExtentNodeMachine;
@@ -20,9 +20,11 @@ pub enum Scenario {
     /// Scenario 1: a single extent starts with one replica; the harness waits
     /// for the Extent Manager to replicate it to the target count.
     Replicate,
-    /// Scenario 2: the extent starts fully replicated; the driver fails one
-    /// EN and launches a new one, and the harness waits for the lost replica
-    /// to be repaired.
+    /// Scenario 2: the extent starts fully replicated; the ENs are marked
+    /// *crashable*, so under a crash budget ([`VnextConfig::fault_plan`] /
+    /// `TestConfig::with_faults`) the core scheduler decides which EN fails
+    /// and when; the driver launches a replacement and the harness waits for
+    /// the lost replica to be repaired.
     FailAndRepair,
 }
 
@@ -74,6 +76,17 @@ impl VnextConfig {
             ..VnextConfig::default()
         }
     }
+
+    /// The fault budget this scenario is designed around: one EN crash for
+    /// the fail-and-repair scenario (the cluster repairs a single lost
+    /// replica; more crashes could legitimately defeat repair), none for the
+    /// replicate scenario (its single replica holder must survive).
+    pub fn fault_plan(&self) -> FaultPlan {
+        match self.scenario {
+            Scenario::FailAndRepair => FaultPlan::new().with_crashes(1),
+            Scenario::Replicate => FaultPlan::none(),
+        }
+    }
 }
 
 /// Ids of the machines created by [`build_harness`].
@@ -102,9 +115,12 @@ pub fn build_harness(rt: &mut Runtime, config: &VnextConfig) -> VnextHarness {
         },
         extents.clone(),
     ));
-    let inject_failure = config.scenario == Scenario::FailAndRepair;
-    let driver = rt.create_machine(TestingDriver::new(manager, inject_failure));
+    let driver = rt.create_machine(TestingDriver::new(manager));
     rt.send(manager, Event::new(SetDriver(driver)));
+    // In the fail-and-repair scenario the initial ENs are crash candidates:
+    // the core scheduler decides which one fails (and when) within the
+    // test's fault budget, replacing the driver's old bespoke injection.
+    let crashable_ens = config.scenario == Scenario::FailAndRepair;
 
     let mut extent_nodes = Vec::with_capacity(config.extent_nodes);
     let mut timers = Vec::new();
@@ -124,7 +140,11 @@ pub fn build_harness(rt: &mut Runtime, config: &VnextConfig) -> VnextHarness {
                 extent,
             }));
         }
-        let en = rt.create_machine(ExtentNodeMachine::new(en_id, manager, store));
+        let en = rt
+            .create_machine(ExtentNodeMachine::new(en_id, manager, store).with_supervisor(driver));
+        if crashable_ens {
+            rt.mark_crashable(en);
+        }
         timers.push(rt.create_machine(Timer::with_event(en, || Event::new(EnTick))));
         extent_nodes.push((en_id, en));
     }
@@ -136,7 +156,6 @@ pub fn build_harness(rt: &mut Runtime, config: &VnextConfig) -> VnextHarness {
         }),
     );
     timers.push(rt.create_machine(Timer::with_event(manager, || Event::new(ManagerTick))));
-    timers.push(rt.create_machine(Timer::with_event(driver, || Event::new(DriverTick))));
 
     VnextHarness {
         manager,
@@ -160,15 +179,16 @@ pub fn portfolio_hunt(config: &VnextConfig, test: TestConfig) -> TestReport {
 /// Model statistics of this harness, for the Table 1 reproduction.
 pub fn model_stats() -> ModelStats {
     let config = VnextConfig::default();
-    // Wrapper + driver + ENs + one timer per EN + manager timer + driver timer.
-    let machines = 2 + 2 * config.extent_nodes + 2;
+    // Wrapper + driver + ENs + one timer per EN + manager timer (failure
+    // injection moved into the core runtime — no driver tick machinery).
+    let machines = 2 + 2 * config.extent_nodes + 1;
     // Action handlers: wrapper {SetDriver, EnToManager, ManagerTick}, EN
-    // {tick, RepairRequest, CopyRequest, CopyResponse, Failure}, driver
-    // {Init, EnToManager, ManagerToEn, tick}, timer {loop}, monitor
+    // {tick, RepairRequest, CopyRequest, CopyResponse, on_crash}, driver
+    // {Init, ManagerToEn, EnCrashed}, timer {loop}, monitor
     // {ReplicaAdded, EnFailed}.
-    let action_handlers = 3 + 5 + 4 + 1 + 2;
-    // State transitions: monitor repaired<->repairing, EN live->failed,
-    // driver idle->failure-injected, manager loop choice (expire|repair).
+    let action_handlers = 3 + 5 + 3 + 1 + 2;
+    // State transitions: monitor repaired<->repairing, EN live->crashed,
+    // driver replacement launch, manager loop choice (expire|repair).
     let state_transitions = 2 + 1 + 1 + 2;
     ModelStats::new("vNext Extent Manager")
         .with_bugs(1)
@@ -197,8 +217,8 @@ mod tests {
         let mut rt = new_runtime(1, 100);
         let harness = build_harness(&mut rt, &VnextConfig::default());
         assert_eq!(harness.extent_nodes.len(), 3);
-        assert_eq!(harness.timers.len(), 5);
-        assert_eq!(rt.machine_count(), 10);
+        assert_eq!(harness.timers.len(), 4);
+        assert_eq!(rt.machine_count(), 9);
     }
 
     #[test]
@@ -218,18 +238,34 @@ mod tests {
     }
 
     #[test]
-    fn fixed_manager_repairs_after_failure() {
-        // The fixed system must not violate the liveness property: across a
-        // handful of executions no bug is reported.
+    fn fixed_manager_repairs_after_injected_crash() {
+        // The fixed system must not violate the liveness property even when
+        // the scheduler crashes an EN: the driver launches a replacement and
+        // the manager repairs the lost replica before the bound.
+        let config = VnextConfig::default();
+        let mut crashes_observed = 0;
         for seed in 0..10 {
-            let mut rt = new_runtime(seed, 4_000);
-            build_harness(&mut rt, &VnextConfig::default());
+            let mut rt = Runtime::new(
+                Box::new(RandomScheduler::new(seed)),
+                RuntimeConfig {
+                    max_steps: 4_000,
+                    faults: config.fault_plan(),
+                    ..RuntimeConfig::default()
+                },
+                seed,
+            );
+            build_harness(&mut rt, &config);
             let outcome = rt.run();
             assert!(
                 !matches!(outcome, ExecutionOutcome::BugFound(_)),
                 "fixed vNext flagged a bug with seed {seed}: {outcome:?}"
             );
+            crashes_observed += rt.trace().fault_decision_count();
         }
+        assert!(
+            crashes_observed > 0,
+            "at least one seed must actually crash an EN"
+        );
     }
 
     #[test]
@@ -247,13 +283,14 @@ mod tests {
 
     #[test]
     fn seeded_liveness_bug_is_found_by_the_engine() {
+        let config = VnextConfig::with_liveness_bug();
         let engine = TestEngine::new(
             TestConfig::new()
                 .with_iterations(500)
                 .with_max_steps(3_000)
-                .with_seed(3),
+                .with_seed(3)
+                .with_faults(config.fault_plan()),
         );
-        let config = VnextConfig::with_liveness_bug();
         let report = engine.run(move |rt| {
             build_harness(rt, &config);
         });
@@ -265,8 +302,8 @@ mod tests {
     #[test]
     fn model_stats_report_the_harness_size() {
         let stats = model_stats();
-        assert_eq!(stats.machines, 10);
+        assert_eq!(stats.machines, 9);
         assert_eq!(stats.bugs_found, 1);
-        assert!(stats.action_handlers >= 15);
+        assert!(stats.action_handlers >= 14);
     }
 }

@@ -5,8 +5,11 @@
 //! * **dispatching intercepted manager output** — repair requests captured by
 //!   the modeled network engine name ENs by their cluster id; the driver
 //!   translates them to the corresponding EN machines;
-//! * **failure injection** — it nondeterministically chooses an EN, fails it,
-//!   and launches a replacement EN (the paper's second testing scenario).
+//! * **reacting to EN crashes** — EN failures themselves are injected by the
+//!   core scheduler (`Decision::CrashMachine`, under the test's fault
+//!   budget); the crashed EN's hook reports [`EnCrashed`] here, and the
+//!   driver launches a replacement EN with an empty store (the
+//!   cluster-operator half of the paper's fail-and-repair scenario).
 
 use std::collections::BTreeMap;
 
@@ -14,7 +17,7 @@ use psharp::prelude::*;
 use psharp::timer::Timer;
 
 use crate::en_store::EnExtentStore;
-use crate::events::{DriverTick, EnTick, FailureEvent, ManagerToEn, RepairRequest};
+use crate::events::{EnCrashed, EnTick, ManagerToEn, RepairRequest};
 use crate::machines::extent_node::ExtentNodeMachine;
 use crate::types::{EnId, ExtMgrMessage};
 
@@ -30,28 +33,26 @@ pub struct TestingDriver {
     manager: MachineId,
     ens: BTreeMap<EnId, MachineId>,
     next_en_id: u64,
-    inject_failure: bool,
-    failure_injected: bool,
+    replacements_launched: usize,
     relayed_to_ens: usize,
 }
 
 impl TestingDriver {
-    /// Creates a driver that dispatches intercepted output of `manager` and,
-    /// when `inject_failure` is set, fails one EN and launches a replacement.
-    pub fn new(manager: MachineId, inject_failure: bool) -> Self {
+    /// Creates a driver that dispatches intercepted output of `manager` and
+    /// launches replacement ENs when crashed ENs report in.
+    pub fn new(manager: MachineId) -> Self {
         TestingDriver {
             manager,
             ens: BTreeMap::new(),
             next_en_id: 0,
-            inject_failure,
-            failure_injected: false,
+            replacements_launched: 0,
             relayed_to_ens: 0,
         }
     }
 
-    /// Whether the failure has already been injected (exposed for tests).
-    pub fn failure_injected(&self) -> bool {
-        self.failure_injected
+    /// Number of replacement ENs launched after crashes (exposed for tests).
+    pub fn replacements_launched(&self) -> usize {
+        self.replacements_launched
     }
 
     /// Number of manager → EN messages dispatched (exposed for tests).
@@ -59,24 +60,21 @@ impl TestingDriver {
         self.relayed_to_ens
     }
 
-    fn inject_node_failure(&mut self, ctx: &mut Context<'_>) {
-        let candidates: Vec<(EnId, MachineId)> = self.ens.iter().map(|(&k, &v)| (k, v)).collect();
-        if candidates.is_empty() {
-            return;
-        }
-        // Nondeterministically choose which EN fails.
-        let victim = *ctx.choose(&candidates);
-        self.failure_injected = true;
-        ctx.send(victim.1, Event::new(FailureEvent));
-
-        // Launch a replacement EN with an empty store, plus its modeled timer.
+    fn handle_en_crash(&mut self, ctx: &mut Context<'_>, crashed: EnId) {
+        self.ens.remove(&crashed);
+        self.replacements_launched += 1;
+        // Launch a replacement EN with an empty store, plus its modeled
+        // timer. The replacement is supervised by this driver and is as
+        // crashable as the node it replaces (the fault budget bounds how
+        // many crashes can actually happen).
         let new_en_id = EnId(self.next_en_id);
         self.next_en_id += 1;
-        let new_en = ctx.create(ExtentNodeMachine::new(
-            new_en_id,
-            self.manager,
-            EnExtentStore::new(),
-        ));
+        let me = ctx.id();
+        let new_en = ctx.create(
+            ExtentNodeMachine::new(new_en_id, self.manager, EnExtentStore::new())
+                .with_supervisor(me),
+        );
+        ctx.mark_crashable(new_en);
         ctx.create(Timer::with_event(new_en, || Event::new(EnTick)));
         self.ens.insert(new_en_id, new_en);
     }
@@ -107,11 +105,8 @@ impl Machine for TestingDriver {
                     source_machine,
                 }),
             );
-        } else if event.is::<DriverTick>() || event.is::<TimerTick>() {
-            // Failure injection happens at a nondeterministically chosen tick.
-            if self.inject_failure && !self.failure_injected && ctx.random_bool() {
-                self.inject_node_failure(ctx);
-            }
+        } else if let Some(crashed) = event.downcast_ref::<EnCrashed>() {
+            self.handle_en_crash(ctx, crashed.en);
         }
     }
 
@@ -149,7 +144,7 @@ mod tests {
     fn driver_translates_repair_requests_to_en_machines() {
         let mut rt = new_runtime(1_000);
         let manager = rt.create_machine(ManagerStub);
-        let driver = rt.create_machine(TestingDriver::new(manager, false));
+        let driver = rt.create_machine(TestingDriver::new(manager));
         let source = rt.create_machine(ExtentNodeMachine::new(
             EnId(0),
             manager,
@@ -185,7 +180,7 @@ mod tests {
     fn repair_request_for_unknown_en_is_dropped() {
         let mut rt = new_runtime(1_000);
         let manager = rt.create_machine(ManagerStub);
-        let driver = rt.create_machine(TestingDriver::new(manager, false));
+        let driver = rt.create_machine(TestingDriver::new(manager));
         rt.send(
             driver,
             Event::new(ManagerToEn {
@@ -210,49 +205,58 @@ mod tests {
     }
 
     #[test]
-    fn driver_eventually_injects_exactly_one_failure() {
-        let mut rt = Runtime::new(
-            Box::new(RandomScheduler::new(5)),
-            RuntimeConfig {
-                max_steps: 400,
-                ..RuntimeConfig::default()
-            },
-            5,
-        );
-        let manager = rt.create_machine(ManagerStub);
-        let driver = rt.create_machine(TestingDriver::new(manager, true));
-        let en = rt.create_machine(ExtentNodeMachine::new(
-            EnId(0),
-            manager,
-            EnExtentStore::new(),
-        ));
-        rt.send(
-            driver,
-            Event::new(DriverInit {
-                ens: vec![(EnId(0), en)],
-            }),
-        );
-        for _ in 0..32 {
-            rt.send(driver, Event::new(DriverTick));
+    fn driver_launches_a_replacement_after_an_injected_crash() {
+        use psharp::prelude::FaultPlan;
+        for seed in 0..20 {
+            let mut rt = Runtime::new(
+                Box::new(RandomScheduler::new(seed)),
+                RuntimeConfig {
+                    max_steps: 400,
+                    faults: FaultPlan::new().with_crashes(1),
+                    ..RuntimeConfig::default()
+                },
+                seed,
+            );
+            let manager = rt.create_machine(ManagerStub);
+            let driver = rt.create_machine(TestingDriver::new(manager));
+            let en = rt.create_machine(
+                ExtentNodeMachine::new(EnId(0), manager, EnExtentStore::new())
+                    .with_supervisor(driver),
+            );
+            rt.mark_crashable(en);
+            rt.send(
+                driver,
+                Event::new(DriverInit {
+                    ens: vec![(EnId(0), en)],
+                }),
+            );
+            // Keep the execution alive so the fault gate gets probe
+            // opportunities.
+            for _ in 0..64 {
+                rt.send(en, Event::new(crate::events::EnTick));
+            }
+            rt.run();
+            if !rt.is_crashed(en) {
+                continue;
+            }
+            let driver_ref = rt.machine_ref::<TestingDriver>(driver).unwrap();
+            assert_eq!(driver_ref.replacements_launched(), 1);
+            // A replacement EN and its timer were created.
+            assert_eq!(rt.machine_count(), 5);
+            return;
         }
-        rt.run();
-        let driver_ref = rt.machine_ref::<TestingDriver>(driver).unwrap();
-        assert!(driver_ref.failure_injected());
-        assert!(rt.is_halted(en));
-        // A replacement EN and its timer were created.
-        assert_eq!(rt.machine_count(), 5);
+        panic!("no seed in 0..20 fired the crash fault");
     }
 
     #[test]
-    fn driver_without_failure_injection_never_fails_nodes() {
+    fn without_a_fault_budget_no_en_ever_crashes() {
         let mut rt = new_runtime(1_000);
         let manager = rt.create_machine(ManagerStub);
-        let driver = rt.create_machine(TestingDriver::new(manager, false));
-        let en = rt.create_machine(ExtentNodeMachine::new(
-            EnId(0),
-            manager,
-            EnExtentStore::new(),
-        ));
+        let driver = rt.create_machine(TestingDriver::new(manager));
+        let en = rt.create_machine(
+            ExtentNodeMachine::new(EnId(0), manager, EnExtentStore::new()).with_supervisor(driver),
+        );
+        rt.mark_crashable(en);
         rt.send(
             driver,
             Event::new(DriverInit {
@@ -260,13 +264,15 @@ mod tests {
             }),
         );
         for _ in 0..8 {
-            rt.send(driver, Event::new(DriverTick));
+            rt.send(en, Event::new(crate::events::EnTick));
         }
         rt.run();
-        assert!(!rt
-            .machine_ref::<TestingDriver>(driver)
-            .unwrap()
-            .failure_injected());
-        assert!(!rt.is_halted(en));
+        assert!(!rt.is_crashed(en));
+        assert_eq!(
+            rt.machine_ref::<TestingDriver>(driver)
+                .unwrap()
+                .replacements_launched(),
+            0
+        );
     }
 }

@@ -9,7 +9,7 @@ use psharp::prelude::*;
 
 use crate::en_store::EnExtentStore;
 use crate::events::{
-    EnTick, EnToManager, ExtentCopyRequest, ExtentCopyResponse, FailureEvent, NotifyEnFailed,
+    EnCrashed, EnTick, EnToManager, ExtentCopyRequest, ExtentCopyResponse, NotifyEnFailed,
     NotifyReplicaAdded, RepairRequest,
 };
 use crate::monitor::RepairMonitor;
@@ -20,6 +20,10 @@ pub struct ExtentNodeMachine {
     en_id: EnId,
     manager: MachineId,
     store: EnExtentStore,
+    /// Where the crash hook reports this EN's failure (the testing driver),
+    /// so a replacement can be launched. `None` in unit tests that exercise
+    /// an EN in isolation.
+    supervisor: Option<MachineId>,
     heartbeats_sent: usize,
     syncs_sent: usize,
 }
@@ -33,9 +37,18 @@ impl ExtentNodeMachine {
             en_id,
             manager,
             store,
+            supervisor: None,
             heartbeats_sent: 0,
             syncs_sent: 0,
         }
+    }
+
+    /// Registers the machine that supervises this EN: when the core
+    /// scheduler injects a crash fault, the crash hook reports the failure
+    /// there (the testing driver, which launches a replacement EN).
+    pub fn with_supervisor(mut self, supervisor: MachineId) -> Self {
+        self.supervisor = Some(supervisor);
+        self
     }
 
     /// The EN's cluster identifier.
@@ -120,9 +133,18 @@ impl Machine for ExtentNodeMachine {
                     extent: copy_resp.extent,
                 }));
             }
-        } else if event.is::<FailureEvent>() {
-            ctx.notify_monitor::<RepairMonitor>(Event::new(NotifyEnFailed { en: self.en_id }));
-            ctx.halt();
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Context<'_>) {
+        // The crash is injected by the core scheduler
+        // (`Decision::CrashMachine`) under the test's fault budget; this
+        // hook models the environment noticing it: the liveness monitor
+        // learns the replicas are gone, and the supervising driver launches
+        // a replacement EN.
+        ctx.notify_monitor::<RepairMonitor>(Event::new(NotifyEnFailed { en: self.en_id }));
+        if let Some(supervisor) = self.supervisor {
+            ctx.send(supervisor, Event::new(EnCrashed { en: self.en_id }));
         }
     }
 
@@ -268,19 +290,57 @@ mod tests {
     }
 
     #[test]
-    fn failure_halts_the_machine() {
-        let mut rt = new_runtime();
-        let driver = rt.create_machine(DriverStub::default());
-        let en = rt.create_machine(ExtentNodeMachine::new(
-            EnId(1),
-            driver,
-            EnExtentStore::new(),
-        ));
-        rt.send(en, Event::new(FailureEvent));
-        rt.send(en, Event::new(EnTick));
-        rt.run();
-        assert!(rt.is_halted(en));
-        let stub = rt.machine_ref::<DriverStub>(driver).expect("driver");
-        assert_eq!(stub.heartbeats + stub.syncs, 0, "no tick after failure");
+    fn injected_crash_silences_the_en_and_notifies_the_supervisor() {
+        use psharp::prelude::{FaultPlan, SchedulerKind};
+
+        /// Supervisor stub recording crash notices.
+        #[derive(Default)]
+        struct SupervisorStub {
+            crashed: Vec<EnId>,
+        }
+        impl Machine for SupervisorStub {
+            fn handle(&mut self, _ctx: &mut Context<'_>, event: Event) {
+                if let Some(notice) = event.downcast_ref::<EnCrashed>() {
+                    self.crashed.push(notice.en);
+                }
+            }
+        }
+
+        for seed in 0..20 {
+            let mut rt = Runtime::new(
+                SchedulerKind::Random.build(seed, 400),
+                RuntimeConfig {
+                    max_steps: 400,
+                    faults: FaultPlan::new().with_crashes(1),
+                    ..RuntimeConfig::default()
+                },
+                seed,
+            );
+            let driver = rt.create_machine(DriverStub::default());
+            let supervisor = rt.create_machine(SupervisorStub::default());
+            let en = rt.create_machine(
+                ExtentNodeMachine::new(EnId(1), driver, EnExtentStore::new())
+                    .with_supervisor(supervisor),
+            );
+            rt.mark_crashable(en);
+            for _ in 0..40 {
+                rt.send(en, Event::new(EnTick));
+            }
+            rt.run();
+            if !rt.is_crashed(en) {
+                continue;
+            }
+            let stub = rt.machine_ref::<DriverStub>(driver).expect("driver");
+            assert!(
+                stub.heartbeats + stub.syncs < 40,
+                "the crash must cut the tick backlog short"
+            );
+            let sup = rt
+                .machine_ref::<SupervisorStub>(supervisor)
+                .expect("supervisor");
+            assert_eq!(sup.crashed, vec![EnId(1)], "the crash hook reported");
+            return;
+        }
+        panic!("no seed in 0..20 fired the crash fault");
     }
 }

@@ -8,14 +8,15 @@ use vnext::{build_harness, portfolio_hunt, VnextConfig};
 
 #[test]
 fn probabilistic_random_finds_the_liveness_bug() {
+    let config = VnextConfig::with_liveness_bug();
     let engine = TestEngine::new(
         TestConfig::new()
             .with_iterations(500)
             .with_max_steps(3_000)
             .with_seed(5)
+            .with_faults(config.fault_plan())
             .with_scheduler(SchedulerKind::ProbabilisticRandom { switch_percent: 10 }),
     );
-    let config = VnextConfig::with_liveness_bug();
     let report = engine.run(move |rt| {
         build_harness(rt, &config);
     });
@@ -31,6 +32,7 @@ fn portfolio_hunt_is_deterministic_across_worker_counts() {
         .with_iterations(300)
         .with_max_steps(3_000)
         .with_seed(5)
+        .with_faults(config.fault_plan())
         .with_default_portfolio();
     let serial = portfolio_hunt(&config, base.clone().with_workers(1));
     let expected = serial.bug.expect("portfolio finds the liveness bug");

@@ -3,7 +3,11 @@
 //! uninitialized-configuration bug in a service running on top of it.
 //!
 //! Run with: `cargo run --release --example fabric_failover [--shrink]
-//! [--trace-mode full|ring:N|decisions]`
+//! [--trace-mode full|ring:N|decisions] [--faults crash=N,...]`
+//!
+//! The primary failure is injected by the core scheduler as a first-class
+//! fault decision (the failover scenario's default budget is one crash;
+//! override with `--faults`).
 
 use fabric::{build_harness, FabricConfig};
 use fast16::cli::{describe_shrink, DebugOptions};
@@ -14,13 +18,15 @@ fn main() {
 
     // Promotion bug: the primary fails while a new secondary is waiting for
     // its state copy; the buggy cluster manager elects that secondary and
-    // then also promotes it to an active secondary.
+    // then also promotes it to an active secondary. The primary crash is a
+    // scheduler-injected fault.
     let engine = TestEngine::new(
         opts.apply(
             TestConfig::new()
                 .with_iterations(20_000)
                 .with_max_steps(5_000)
-                .with_seed(2016),
+                .with_seed(2016)
+                .with_faults(opts.faults_or(FabricConfig::with_promotion_bug().fault_plan())),
         ),
     );
     let report = engine.run(|rt| {
@@ -32,12 +38,14 @@ fn main() {
         describe_shrink(bug);
     }
 
-    // The same scenario with the fixed cluster manager stays clean.
+    // The same scenario (crash faults included) with the fixed cluster
+    // manager stays clean.
     let engine = TestEngine::new(
         TestConfig::new()
             .with_iterations(1_000)
             .with_max_steps(5_000)
-            .with_seed(3),
+            .with_seed(3)
+            .with_faults(FabricConfig::default().fault_plan()),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &FabricConfig::default());

@@ -2,7 +2,7 @@
 //! both seeded bugs, then replay the safety bug from its recorded trace.
 //!
 //! Run with: `cargo run --example quickstart [--shrink]
-//! [--trace-mode full|ring:N|decisions]`
+//! [--trace-mode full|ring:N|decisions] [--faults crash=N,drop=N,...]`
 
 use fast16::cli::{describe_shrink, DebugOptions};
 use psharp::prelude::*;
@@ -74,20 +74,50 @@ fn main() {
         describe_shrink(bug_report);
     }
 
-    // 3. The fixed system: no violation in a healthy number of executions.
+    // 3. The fault-induced bug: the storage-node channels are lossy, and a
+    //    server that never retransmits to lagging nodes leaves a dropped
+    //    replication request unacknowledged forever. The drop is a
+    //    first-class scheduler decision — recorded in the trace, replayed
+    //    byte-for-byte, and reduced by --shrink to the minimum fault set.
+    let config = ReplConfig::with_lost_replication_bug();
+    let engine = TestEngine::new(
+        opts.apply(
+            TestConfig::new()
+                .with_iterations(2_000)
+                .with_max_steps(2_500)
+                .with_seed(21)
+                .with_faults(opts.faults_or(config.fault_plan())),
+        ),
+    );
+    let report = engine.run(move |rt| {
+        build_harness(rt, &config);
+    });
+    println!("\n-- lost replication request (fault-induced liveness) --");
+    println!("{}", report.summary());
+    if let Some(bug_report) = &report.bug {
+        println!(
+            "injected faults in the buggy execution: {}",
+            bug_report.trace.fault_decision_count()
+        );
+        describe_shrink(bug_report);
+    }
+
+    // 4. The fixed system: no violation in a healthy number of executions —
+    //    message loss and duplication included (the server retransmits).
     let engine = TestEngine::new(
         TestConfig::new()
             .with_iterations(200)
             .with_max_steps(3_000)
-            .with_seed(3),
+            .with_seed(3)
+            .with_faults(ReplConfig::default().fault_plan()),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &ReplConfig::default());
     });
-    println!("\n-- fixed system --");
+    println!("\n-- fixed system (lossy network) --");
     println!("{}", report.summary());
 
-    // 4. The parallel portfolio engine: shard the same safety hunt over all
+    // 5. The parallel portfolio engine: shard the same safety hunt over all
     //    cores, mixing every scheduling strategy of the default portfolio.
     //    The strategy driving an iteration is decided by the iteration
     //    index, so the run reports the identical (iteration, seed, strategy,

@@ -3,7 +3,8 @@
 //! against the reference model.
 //!
 //! Run with: `cargo run --release --example table_migration [BugName]
-//! [--shrink] [--trace-mode full|ring:N|decisions]`
+//! [--shrink] [--trace-mode full|ring:N|decisions]
+//! [--faults crash=N,restart=N,...]`
 
 use chaintable::{build_harness, named_bugs, ChainConfig};
 use fast16::cli::{describe_shrink, DebugOptions};
@@ -43,12 +44,41 @@ fn main() {
         hunt(config, SchedulerKind::Pct { change_points: 2 }, opts);
     }
 
-    println!("-- fixed MigratingTable --");
+    // The fault-induced recovery bug: a migrator crash-restart that skips
+    // the interrupted plan step. The crash and restart are first-class
+    // scheduler decisions under the configured fault budget.
+    if only.is_none() || only.as_deref() == Some("MigratorRestartSkipsStep") {
+        let config = ChainConfig::with_restart_bug();
+        println!("-- MigratorRestartSkipsStep (fault-induced) --");
+        let engine = TestEngine::new(
+            opts.apply(
+                TestConfig::new()
+                    .with_iterations(20_000)
+                    .with_max_steps(10_000)
+                    .with_seed(29)
+                    .with_faults(opts.faults_or(config.fault_plan())),
+            ),
+        );
+        let report = engine.run(move |rt| {
+            build_harness(rt, &config);
+        });
+        println!("  [random+faults] {}", report.summary());
+        if let Some(bug) = &report.bug {
+            println!(
+                "  injected faults in the buggy execution: {}",
+                bug.trace.fault_decision_count()
+            );
+            describe_shrink(bug);
+        }
+    }
+
+    println!("-- fixed MigratingTable (crash-restart faults included) --");
     let engine = TestEngine::new(
         TestConfig::new()
             .with_iterations(2_000)
             .with_max_steps(10_000)
-            .with_seed(7),
+            .with_seed(7)
+            .with_faults(ChainConfig::fixed().fault_plan()),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &ChainConfig::fixed());

@@ -3,7 +3,11 @@
 //! Manager passes the same test.
 //!
 //! Run with: `cargo run --release --example vnext_repair [--shrink]
-//! [--trace-mode full|ring:N|decisions]`
+//! [--trace-mode full|ring:N|decisions] [--faults crash=N,...]`
+//!
+//! The EN failure that triggers the repair path is injected by the core
+//! scheduler as a first-class fault decision (the scenario's default budget
+//! is one crash; override with `--faults`).
 
 use fast16::cli::{describe_shrink, DebugOptions};
 use psharp::prelude::*;
@@ -14,13 +18,16 @@ fn main() {
 
     // The buggy Extent Manager accepts sync reports from extent nodes it has
     // already expired, silently "resurrecting" lost replicas so the repair
-    // loop never runs.
+    // loop never runs. The EN crash that starts the story is a
+    // scheduler-injected fault.
+    let faults = opts.faults_or(VnextConfig::with_liveness_bug().fault_plan());
     let engine = TestEngine::new(
         opts.apply(
             TestConfig::new()
                 .with_iterations(20_000)
                 .with_max_steps(3_000)
-                .with_seed(2016),
+                .with_seed(2016)
+                .with_faults(faults),
         ),
     );
     let report = engine.run(|rt| {
@@ -42,6 +49,7 @@ fn main() {
             .with_iterations(20_000)
             .with_max_steps(3_000)
             .with_seed(2016)
+            .with_faults(faults)
             .with_scheduler(SchedulerKind::Pct { change_points: 2 }),
     );
     let report = engine.run(|rt| {
@@ -51,12 +59,13 @@ fn main() {
     println!("{}", report.summary());
 
     // After the fix (ignore sync reports from expired extent nodes), the same
-    // harness runs clean.
+    // harness — crash faults included — runs clean.
     let engine = TestEngine::new(
         TestConfig::new()
             .with_iterations(500)
             .with_max_steps(3_000)
-            .with_seed(7),
+            .with_seed(7)
+            .with_faults(VnextConfig::default().fault_plan()),
     );
     let report = engine.run(|rt| {
         build_harness(rt, &VnextConfig::default());

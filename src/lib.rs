@@ -18,19 +18,24 @@ pub use vnext;
 
 /// Debug-workflow options shared by the case-study examples: every example
 /// accepts `--shrink` (delta-debug a found bug's schedule down to a minimal
-/// replayable counterexample) and `--trace-mode full|ring:N|decisions`
-/// (bound how much of the annotated schedule each execution retains).
+/// replayable counterexample), `--trace-mode full|ring:N|decisions` (bound
+/// how much of the annotated schedule each execution retains) and
+/// `--faults crash=N,restart=N,drop=N,dup=N` (override the scenario's fault
+/// budget for scheduler-controlled fault injection).
 pub mod cli {
     use psharp::engine::BugReport;
     use psharp::prelude::*;
 
-    /// Parsed `--shrink` / `--trace-mode` options.
+    /// Parsed `--shrink` / `--trace-mode` / `--faults` options.
     #[derive(Debug, Clone, Copy, Default)]
     pub struct DebugOptions {
         /// Delta-debug found bugs down to minimal counterexamples.
         pub shrink: bool,
-        /// How much of the annotated schedule each execution retains.
-        pub trace_mode: TraceMode,
+        /// How much of the annotated schedule each execution retains
+        /// (`None` keeps the engine's default/auto selection).
+        pub trace_mode: Option<TraceMode>,
+        /// Fault budget override (`None` keeps the scenario's own budget).
+        pub faults: Option<FaultPlan>,
     }
 
     impl DebugOptions {
@@ -39,8 +44,8 @@ pub mod cli {
         ///
         /// # Panics
         ///
-        /// Panics on a malformed `--trace-mode` value, mirroring the
-        /// fail-fast CLI style of the bench binaries.
+        /// Panics on a malformed `--trace-mode` or `--faults` value,
+        /// mirroring the fail-fast CLI style of the bench binaries.
         pub fn from_args() -> (Self, Vec<String>) {
             let mut options = DebugOptions::default();
             let mut rest = Vec::new();
@@ -50,8 +55,17 @@ pub mod cli {
                     "--shrink" => options.shrink = true,
                     "--trace-mode" => {
                         let name = argv.next().expect("--trace-mode requires a mode");
-                        options.trace_mode = TraceMode::parse(&name)
-                            .unwrap_or_else(|| panic!("unknown trace mode {name:?}"));
+                        options.trace_mode = Some(
+                            TraceMode::parse(&name)
+                                .unwrap_or_else(|| panic!("unknown trace mode {name:?}")),
+                        );
+                    }
+                    "--faults" => {
+                        let spec = argv.next().expect("--faults requires a plan");
+                        options.faults = Some(
+                            FaultPlan::parse(&spec)
+                                .unwrap_or_else(|| panic!("unknown fault plan {spec:?}")),
+                        );
                     }
                     _ => rest.push(arg),
                 }
@@ -61,9 +75,20 @@ pub mod cli {
 
         /// Applies the options to a test configuration.
         pub fn apply(&self, config: TestConfig) -> TestConfig {
+            let mut config = config.with_shrink(self.shrink);
+            if let Some(trace_mode) = self.trace_mode {
+                config = config.with_trace_mode(trace_mode);
+            }
+            if let Some(faults) = self.faults {
+                config = config.with_faults(faults);
+            }
             config
-                .with_shrink(self.shrink)
-                .with_trace_mode(self.trace_mode)
+        }
+
+        /// The fault plan to run a scenario with: the `--faults` override
+        /// when given, the scenario's own `default` otherwise.
+        pub fn faults_or(&self, default: FaultPlan) -> FaultPlan {
+            self.faults.unwrap_or(default)
         }
     }
 

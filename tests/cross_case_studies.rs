@@ -5,12 +5,23 @@
 use psharp::prelude::*;
 
 fn engine(iterations: u64, max_steps: usize, seed: u64, scheduler: SchedulerKind) -> TestEngine {
+    engine_with_faults(iterations, max_steps, seed, scheduler, FaultPlan::none())
+}
+
+fn engine_with_faults(
+    iterations: u64,
+    max_steps: usize,
+    seed: u64,
+    scheduler: SchedulerKind,
+    faults: FaultPlan,
+) -> TestEngine {
     TestEngine::new(
         TestConfig::new()
             .with_iterations(iterations)
             .with_max_steps(max_steps)
             .with_seed(seed)
-            .with_scheduler(scheduler),
+            .with_scheduler(scheduler)
+            .with_faults(faults),
     )
 }
 
@@ -98,9 +109,13 @@ fn vnext_liveness_bug_is_found_by_both_schedulers() {
         SchedulerKind::Random,
         SchedulerKind::Pct { change_points: 2 },
     ] {
-        let report = engine(3_000, 3_000, 2016, scheduler).run(|rt| {
-            vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
-        });
+        // The §3.6 bug is fault-induced: it needs an EN crash, injected by
+        // the core scheduler under the scenario's fault budget.
+        let config = vnext::VnextConfig::with_liveness_bug();
+        let report =
+            engine_with_faults(3_000, 3_000, 2016, scheduler, config.fault_plan()).run(move |rt| {
+                vnext::build_harness(rt, &config);
+            });
         let bug = report
             .bug
             .unwrap_or_else(|| panic!("{scheduler:?} should find the bug"));
@@ -131,8 +146,18 @@ fn chaintable_named_bugs_are_all_findable() {
 
 #[test]
 fn fabric_bugs_are_found() {
-    let report = engine(3_000, 5_000, 2016, SchedulerKind::Random).run(|rt| {
-        fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
+    // The promotion bug is fault-induced: it needs a primary crash, injected
+    // by the core scheduler under the scenario's fault budget.
+    let config = fabric::FabricConfig::with_promotion_bug();
+    let report = engine_with_faults(
+        3_000,
+        5_000,
+        2016,
+        SchedulerKind::Random,
+        config.fault_plan(),
+    )
+    .run(move |rt| {
+        fabric::build_harness(rt, &config);
     });
     assert_eq!(
         report.bug.expect("promotion bug").bug.kind,

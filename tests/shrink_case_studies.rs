@@ -10,6 +10,7 @@ struct Case {
     max_steps: usize,
     iterations: u64,
     seed: u64,
+    faults: FaultPlan,
     build: fn(&mut Runtime),
 }
 
@@ -20,6 +21,7 @@ fn cases() -> Vec<Case> {
             max_steps: 2_000,
             iterations: 3_000,
             seed: 1,
+            faults: FaultPlan::none(),
             build: |rt| {
                 replsim::build_harness(rt, &replsim::ReplConfig::with_duplicate_counting_bug());
             },
@@ -29,6 +31,8 @@ fn cases() -> Vec<Case> {
             max_steps: 3_000,
             iterations: 200,
             seed: 2016,
+            // Fault-induced: the bug needs a scheduler-injected EN crash.
+            faults: vnext::VnextConfig::with_liveness_bug().fault_plan(),
             build: |rt| {
                 vnext::build_harness(rt, &vnext::VnextConfig::with_liveness_bug());
             },
@@ -38,6 +42,7 @@ fn cases() -> Vec<Case> {
             max_steps: 10_000,
             iterations: 500,
             seed: 11,
+            faults: FaultPlan::none(),
             build: |rt| {
                 let (_, config) = chaintable::named_bugs()
                     .into_iter()
@@ -51,6 +56,8 @@ fn cases() -> Vec<Case> {
             max_steps: 5_000,
             iterations: 2_000,
             seed: 2016,
+            // Fault-induced: the bug needs a scheduler-injected primary crash.
+            faults: fabric::FabricConfig::with_promotion_bug().fault_plan(),
             build: |rt| {
                 fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
             },
@@ -64,6 +71,7 @@ fn config_for(case: &Case) -> TestConfig {
         .with_max_steps(case.max_steps)
         .with_seed(case.seed)
         .with_shrink(true)
+        .with_faults(case.faults)
         // Keep the test budget moderate: even a partial pass must strictly
         // reduce these seeded bugs' traces.
         .with_shrink_budget(300)
