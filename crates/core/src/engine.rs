@@ -380,17 +380,19 @@ impl TestConfig {
 
     /// [`TestConfig::run_iteration`] with the seed precomputed by
     /// [`TestConfig::seeds_for_chunk`] (must equal
-    /// `seed_for_iteration(iteration)`) and an optional recycled trace:
-    /// engines thread the previous iteration's trace storage back in through
-    /// `scratch`, so steady-state iterations record into pre-grown buffers
-    /// instead of re-allocating them ([`Runtime::recycle_trace`]).
+    /// `seed_for_iteration(iteration)`) and an optional pooled runtime:
+    /// engines thread the previous iteration's whole `Runtime` back in
+    /// through `pool`, so steady-state iterations [`Runtime::reset`] the
+    /// pooled instance — machines, mailboxes, name table, trace and the
+    /// enabled/fault buffers all keep their grown storage — instead of
+    /// constructing a fresh runtime per execution.
     fn run_iteration_seeded<F>(
         &self,
         iteration: u64,
         seed: u64,
         cancel: Option<CancelToken>,
         setup: &F,
-        scratch: &mut Option<Trace>,
+        pool: &mut Option<Runtime>,
     ) -> IterationOutcome
     where
         F: Fn(&mut Runtime),
@@ -402,10 +404,13 @@ impl TestConfig {
             None => self.scheduler,
         };
         let scheduler = strategy.build(seed, self.max_steps);
-        let mut runtime = Runtime::new(scheduler, self.runtime_config(), seed);
-        if let Some(recycled) = scratch.take() {
-            runtime.recycle_trace(recycled);
-        }
+        let mut runtime = match pool.take() {
+            Some(mut pooled) => {
+                pooled.reset(scheduler, self.runtime_config(), seed);
+                pooled
+            }
+            None => Runtime::new(scheduler, self.runtime_config(), seed),
+        };
         if let Some(token) = cancel {
             runtime.set_cancel_token(token);
         }
@@ -422,10 +427,10 @@ impl TestConfig {
             }
         };
         let steps = runtime.steps() as u64;
-        // Hand the trace storage back for the next iteration. (After a bug
-        // the recorded trace went into the outcome and this is an empty
-        // replacement — recycling it is still correct, just free.)
-        *scratch = Some(runtime.into_trace());
+        // Hand the runtime back for the next iteration. (After a bug the
+        // recorded trace went into the outcome and the runtime carries an
+        // empty replacement — pooling it is still correct, just cheaper.)
+        *pool = Some(runtime);
         IterationOutcome {
             iteration,
             seed,
@@ -653,15 +658,17 @@ impl TestEngine {
         let config = &self.config;
         let mut tally = StrategyTally::new(config);
         let mut total_steps: u64 = 0;
-        // Trace storage recycled from one iteration to the next.
-        let mut scratch: Option<Trace> = None;
+        // The runtime pooled from one iteration to the next
+        // ([`Runtime::reset`]): machines, mailboxes, name table and trace
+        // keep their grown storage across the whole run.
+        let mut pool: Option<Runtime> = None;
         for iteration in 0..config.iterations {
             let outcome = config.run_iteration_seeded(
                 iteration,
                 config.seed_for_iteration(iteration),
                 None,
                 &setup,
-                &mut scratch,
+                &mut pool,
             );
             total_steps += outcome.steps;
             let row = tally.row_mut(outcome.portfolio_entry);
@@ -796,8 +803,14 @@ struct FirstBug {
 /// chunks while plenty of work remains (amortizing the shared-counter
 /// traffic), shrink toward single iterations near the end so the tail
 /// balances across workers instead of sitting in one worker's last chunk.
+///
+/// The divisor keeps ~8 future claims per worker outstanding — with pooled
+/// runtimes a chunk claim costs one atomic RMW plus a batched seed
+/// derivation, so smaller chunks (better tail balance, tighter reaction to a
+/// published bug bound) are cheap — and the cap bounds how much work the
+/// last pre-tail claim can hoard.
 fn chunk_size(remaining: u64, workers: u64) -> u64 {
-    (remaining / (workers * 4)).clamp(1, 64)
+    (remaining / (workers * 8)).clamp(1, 32)
 }
 
 /// Parallel portfolio testing engine with a work-stealing iteration queue.
@@ -811,6 +824,16 @@ fn chunk_size(remaining: u64, workers: u64) -> u64 {
 /// run explores the identical sequence of executions as the serial
 /// [`TestEngine`], and an `N`-worker run explores the identical *set* of
 /// (iteration, seed) pairs, just faster.
+///
+/// Each worker pools one [`Runtime`] across its iterations
+/// ([`Runtime::reset`]) and tallies statistics into worker-local
+/// [`StrategyStats`] rows merged once at the end, so the per-iteration hot
+/// path touches exactly two shared atomics (the work counter, amortized over
+/// a chunk, and the bug bound) and allocates nothing in the steady state.
+/// Because results are worker-count-independent by construction, the engine
+/// also caps the spawned OS threads at the host's available parallelism —
+/// requesting more workers than cores changes nothing about the report and
+/// no longer pays for time-sliced thread churn.
 ///
 /// With [`TestConfig::with_portfolio`] the run additionally mixes scheduling
 /// strategies (portfolio testing): random, PCT with several priority-change
@@ -902,6 +925,17 @@ impl ParallelTestEngine {
         F: Fn(&mut Runtime) + Send + Sync,
     {
         let workers = self.config.workers.max(1);
+        // Results are worker-count-independent by construction, so the
+        // engine is free to run `workers` logical workers on fewer OS
+        // threads: spawning more threads than the host has cores only adds
+        // time-slicing churn (the PR 5 dashboard measured an 8-worker run
+        // *below* serial on a small host for exactly this reason). The
+        // report still says `workers`.
+        let threads = workers.min(
+            std::thread::available_parallelism()
+                .map(|cores| cores.get())
+                .unwrap_or(workers),
+        );
         let start = Instant::now();
         // Work-stealing queue: the next unclaimed iteration index.
         let next = AtomicU64::new(0);
@@ -914,7 +948,7 @@ impl ParallelTestEngine {
         let total = config.iterations;
 
         let tallies: Vec<StrategyTally> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
+            let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let setup = &setup;
                     let next = &next;
@@ -924,9 +958,9 @@ impl ParallelTestEngine {
                         let mut tally = StrategyTally::new(config);
                         // Reused per-chunk seed buffer (batch derivation).
                         let mut seeds: Vec<u64> = Vec::new();
-                        // Trace storage recycled across this worker's
-                        // iterations.
-                        let mut scratch: Option<Trace> = None;
+                        // The runtime pooled across this worker's iterations
+                        // ([`Runtime::reset`]).
+                        let mut pool: Option<Runtime> = None;
                         loop {
                             // Work remains only below the bug bound: once a
                             // bug at iteration `k` is published, iterations
@@ -936,7 +970,7 @@ impl ParallelTestEngine {
                             if claimed >= bound {
                                 break;
                             }
-                            let chunk = chunk_size(bound - claimed, workers as u64);
+                            let chunk = chunk_size(bound - claimed, threads as u64);
                             let chunk_start = next.fetch_add(chunk, Ordering::Relaxed);
                             if chunk_start >= total {
                                 break;
@@ -954,7 +988,7 @@ impl ParallelTestEngine {
                                     seeds[offset],
                                     Some(CancelToken::new(Arc::clone(&bug_bound), iteration)),
                                     setup,
-                                    &mut scratch,
+                                    &mut pool,
                                 );
                                 let row = tally.row_mut(outcome.portfolio_entry);
                                 row.total_steps += outcome.steps;
@@ -969,25 +1003,38 @@ impl ParallelTestEngine {
                                         row.bugs_found += 1;
                                         // Publish the bound first so other
                                         // workers stop wasting steps on
-                                        // higher iterations immediately.
-                                        bug_bound.fetch_min(iteration, Ordering::Relaxed);
-                                        let mut slot =
-                                            first_bug.lock().expect("bug slot lock poisoned");
-                                        let lower = slot
-                                            .as_ref()
-                                            .is_none_or(|f| iteration < f.report.iteration);
-                                        if lower {
-                                            *slot = Some(FirstBug {
-                                                report: BugReport {
-                                                    bug,
-                                                    iteration,
-                                                    ndc,
-                                                    trace: *trace,
-                                                    time_to_bug: start.elapsed(),
-                                                    shrink: None,
-                                                },
-                                                scheduler: outcome.strategy.label(),
-                                            });
+                                        // higher iterations immediately. The
+                                        // previous bound decides whether the
+                                        // mutex is worth touching at all: a
+                                        // bound already at (or below) this
+                                        // iteration means a lower iteration
+                                        // owns — or will own — the slot, so
+                                        // the candidate is dropped without
+                                        // ever taking the lock.
+                                        let previous =
+                                            bug_bound.fetch_min(iteration, Ordering::Relaxed);
+                                        if previous > iteration {
+                                            let mut slot =
+                                                first_bug.lock().expect("bug slot lock poisoned");
+                                            // Re-checked under the lock: two
+                                            // workers can both improve the
+                                            // bound before either installs.
+                                            let lower = slot
+                                                .as_ref()
+                                                .is_none_or(|f| iteration < f.report.iteration);
+                                            if lower {
+                                                *slot = Some(FirstBug {
+                                                    report: BugReport {
+                                                        bug,
+                                                        iteration,
+                                                        ndc,
+                                                        trace: *trace,
+                                                        time_to_bug: start.elapsed(),
+                                                        shrink: None,
+                                                    },
+                                                    scheduler: outcome.strategy.label(),
+                                                });
+                                            }
                                         }
                                     }
                                     IterationStatus::Completed => {

@@ -203,6 +203,19 @@ pub struct Runtime {
     /// Reused across steps so offering fault candidates never allocates in
     /// the steady state.
     fault_buf: Vec<Fault>,
+    /// Indices of machines with any fault marking (crashable / restartable /
+    /// lossy), maintained incrementally by the `mark_*` calls and kept in
+    /// ascending order so candidate offers stay in machine-id order. The
+    /// fault probe iterates this list instead of scanning every slot.
+    fault_targets: Vec<u32>,
+    /// Number of machines marked crashable (restartable implies crashable).
+    marked_crashable: usize,
+    /// Number of machines whose inbound channel is marked lossy.
+    marked_lossy: usize,
+    /// Cleared mailboxes recovered by [`Runtime::reset`]; `create_machine`
+    /// pops from here before allocating, so a pooled runtime re-creates its
+    /// machines without re-growing their queues.
+    mailbox_pool: Vec<Mailbox>,
     cancel: Option<CancelToken>,
 }
 
@@ -223,8 +236,47 @@ impl Runtime {
             enabled_buf: Vec::new(),
             faults_remaining,
             fault_buf: Vec::new(),
+            fault_targets: Vec::new(),
+            marked_crashable: 0,
+            marked_lossy: 0,
+            mailbox_pool: Vec::new(),
             cancel: None,
         }
+    }
+
+    /// Resets the runtime for a fresh execution while keeping every
+    /// allocation it has grown: machine slots are drained with their
+    /// (cleared) mailboxes recycled into a pool, monitors and the interned
+    /// name table are cleared in place, and the trace, enabled-set and
+    /// fault-candidate buffers keep their capacity.
+    ///
+    /// Engines pool one runtime per worker and call this between iterations
+    /// instead of constructing a new [`Runtime`], so the steady-state cost of
+    /// an iteration is the harness's own work, not re-allocating the
+    /// execution's bookkeeping. A reset runtime is indistinguishable from a
+    /// fresh one: the name table restarts empty (machine names re-intern to
+    /// the same [`NameId`]s in creation order) and all fault markings and
+    /// counters are cleared, so pooling never leaks state across iterations.
+    pub fn reset(&mut self, scheduler: Box<dyn Scheduler>, config: RuntimeConfig, seed: u64) {
+        let pool = &mut self.mailbox_pool;
+        for mut slot in self.slots.drain(..) {
+            slot.mailbox.clear();
+            pool.push(slot.mailbox);
+        }
+        self.monitors.clear();
+        self.monitor_index.clear();
+        self.scheduler = scheduler;
+        self.trace.reset(seed, config.trace_mode);
+        self.faults_remaining = config.faults;
+        self.config = config;
+        self.bug = None;
+        self.steps = 0;
+        self.enabled_buf.clear();
+        self.fault_buf.clear();
+        self.fault_targets.clear();
+        self.marked_crashable = 0;
+        self.marked_lossy = 0;
+        self.cancel = None;
     }
 
     /// Replaces the runtime's empty trace with a recycled one, keeping the
@@ -266,7 +318,7 @@ impl Runtime {
         let name = self.trace.intern(machine.name());
         self.slots.push(MachineSlot {
             machine: Some(Box::new(machine)),
-            mailbox: Mailbox::new(),
+            mailbox: self.mailbox_pool.pop().unwrap_or_default(),
             name,
             started: false,
             halted: false,
@@ -287,7 +339,16 @@ impl Runtime {
     ///
     /// Panics if `id` was not created by this runtime.
     pub fn mark_crashable(&mut self, id: MachineId) {
-        self.slot_mut(id).crashable = true;
+        let slot = self.slot_mut(id);
+        let newly_marked = !slot.crashable;
+        let already_target = slot.crashable || slot.lossy;
+        slot.crashable = true;
+        if newly_marked {
+            self.marked_crashable += 1;
+        }
+        if !already_target {
+            self.note_fault_target(id);
+        }
     }
 
     /// Marks a machine as *restartable* (implies crashable): after an
@@ -299,9 +360,8 @@ impl Runtime {
     ///
     /// Panics if `id` was not created by this runtime.
     pub fn mark_restartable(&mut self, id: MachineId) {
-        let slot = self.slot_mut(id);
-        slot.crashable = true;
-        slot.restartable = true;
+        self.mark_crashable(id);
+        self.slot_mut(id).restartable = true;
     }
 
     /// Marks the channel *into* a machine as *lossy*: the scheduler may drop
@@ -313,7 +373,32 @@ impl Runtime {
     ///
     /// Panics if `id` was not created by this runtime.
     pub fn mark_lossy(&mut self, id: MachineId) {
-        self.slot_mut(id).lossy = true;
+        let slot = self.slot_mut(id);
+        let newly_marked = !slot.lossy;
+        let already_target = slot.crashable || slot.lossy;
+        slot.lossy = true;
+        if newly_marked {
+            self.marked_lossy += 1;
+        }
+        if !already_target {
+            self.note_fault_target(id);
+        }
+    }
+
+    /// Adds a machine to the fault-target list, keeping it sorted so the
+    /// candidate offer order stays machine-id order (replay depends on it).
+    /// Machines are usually marked right after creation, in id order, so the
+    /// common case is an O(1) push at the end.
+    fn note_fault_target(&mut self, id: MachineId) {
+        let index = id.raw() as u32;
+        match self.fault_targets.last() {
+            Some(&last) if last >= index => {
+                if let Err(position) = self.fault_targets.binary_search(&index) {
+                    self.fault_targets.insert(position, index);
+                }
+            }
+            _ => self.fault_targets.push(index),
+        }
     }
 
     /// Returns `true` when the given machine is currently down due to an
@@ -460,8 +545,11 @@ impl Runtime {
             // offer the applicable faults to the scheduler. An injected fault
             // is recorded as a decision and does not consume a machine step;
             // the loop re-evaluates so the schedule sees the post-fault
-            // enabled set.
-            if grace.is_none() && self.faults_remaining.total() > 0 {
+            // enabled set. `fault_probe_applicable` is the fast path: runs
+            // with no remaining budget — or a budget no marked machine can
+            // absorb (e.g. a crash budget with nothing marked crashable) —
+            // skip the candidate collection and scheduler probe entirely.
+            if grace.is_none() && self.fault_probe_applicable() {
                 self.collect_fault_candidates();
                 if !self.fault_buf.is_empty() {
                     let picked = self.scheduler.next_fault(&self.fault_buf, self.steps);
@@ -576,15 +664,30 @@ impl Runtime {
         }
     }
 
+    /// Whether the per-step fault probe can possibly produce a candidate:
+    /// some category of the remaining budget must have at least one machine
+    /// marked to absorb it. O(1) — the counters are maintained by the
+    /// `mark_*` calls — so fault-free runs (and runs whose budget targets
+    /// nothing) pay nothing per step.
+    #[inline]
+    fn fault_probe_applicable(&self) -> bool {
+        let budget = &self.faults_remaining;
+        ((budget.crashes > 0 || budget.restarts > 0) && self.marked_crashable > 0)
+            || ((budget.drops > 0 || budget.duplicates > 0) && self.marked_lossy > 0)
+    }
+
     /// Rebuilds the reusable fault-candidate buffer: every fault the
     /// remaining budget and the machines' markings currently allow, in
     /// machine-id order (crash, restart, drop, duplicate per machine), so
-    /// the offer order — and therefore replay — is deterministic.
+    /// the offer order — and therefore replay — is deterministic. Only the
+    /// incrementally maintained `fault_targets` list is visited — O(marked
+    /// machines) per probe, not O(all machines).
     fn collect_fault_candidates(&mut self) {
         let mut buf = std::mem::take(&mut self.fault_buf);
         buf.clear();
         let budget = self.faults_remaining;
-        for (index, slot) in self.slots.iter().enumerate() {
+        for &index in &self.fault_targets {
+            let slot = &self.slots[index as usize];
             if slot.halted {
                 continue;
             }

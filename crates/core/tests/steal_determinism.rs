@@ -124,6 +124,55 @@ fn portfolio_run_reports_the_serial_result_at_any_worker_count() {
 }
 
 #[test]
+fn pooled_runtime_reports_are_identical_at_1_2_4_8_workers() {
+    // Per-worker runtime pooling (`Runtime::reset` between iterations) must
+    // not leak any state — machines, mailbox contents, fault markings, name
+    // table — from one iteration into the next: the full report, including
+    // the shrink pass over the winner, is the serial one at every worker
+    // count, and the minimized counterexample is byte-identical.
+    let config = || portfolio_config().with_shrink(true);
+    let serial = TestEngine::new(config()).run(occasionally_buggy);
+    let expected = serial.bug.as_ref().expect("serial run finds a bug");
+    let expected_min = expected.minimized().expect("shrink pass ran");
+
+    for workers in [1usize, 2, 4, 8] {
+        let parallel =
+            ParallelTestEngine::new(config().with_workers(workers)).run(occasionally_buggy);
+        let found = parallel
+            .bug
+            .as_ref()
+            .unwrap_or_else(|| panic!("{workers}-worker run must find the bug"));
+        assert_eq!(
+            found.iteration, expected.iteration,
+            "{workers} workers: same winning iteration"
+        );
+        assert_eq!(
+            found.trace.seed, expected.trace.seed,
+            "{workers} workers: same seed"
+        );
+        assert_eq!(found.trace, expected.trace, "{workers} workers: same trace");
+        assert_eq!(
+            parallel.scheduler, serial.scheduler,
+            "{workers} workers: same winning strategy"
+        );
+        assert_eq!(
+            found.bug.message, expected.bug.message,
+            "{workers} workers: same bug"
+        );
+        let minimized = found.minimized().expect("shrink pass ran");
+        assert_eq!(
+            minimized, expected_min,
+            "{workers} workers: same minimized counterexample"
+        );
+        assert_eq!(
+            minimized.to_json().expect("serializable"),
+            expected_min.to_json().expect("serializable"),
+            "{workers} workers: byte-identical minimized trace"
+        );
+    }
+}
+
+#[test]
 fn bug_free_portfolio_reports_are_identical_at_any_worker_count() {
     // Without a bug to race for, the whole TestReport — winning label,
     // counters and the per-strategy attribution rows — must be identical for
