@@ -9,10 +9,11 @@
 //! prints the median wall-clock time plus executions/second.
 //!
 //! Besides the human-readable table the bench writes a machine-readable
-//! `BENCH_pr6.json` (override with `--json PATH`; schema-compatible with
+//! `BENCH_pr7.json` (override with `--json PATH`; schema-compatible with
 //! `BENCH_pr2.json`, plus per-strategy portfolio rows, the
 //! schedule-shrinking row added in PR 4, the fault-injection overhead rows
-//! added in PR 5 and the worker-count scaling rows added in PR 6) so the
+//! added in PR 5, the worker-count scaling rows added in PR 6, and the
+//! calibration probe plus schedule-reduction rows added in PR 7) so the
 //! perf trajectory of the engine is tracked from PR 2 on — `dashboard`
 //! renders the whole `BENCH_*.json` series as a trend table. `--quick`
 //! shrinks every budget for CI smoke runs.
@@ -73,7 +74,7 @@ fn parse_settings() -> Settings {
     let mut settings = Settings {
         reps: 5,
         scale: 1,
-        json: "BENCH_pr6.json".to_string(),
+        json: "BENCH_pr7.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -96,6 +97,9 @@ fn parse_settings() -> Settings {
 struct Bench {
     settings: Settings,
     results: Vec<BenchResult>,
+    /// Redundancy ratio measured by the `schedule_reduction` group:
+    /// `(explored steps + pruned schedule-equivalents) / explored steps`.
+    reduction_ratio: Option<f64>,
 }
 
 impl Bench {
@@ -202,6 +206,130 @@ mod hotpath {
 
 const HOTPATH_ITERATIONS: u64 = 200;
 const HOTPATH_MAX_STEPS: usize = 2_000;
+
+/// A clonable, all-local workload: three sinks consume pre-queued events with
+/// no sends of their own, so every step is independent of every other
+/// machine's — the reference case for sleep-set partial-order reduction, and
+/// (being snapshotable) for prefix-sharing forks.
+mod reduction {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    pub struct Job;
+
+    #[derive(Clone)]
+    pub struct LocalSink;
+    impl Machine for LocalSink {
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    pub const SINKS: usize = 3;
+    pub const EVENTS_PER_SINK: usize = 600;
+    pub const MAX_STEPS: usize = SINKS * EVENTS_PER_SINK + 8;
+
+    pub fn setup(rt: &mut Runtime) {
+        for _ in 0..SINKS {
+            let sink = rt.create_machine(LocalSink);
+            for _ in 0..EVENTS_PER_SINK {
+                rt.send(sink, Event::replicable(Job));
+            }
+        }
+    }
+}
+
+/// Fixed-work calibration probe: a deterministic workload whose size never
+/// scales with `--quick`, so every `BENCH_*.json` carries a comparable
+/// container-speed figure. The dashboard divides each report's headline
+/// numbers by this row to render container-normalized trends (the PR 6 run
+/// measured ~2x slower inside the CI container than the PR 2 reference; the
+/// raw trend table could not tell that apart from a real regression).
+const CALIBRATION_ITERATIONS: u64 = 50;
+
+fn calibration(b: &mut Bench) {
+    let group = "calibration";
+    b.bench(
+        group,
+        "fixed_roundrobin_hotpath",
+        CALIBRATION_ITERATIONS,
+        || {
+            run_iterations(
+                CALIBRATION_ITERATIONS,
+                HOTPATH_MAX_STEPS,
+                SchedulerKind::RoundRobin,
+                hotpath::setup,
+            )
+        },
+    );
+}
+
+/// Schedule-space reduction (PR 7): sleep-set POR and prefix-sharing
+/// snapshot forks on the all-local reference workload.
+///
+/// * `random_baseline` vs `sleep_set`: same execution budget; the sleep-set
+///   rows additionally record how many provably-equivalent schedules the
+///   strategy *pruned* instead of exploring. The redundancy ratio
+///   `(steps + pruned) / steps` scales raw exec/s into effective
+///   schedule-equivalents/s.
+/// * `straight_line` vs `prefix_shared`: the identical run with and without
+///   prefix sharing; shared runs execute setup once and fork every later
+///   iteration from the post-setup snapshot.
+fn schedule_reduction(b: &mut Bench) {
+    let group = "schedule_reduction";
+    let iterations = b.budget(HOTPATH_ITERATIONS);
+    let base = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(reduction::MAX_STEPS)
+        .with_seed(42);
+    b.bench(group, "random_baseline", iterations, || {
+        TestEngine::new(base.clone().with_scheduler(SchedulerKind::Random))
+            .run(reduction::setup)
+            .total_steps
+    });
+    let mut pruned = 0u64;
+    let mut steps = 0u64;
+    let sleep_config = base.clone().with_scheduler(SchedulerKind::SleepSet);
+    b.bench(group, "sleep_set", iterations, || {
+        let report = TestEngine::new(sleep_config.clone()).run(reduction::setup);
+        pruned = report.per_strategy.iter().map(|r| r.pruned_schedules).sum();
+        steps = report.total_steps;
+        steps
+    });
+    let ratio = (steps + pruned) as f64 / steps.max(1) as f64;
+    b.reduction_ratio = Some(ratio);
+    println!(
+        "    sleep-set pruned {pruned} schedule-equivalents over {steps} steps \
+         (redundancy ratio {ratio:.2}x)"
+    );
+    // Prefix sharing on a real harness: the chaintable build replays every
+    // table insert (plus spec-model seeding) each iteration, while shared
+    // runs pay it once and fork every later iteration from the post-setup
+    // snapshot. A setup-heavy configuration (many pre-loaded rows, short
+    // run) isolates exactly the work the snapshot amortizes.
+    let chain = |rt: &mut Runtime| {
+        let config = chaintable::ChainConfig {
+            initial_rows: 512,
+            key_space: 64,
+            ops_per_service: 2,
+            ..chaintable::ChainConfig::fixed()
+        };
+        chaintable::build_harness(rt, &config);
+    };
+    let chain_base = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(150)
+        .with_seed(42);
+    b.bench(group, "straight_line", iterations, || {
+        TestEngine::new(chain_base.clone()).run(chain).total_steps
+    });
+    b.bench(group, "prefix_shared", iterations, || {
+        TestEngine::new(chain_base.clone().with_prefix_sharing(true))
+            .run(chain)
+            .total_steps
+    });
+}
 
 /// Raw step-loop throughput: the serial random-scheduler figure here is the
 /// number tracked across PRs (`serial_random_execs_per_sec` in the JSON).
@@ -588,8 +716,38 @@ fn write_report(b: &Bench) {
         .and_then(|value| value.as_f64().ok())
         .unwrap_or(0.0);
 
+    // Schedule-reduction summary (PR 7): effective schedule-equivalents/s is
+    // the sleep-set strategy's raw exec/s scaled by its redundancy ratio —
+    // every pruned equivalent is a schedule the budget did not have to spend.
+    let reduction_ratio = b.reduction_ratio.unwrap_or(1.0);
+    let random_baseline = b
+        .execs_per_sec("schedule_reduction", "random_baseline")
+        .unwrap_or(0.0);
+    let sleep_set = b
+        .execs_per_sec("schedule_reduction", "sleep_set")
+        .unwrap_or(0.0);
+    let effective_equivalents = sleep_set * reduction_ratio;
+    let straight_line = b
+        .execs_per_sec("schedule_reduction", "straight_line")
+        .unwrap_or(0.0);
+    let prefix_shared = b
+        .execs_per_sec("schedule_reduction", "prefix_shared")
+        .unwrap_or(0.0);
+    let prefix_speedup = prefix_shared / straight_line.max(1e-9);
+    let effective_speedup = effective_equivalents / random_baseline.max(1e-9);
+    if reduction_ratio < 1.5 {
+        eprintln!(
+            "warning: sleep-set redundancy ratio {reduction_ratio:.2}x is below the 1.5x \
+             reference (the all-local workload should prune ~2 equivalents per step)"
+        );
+    }
+
+    let calibration = b
+        .execs_per_sec("calibration", "fixed_roundrobin_hotpath")
+        .unwrap_or(0.0);
+
     let json = Json::object([
-        ("pr", Json::UInt(6)),
+        ("pr", Json::UInt(7)),
         (
             "bench",
             Json::Str("crates/bench/benches/schedulers.rs".to_string()),
@@ -629,6 +787,29 @@ fn write_report(b: &Bench) {
             "fault_probe_overhead_percent",
             Json::Float(probe_overhead_percent),
         ),
+        ("calibration_execs_per_sec", Json::Float(calibration)),
+        (
+            "schedule_reduction",
+            Json::object([
+                ("redundancy_ratio", Json::Float(reduction_ratio)),
+                (
+                    "random_baseline_execs_per_sec",
+                    Json::Float(random_baseline),
+                ),
+                ("sleep_set_execs_per_sec", Json::Float(sleep_set)),
+                (
+                    "effective_schedule_equivalents_per_sec",
+                    Json::Float(effective_equivalents),
+                ),
+                (
+                    "effective_speedup_vs_random",
+                    Json::Float(effective_speedup),
+                ),
+                ("straight_line_execs_per_sec", Json::Float(straight_line)),
+                ("prefix_shared_execs_per_sec", Json::Float(prefix_shared)),
+                ("prefix_sharing_speedup", Json::Float(prefix_speedup)),
+            ]),
+        ),
         (
             "scaling",
             Json::object([
@@ -660,6 +841,13 @@ fn write_report(b: &Bench) {
         "8-worker per-core efficiency: {efficiency_8:.2}x on {cores} core(s) \
          (serial portfolio {serial_portfolio:.0} exec/s)"
     );
+    println!(
+        "schedule reduction: {reduction_ratio:.2}x redundancy ratio, \
+         {effective_equivalents:.0} effective schedule-equivalents/s \
+         ({effective_speedup:.2}x the random baseline); \
+         prefix sharing {prefix_speedup:.2}x vs straight-line"
+    );
+    println!("calibration probe: {calibration:.0} exec/s (fixed round-robin hotpath)");
     println!("machine-readable report written to {}", b.settings.json);
 }
 
@@ -667,8 +855,11 @@ fn main() {
     let mut b = Bench {
         settings: parse_settings(),
         results: Vec::new(),
+        reduction_ratio: None,
     };
+    calibration(&mut b);
     step_loop_hotpath(&mut b);
+    schedule_reduction(&mut b);
     harness_throughput(&mut b);
     scheduler_ablation(&mut b);
     pct_budget_ablation(&mut b);

@@ -3,12 +3,17 @@
 //! 100,000 executions" check after the fixes were applied (§3.6).
 //!
 //! Usage: `fixed_check [--iterations N] [--workers W|max]
-//! [--scheduler random|pct|delay|prob|round-robin] [--portfolio]
-//! [--trace-mode full|ring:N|decisions]
+//! [--scheduler random|pct|delay|prob|round-robin|sleep-set] [--portfolio]
+//! [--prefix-share] [--trace-mode full|ring:N|decisions]
 //! [--faults default|crash=N,restart=N,drop=N,dup=N]` (defaults: 2,000
 //! executions, 1 worker, random scheduling, full traces, no faults).
 //! `--portfolio` verifies under the full default strategy portfolio instead
-//! of a single scheduler; `--trace-mode ring:N` bounds per-execution trace
+//! of a single scheduler; `--scheduler sleep-set` (alias `por`) verifies
+//! with the sleep-set partial-order-reduction scheduler, covering more
+//! distinct behaviors per execution budget; `--prefix-share` forks each
+//! iteration from a post-setup snapshot of the harness instead of
+//! rebuilding it (identical results, cheaper iterations); `--trace-mode
+//! ring:N` bounds per-execution trace
 //! memory on long verification runs; `--faults` additionally injects
 //! environment faults — `--faults default` uses each harness's designed
 //! fault budget (crashes for vNext/Fabric, message loss for replsim,
@@ -41,6 +46,7 @@ fn main() {
     let mut workers: usize = 1;
     let mut scheduler = SchedulerKind::Random;
     let mut portfolio = false;
+    let mut prefix_share = false;
     let mut trace_mode: Option<TraceMode> = None;
     let mut fault_mode = FaultMode::None;
     let mut argv = std::env::args().skip(1);
@@ -76,6 +82,7 @@ fn main() {
                     parse_scheduler(&name).unwrap_or_else(|| panic!("unknown scheduler {name:?}"));
             }
             "--portfolio" => portfolio = true,
+            "--prefix-share" => prefix_share = true,
             "--workers" => {
                 workers = match argv.next().as_deref() {
                     Some("max") => std::thread::available_parallelism()
@@ -150,6 +157,7 @@ fn main() {
             .with_seed(99)
             .with_scheduler(scheduler)
             .with_workers(workers)
+            .with_prefix_sharing(prefix_share)
             .with_faults(match fault_mode {
                 FaultMode::None => FaultPlan::none(),
                 FaultMode::PerHarness => harness_faults,

@@ -7,8 +7,8 @@
 //!
 //! ```text
 //! table2 [--iterations N] [--seed S]
-//!        [--scheduler random|pct|delay|prob|round-robin|both|all]
-//!        [--json PATH] [--workers W] [--portfolio]
+//!        [--scheduler random|pct|delay|prob|round-robin|sleep-set|both|all]
+//!        [--json PATH] [--workers W] [--portfolio] [--prefix-share]
 //!        [--shrink] [--trace-mode full|ring:N|decisions]
 //!        [--faults crash=N,restart=N,drop=N,dup=N]
 //! ```
@@ -28,7 +28,14 @@
 //!
 //! `--scheduler both` runs the paper's random + PCT pair (the default);
 //! `--scheduler all` adds the delay-bounding, probabilistic-random and
-//! round-robin ablations as extra rows per bug.
+//! round-robin ablations as extra rows per bug. `--scheduler sleep-set`
+//! (alias `por`) hunts with the sleep-set partial-order-reduction scheduler,
+//! which skips interleavings equivalent to ones already explored.
+//!
+//! `--prefix-share` makes every run fork its iterations from a post-setup
+//! snapshot of the harness instead of rebuilding it, when the harness
+//! supports state cloning (all four case studies do); results are identical,
+//! iterations are cheaper.
 //!
 //! `--portfolio` replaces the per-scheduler columns with one run per bug
 //! that mixes the full default scheduler portfolio (random, PCT with
@@ -56,6 +63,7 @@ struct Args {
     json: Option<String>,
     workers: usize,
     portfolio: bool,
+    prefix_share: bool,
     shrink: bool,
     trace_mode: Option<TraceMode>,
     faults: Option<FaultPlan>,
@@ -72,6 +80,7 @@ fn parse_args() -> Args {
         json: None,
         workers: 1,
         portfolio: false,
+        prefix_share: false,
         shrink: false,
         trace_mode: None,
         faults: None,
@@ -116,6 +125,7 @@ fn parse_args() -> Args {
                 );
             }
             "--portfolio" => args.portfolio = true,
+            "--prefix-share" => args.prefix_share = true,
             "--shrink" => args.shrink = true,
             "--trace-mode" => {
                 let name = argv.next().expect("--trace-mode requires a mode");
@@ -154,7 +164,8 @@ fn main() {
         .with_iterations(args.iterations)
         .with_seed(args.seed)
         .with_workers(args.workers)
-        .with_shrink(args.shrink);
+        .with_shrink(args.shrink)
+        .with_prefix_sharing(args.prefix_share);
     if let Some(trace_mode) = args.trace_mode {
         base_config = base_config.with_trace_mode(trace_mode);
     }

@@ -309,8 +309,8 @@ pub fn hunt_portfolio(case: &BugCase, iterations: u64, seed: u64, workers: usize
 
 /// Parses a scheduler name from the CLI (`table2 --scheduler`, `fixed_check
 /// --scheduler`) into a [`SchedulerKind`]: `random`, `pct`, `delay`, `prob`
-/// (aliases `delay-bounding`, `prob-random`) or `round-robin`, each with its
-/// default parameterization.
+/// (aliases `delay-bounding`, `prob-random`), `round-robin` or `sleep-set`
+/// (alias `por`), each with its default parameterization.
 pub fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
     match name {
         "random" => Some(SchedulerKind::Random),
@@ -320,6 +320,7 @@ pub fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
             Some(SchedulerKind::ProbabilisticRandom { switch_percent: 10 })
         }
         "round-robin" => Some(SchedulerKind::RoundRobin),
+        "sleep-set" | "por" => Some(SchedulerKind::SleepSet),
         _ => None,
     }
 }
@@ -478,6 +479,8 @@ mod tests {
             parse_scheduler("round-robin"),
             Some(SchedulerKind::RoundRobin)
         );
+        assert_eq!(parse_scheduler("sleep-set"), Some(SchedulerKind::SleepSet));
+        assert_eq!(parse_scheduler("por"), Some(SchedulerKind::SleepSet));
         assert_eq!(parse_scheduler("nope"), None);
     }
 

@@ -161,6 +161,7 @@ pub struct NotifyQueryResult {
 
 /// Owns the backend tables (and the migration phase) and serializes every
 /// backend operation, mirroring the paper's Tables machine.
+#[derive(Clone)]
 pub struct TablesMachine {
     store: MigratingStore,
 }
@@ -257,6 +258,10 @@ impl Machine for TablesMachine {
     fn name(&self) -> &str {
         "TablesMachine"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -266,7 +271,7 @@ impl Machine for TablesMachine {
 /// Safety monitor comparing the system against the reference model (§4 of the
 /// paper: "issued the same operations … to a reference table … and compared
 /// the output").
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct SpecMonitor {
     model: SpecModel,
     open_queries: BTreeMap<QueryId, VersionSnapshot>,
@@ -327,6 +332,10 @@ impl Monitor for SpecMonitor {
     fn name(&self) -> &str {
         "SpecMonitor"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +343,7 @@ impl Monitor for SpecMonitor {
 // ---------------------------------------------------------------------------
 
 /// One in-flight logical operation of a service.
+#[derive(Clone)]
 enum OpState {
     Idle,
     AwaitingWrite,
@@ -356,6 +366,7 @@ enum OpState {
     StreamRecheckNew(StreamState, Option<StoredRow>),
 }
 
+#[derive(Clone)]
 struct StreamState {
     filter: Filter,
     fetch_filter: Filter,
@@ -368,6 +379,7 @@ struct StreamState {
 /// A modeled application process: issues a P#-controlled random sequence of
 /// logical operations through the migration protocol and reports results to
 /// the [`SpecMonitor`].
+#[derive(Clone)]
 pub struct ServiceMachine {
     tables: MachineId,
     bugs: ChainBugs,
@@ -745,6 +757,10 @@ impl Machine for ServiceMachine {
     fn name(&self) -> &str {
         "ServiceMachine"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -770,6 +786,7 @@ enum MigrationStep {
 /// idempotent (phase announcements repeat, copies are insert-if-absent) — so
 /// migration completes correctly after any crash. The seeded
 /// `restart_skips_in_flight_step` defect recovers optimistically instead.
+#[derive(Clone)]
 pub struct MigratorMachine {
     tables: MachineId,
     bugs: ChainBugs,
@@ -935,5 +952,9 @@ impl Machine for MigratorMachine {
 
     fn name(&self) -> &str {
         "MigratorMachine"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }

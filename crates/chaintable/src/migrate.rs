@@ -172,7 +172,7 @@ pub fn tombstone_row(key: &str) -> Row {
 /// performed by the clients through the per-backend query primitives so that
 /// the systematic scheduler can interleave other work between the backend
 /// reads of one logical query.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MigratingStore {
     /// The old backend table.
     pub old: InMemoryTable,

@@ -31,8 +31,10 @@ use std::time::{Duration, Instant};
 
 use crate::error::Bug;
 use crate::fault::FaultPlan;
+use crate::machine::MachineId;
 use crate::rng::{mix64, GOLDEN_GAMMA};
-use crate::runtime::{CancelToken, ExecutionOutcome, Runtime, RuntimeConfig};
+use crate::runtime::{CancelToken, ExecutionOutcome, Runtime, RuntimeConfig, RuntimeSnapshot};
+use crate::scheduler::StepFootprint;
 use crate::scheduler::{ReplayScheduler, SchedulerKind};
 use crate::shrink::{same_bug, shrink_trace, ShrinkConfig, ShrinkReport};
 use crate::stats::StrategyStats;
@@ -94,6 +96,15 @@ pub struct TestConfig {
     /// inject into machines the harness marked crashable / restartable /
     /// lossy. See [`crate::fault`].
     pub faults: FaultPlan,
+    /// Whether engines share the post-setup state across iterations via
+    /// [`Runtime::snapshot`]: the harness's `setup` closure runs once per
+    /// worker, each subsequent iteration forks from the captured snapshot
+    /// instead of re-running setup. Requires every machine and monitor the
+    /// setup creates to implement `clone_state` (and any event it enqueues
+    /// to be [`Event::replicable`](crate::event::Event::replicable));
+    /// otherwise the engine silently falls back to straight-line execution.
+    /// Results are identical either way, at any worker count.
+    pub prefix_sharing: bool,
 }
 
 impl Default for TestConfig {
@@ -112,6 +123,7 @@ impl Default for TestConfig {
             shrink: false,
             shrink_budget: 2_000,
             faults: FaultPlan::none(),
+            prefix_sharing: false,
         }
     }
 }
@@ -194,6 +206,14 @@ impl TestConfig {
     /// its minimum fault set.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables (or disables) prefix sharing ([`TestConfig::prefix_sharing`]):
+    /// the harness setup executes once per worker and every subsequent
+    /// iteration forks from a snapshot of the post-setup state.
+    pub fn with_prefix_sharing(mut self, prefix_sharing: bool) -> Self {
+        self.prefix_sharing = prefix_sharing;
         self
     }
 
@@ -374,25 +394,35 @@ impl TestConfig {
             self.seed_for_iteration(iteration),
             cancel,
             setup,
-            &mut None,
+            &mut IterationPool::new(),
         )
     }
 
     /// [`TestConfig::run_iteration`] with the seed precomputed by
     /// [`TestConfig::seeds_for_chunk`] (must equal
-    /// `seed_for_iteration(iteration)`) and an optional pooled runtime:
-    /// engines thread the previous iteration's whole `Runtime` back in
-    /// through `pool`, so steady-state iterations [`Runtime::reset`] the
-    /// pooled instance — machines, mailboxes, name table, trace and the
-    /// enabled/fault buffers all keep their grown storage — instead of
-    /// constructing a fresh runtime per execution.
+    /// `seed_for_iteration(iteration)`) and a worker-local
+    /// [`IterationPool`]: engines thread the previous iteration's whole
+    /// `Runtime` back in through the pool, so steady-state iterations
+    /// [`Runtime::reset`] the pooled instance — machines, mailboxes, name
+    /// table, trace and the enabled/fault buffers all keep their grown
+    /// storage — instead of constructing a fresh runtime per execution.
+    ///
+    /// Under [`TestConfig::prefix_sharing`] the pool additionally caches a
+    /// snapshot of the post-setup state: the first iteration runs `setup`
+    /// and captures it, every later iteration [`Runtime::restore_from`]s the
+    /// snapshot (then installs its own scheduler and seed) instead of
+    /// re-running setup. Restoring a depth-0 snapshot is observationally
+    /// identical to `reset` + `setup` — setup is deterministic and takes no
+    /// scheduler decisions — so results stay byte-identical, at any worker
+    /// count. When the harness state is not snapshotable the pool remembers
+    /// the failure and every iteration takes the straight-line path.
     fn run_iteration_seeded<F>(
         &self,
         iteration: u64,
         seed: u64,
         cancel: Option<CancelToken>,
         setup: &F,
-        pool: &mut Option<Runtime>,
+        pool: &mut IterationPool,
     ) -> IterationOutcome
     where
         F: Fn(&mut Runtime),
@@ -404,17 +434,32 @@ impl TestConfig {
             None => self.scheduler,
         };
         let scheduler = strategy.build(seed, self.max_steps);
-        let mut runtime = match pool.take() {
-            Some(mut pooled) => {
-                pooled.reset(scheduler, self.runtime_config(), seed);
-                pooled
+        let share = self.prefix_sharing && !pool.snapshot_failed;
+        let (mut runtime, needs_setup) = match (share, &pool.snapshot, pool.runtime.take()) {
+            (true, Some(snapshot), Some(mut pooled)) => {
+                pooled.restore_from(snapshot);
+                pooled.set_scheduler(scheduler);
+                pooled.reseed(seed);
+                (pooled, false)
             }
-            None => Runtime::new(scheduler, self.runtime_config(), seed),
+            (_, _, Some(mut pooled)) => {
+                pooled.reset(scheduler, self.runtime_config(), seed);
+                (pooled, true)
+            }
+            (_, _, None) => (Runtime::new(scheduler, self.runtime_config(), seed), true),
         };
         if let Some(token) = cancel {
             runtime.set_cancel_token(token);
         }
-        setup(&mut runtime);
+        if needs_setup {
+            setup(&mut runtime);
+            if share {
+                match runtime.snapshot() {
+                    Some(snapshot) => pool.snapshot = Some(snapshot),
+                    None => pool.snapshot_failed = true,
+                }
+            }
+        }
         let status = match runtime.run() {
             ExecutionOutcome::BugFound(bug) => IterationStatus::BugFound {
                 bug,
@@ -427,17 +472,40 @@ impl TestConfig {
             }
         };
         let steps = runtime.steps() as u64;
+        let pruned = runtime.pruned_equivalents();
         // Hand the runtime back for the next iteration. (After a bug the
         // recorded trace went into the outcome and the runtime carries an
         // empty replacement — pooling it is still correct, just cheaper.)
-        *pool = Some(runtime);
+        pool.runtime = Some(runtime);
         IterationOutcome {
             iteration,
             seed,
             strategy,
             portfolio_entry,
             steps,
+            pruned,
             status,
+        }
+    }
+}
+
+/// Worker-local execution state threaded through consecutive iterations:
+/// the pooled [`Runtime`] ([`Runtime::reset`] keeps its grown storage) and,
+/// under [`TestConfig::prefix_sharing`], the cached post-setup
+/// [`RuntimeSnapshot`] iterations fork from (or the memo that snapshotting
+/// failed, so the fallback is decided once, not per iteration).
+struct IterationPool {
+    runtime: Option<Runtime>,
+    snapshot: Option<RuntimeSnapshot>,
+    snapshot_failed: bool,
+}
+
+impl IterationPool {
+    fn new() -> Self {
+        IterationPool {
+            runtime: None,
+            snapshot: None,
+            snapshot_failed: false,
         }
     }
 }
@@ -482,6 +550,10 @@ pub struct IterationOutcome {
     pub portfolio_entry: Option<usize>,
     /// Machine steps the execution performed (partial for cancelled ones).
     pub steps: u64,
+    /// Schedule-equivalents the iteration's scheduler pruned
+    /// ([`Scheduler::pruned_equivalents`](crate::scheduler::Scheduler::pruned_equivalents));
+    /// zero for non-reducing strategies.
+    pub pruned: u64,
     /// How the execution ended.
     pub status: IterationStatus,
 }
@@ -658,10 +730,11 @@ impl TestEngine {
         let config = &self.config;
         let mut tally = StrategyTally::new(config);
         let mut total_steps: u64 = 0;
-        // The runtime pooled from one iteration to the next
-        // ([`Runtime::reset`]): machines, mailboxes, name table and trace
-        // keep their grown storage across the whole run.
-        let mut pool: Option<Runtime> = None;
+        // The runtime (and, under prefix sharing, the post-setup snapshot)
+        // pooled from one iteration to the next ([`Runtime::reset`] /
+        // [`Runtime::restore_from`]): machines, mailboxes, name table and
+        // trace keep their grown storage across the whole run.
+        let mut pool = IterationPool::new();
         for iteration in 0..config.iterations {
             let outcome = config.run_iteration_seeded(
                 iteration,
@@ -673,6 +746,7 @@ impl TestEngine {
             total_steps += outcome.steps;
             let row = tally.row_mut(outcome.portfolio_entry);
             row.total_steps += outcome.steps;
+            row.pruned_schedules += outcome.pruned;
             row.iterations_run += 1;
             if let IterationStatus::BugFound { bug, ndc, trace } = outcome.status {
                 row.bugs_found += 1;
@@ -958,9 +1032,9 @@ impl ParallelTestEngine {
                         let mut tally = StrategyTally::new(config);
                         // Reused per-chunk seed buffer (batch derivation).
                         let mut seeds: Vec<u64> = Vec::new();
-                        // The runtime pooled across this worker's iterations
-                        // ([`Runtime::reset`]).
-                        let mut pool: Option<Runtime> = None;
+                        // The runtime (and post-setup snapshot, under prefix
+                        // sharing) pooled across this worker's iterations.
+                        let mut pool = IterationPool::new();
                         loop {
                             // Work remains only below the bug bound: once a
                             // bug at iteration `k` is published, iterations
@@ -992,6 +1066,7 @@ impl ParallelTestEngine {
                                 );
                                 let row = tally.row_mut(outcome.portfolio_entry);
                                 row.total_steps += outcome.steps;
+                                row.pruned_schedules += outcome.pruned;
                                 match outcome.status {
                                     IterationStatus::Cancelled => {
                                         // Keep the partial work in the step
@@ -1081,6 +1156,225 @@ impl ParallelTestEngine {
             scheduler,
             workers,
             per_strategy: merged.rows,
+        }
+    }
+}
+
+/// One node awaiting expansion in the [`PrefixForkEngine`]'s prefix tree:
+/// the snapshot at the node, the sleep set inherited on the path to it
+/// (machines whose next step is already covered by an equivalent sibling
+/// ordering, each with the footprint observed when it executed), and the
+/// remaining expansion depth.
+struct PrefixNode {
+    snapshot: RuntimeSnapshot,
+    sleep: Vec<(MachineId, StepFootprint)>,
+    depth: usize,
+}
+
+/// Serial engine that organizes the iteration space as a **bounded-depth
+/// prefix tree** over snapshots, instead of running every execution from
+/// scratch.
+///
+/// The harness `setup` executes once; the resulting state is snapshotted as
+/// the tree's root. The engine then expands the tree `depth` levels deep:
+/// each branch of a node executes one step of one enabled machine (a forced,
+/// recorded schedule decision) and snapshots the result. Sibling branches
+/// are pruned with **sleep sets**: once the branch stepping machine `a` has
+/// been expanded, a sibling branch stepping `b` whose step is
+/// [independent](StepFootprint::independent) of `a`'s keeps `a` in its
+/// child's sleep set — the ordering `b·a` reaches a state equivalent to the
+/// already-explored `a·b`, so the `a` branch under `b` is skipped and
+/// counted in [`StrategyStats::pruned_schedules`]. The configured
+/// iterations are then distributed round-robin over the leaves; each
+/// iteration restores its leaf's snapshot, installs its own scheduler and
+/// seed ([`TestConfig::strategy_for_iteration`] /
+/// [`TestConfig::seed_for_iteration`]) and runs only the suffix.
+///
+/// Every recorded trace contains the forced prefix decisions, so bug traces
+/// replay (and shrink) from scratch exactly like straight-line recordings.
+/// Expansion order, leaf order and the iteration→leaf assignment are all
+/// deterministic, so a run's result is a pure function of its
+/// [`TestConfig`]. When the harness state is not snapshotable the engine
+/// transparently falls back to the straight-line [`TestEngine`].
+pub struct PrefixForkEngine {
+    config: TestConfig,
+    depth: usize,
+}
+
+impl PrefixForkEngine {
+    /// Bound on the expansion depth: leaves multiply with the enabled-set
+    /// branching factor per level, so deep trees explode; the depth is
+    /// clamped to this.
+    pub const MAX_DEPTH: usize = 6;
+
+    /// Creates a prefix-fork engine expanding `depth` tree levels (clamped
+    /// to [`PrefixForkEngine::MAX_DEPTH`]; `0` means pure root sharing — the
+    /// setup runs once and every iteration forks from the same snapshot).
+    pub fn new(config: TestConfig, depth: usize) -> Self {
+        PrefixForkEngine {
+            config,
+            depth: depth.min(Self::MAX_DEPTH),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TestConfig {
+        &self.config
+    }
+
+    /// Runs up to `iterations` suffix executions distributed over the
+    /// prefix tree's leaves, stopping at the first property violation.
+    pub fn run<F>(&self, setup: F) -> TestReport
+    where
+        F: Fn(&mut Runtime),
+    {
+        let start = Instant::now();
+        let config = &self.config;
+        let mut runtime = Runtime::new(
+            config.scheduler.build(config.seed, config.max_steps),
+            config.runtime_config(),
+            config.seed,
+        );
+        setup(&mut runtime);
+        let Some(root) = runtime.snapshot() else {
+            // Not snapshotable: identical semantics, straight-line execution.
+            return TestEngine::new(config.clone()).run(setup);
+        };
+
+        let mut tally = StrategyTally::new(config);
+        let mut total_steps: u64 = 0;
+        let mut leaves: Vec<RuntimeSnapshot> = Vec::new();
+        let mut tree_pruned: u64 = 0;
+        let mut stack = vec![PrefixNode {
+            snapshot: root,
+            sleep: Vec::new(),
+            depth: self.depth,
+        }];
+        let mut enabled: Vec<MachineId> = Vec::new();
+        while let Some(node) = stack.pop() {
+            runtime.restore_from(&node.snapshot);
+            enabled.clear();
+            enabled.extend_from_slice(runtime.enabled_machines());
+            if node.depth == 0 || enabled.is_empty() {
+                leaves.push(node.snapshot);
+                continue;
+            }
+            let mut explored: Vec<(MachineId, StepFootprint)> = Vec::new();
+            for &machine in &enabled {
+                if node.sleep.iter().any(|&(asleep, _)| asleep == machine) {
+                    // An equivalent sibling ordering already covers this
+                    // branch's entire subtree.
+                    tree_pruned += 1;
+                    continue;
+                }
+                runtime.restore_from(&node.snapshot);
+                if !runtime.force_step(machine) {
+                    continue;
+                }
+                total_steps += 1;
+                if let Some(bug) = runtime.bug().cloned() {
+                    // The shared prefix itself violates a property: every
+                    // iteration would hit it, so report it as iteration 0.
+                    let row = tally.row_mut(config.portfolio_index_for_iteration(0));
+                    row.iterations_run += 1;
+                    row.bugs_found += 1;
+                    let mut report = BugReport {
+                        bug,
+                        iteration: 0,
+                        ndc: runtime.trace().decision_count(),
+                        trace: runtime.take_trace(),
+                        time_to_bug: start.elapsed(),
+                        shrink: None,
+                    };
+                    config.rehydrate_report(&mut report, &setup);
+                    config.attach_shrink(&mut report, &setup);
+                    return TestReport {
+                        bug: Some(report),
+                        iterations_run: 1,
+                        total_steps,
+                        elapsed: start.elapsed(),
+                        scheduler: config.strategy_for_iteration(0).label(),
+                        workers: 1,
+                        per_strategy: tally.rows,
+                    };
+                }
+                let footprint = runtime.last_footprint().clone();
+                let Some(child) = runtime.snapshot() else {
+                    // The step enqueued a non-replicable event, so states
+                    // below this branch cannot be captured. Keep the node
+                    // itself as a leaf instead: its suffix executions still
+                    // reach every child ordering through their schedulers.
+                    leaves.push(node.snapshot);
+                    break;
+                };
+                // Sleep-set propagation: the child keeps every sleeping (or
+                // earlier-explored) machine whose step commutes with this
+                // branch's step; dependent ones wake.
+                let sleep = node
+                    .sleep
+                    .iter()
+                    .chain(explored.iter())
+                    .filter(|(_, other)| other.independent(&footprint))
+                    .cloned()
+                    .collect();
+                stack.push(PrefixNode {
+                    snapshot: child,
+                    sleep,
+                    depth: node.depth - 1,
+                });
+                explored.push((machine, footprint));
+            }
+        }
+
+        for iteration in 0..config.iterations {
+            let leaf = &leaves[(iteration % leaves.len() as u64) as usize];
+            let seed = config.seed_for_iteration(iteration);
+            let portfolio_entry = config.portfolio_index_for_iteration(iteration);
+            let strategy = config.strategy_for_iteration(iteration);
+            runtime.restore_from(leaf);
+            runtime.set_scheduler(strategy.build(seed, config.max_steps));
+            runtime.reseed(seed);
+            let prefix_steps = runtime.steps() as u64;
+            let outcome = runtime.run();
+            let suffix_steps = runtime.steps() as u64 - prefix_steps;
+            total_steps += suffix_steps;
+            let row = tally.row_mut(portfolio_entry);
+            row.total_steps += suffix_steps;
+            row.iterations_run += 1;
+            row.pruned_schedules += runtime.pruned_equivalents();
+            if let ExecutionOutcome::BugFound(bug) = outcome {
+                row.bugs_found += 1;
+                tally.rows[0].pruned_schedules += tree_pruned;
+                let mut report = BugReport {
+                    bug,
+                    iteration,
+                    ndc: runtime.trace().decision_count(),
+                    trace: runtime.take_trace(),
+                    time_to_bug: start.elapsed(),
+                    shrink: None,
+                };
+                config.rehydrate_report(&mut report, &setup);
+                config.attach_shrink(&mut report, &setup);
+                return TestReport {
+                    bug: Some(report),
+                    iterations_run: iteration + 1,
+                    total_steps,
+                    elapsed: start.elapsed(),
+                    scheduler: strategy.label(),
+                    workers: 1,
+                    per_strategy: tally.rows,
+                };
+            }
+        }
+        tally.rows[0].pruned_schedules += tree_pruned;
+        TestReport {
+            bug: None,
+            iterations_run: config.iterations,
+            total_steps,
+            elapsed: start.elapsed(),
+            scheduler: no_bug_label(config),
+            workers: 1,
+            per_strategy: tally.rows,
         }
     }
 }
@@ -1350,6 +1644,147 @@ mod tests {
         assert_eq!(bug.kind, BugKind::SafetyViolation);
         assert!(ndc > 0);
         assert_eq!(trace.seed, outcome.seed);
+    }
+
+    /// Clonable twin of the racey harness, used by the prefix-sharing tests
+    /// (snapshots require `clone_state` on every machine).
+    #[derive(Clone)]
+    struct CloneFlag {
+        value: bool,
+    }
+    impl Machine for CloneFlag {
+        fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+            if let Some(set) = event.downcast_ref::<SetFlag>() {
+                if !set.0 && !self.value {
+                    ctx.assert(false, "cleared a flag that was never set");
+                }
+                self.value = set.0;
+            }
+        }
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    #[derive(Clone)]
+    struct CloneWriter {
+        flag: crate::machine::MachineId,
+        value: bool,
+    }
+    impl Machine for CloneWriter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.flag, Event::new(SetFlag(self.value)));
+        }
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    fn clone_racey_setup(rt: &mut Runtime) {
+        let flag = rt.create_machine(CloneFlag { value: false });
+        rt.create_machine(CloneWriter { flag, value: true });
+        rt.create_machine(CloneWriter { flag, value: false });
+    }
+
+    #[test]
+    fn prefix_sharing_reports_identical_results() {
+        let base = TestConfig::new().with_iterations(300).with_seed(7);
+        let straight = TestEngine::new(base.clone()).run(clone_racey_setup);
+        let shared = TestEngine::new(base.clone().with_prefix_sharing(true)).run(clone_racey_setup);
+        let a = straight.bug.as_ref().expect("racey bug is reachable");
+        let b = shared.bug.as_ref().expect("racey bug is reachable");
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.trace.decisions, b.trace.decisions);
+        assert_eq!(straight.iterations_run, shared.iterations_run);
+        assert_eq!(straight.total_steps, shared.total_steps);
+
+        // And byte-identical across worker counts under prefix sharing.
+        let parallel = |workers: usize| {
+            ParallelTestEngine::new(base.clone().with_prefix_sharing(true).with_workers(workers))
+                .run(clone_racey_setup)
+        };
+        let one = parallel(1);
+        let four = parallel(4);
+        let a = one.bug.as_ref().expect("bug");
+        let b = four.bug.as_ref().expect("bug");
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.trace.decisions, b.trace.decisions);
+    }
+
+    #[test]
+    fn prefix_sharing_falls_back_for_non_snapshotable_harnesses() {
+        // `racey_setup` machines keep the default `clone_state` (None).
+        let base = TestConfig::new().with_iterations(300).with_seed(7);
+        let straight = TestEngine::new(base.clone()).run(racey_setup);
+        let shared = TestEngine::new(base.with_prefix_sharing(true)).run(racey_setup);
+        let a = straight.bug.as_ref().expect("bug");
+        let b = shared.bug.as_ref().expect("bug");
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.trace.decisions, b.trace.decisions);
+    }
+
+    #[test]
+    fn prefix_fork_at_depth_zero_matches_straight_line_execution() {
+        let base = TestConfig::new().with_iterations(300).with_seed(9);
+        let straight = TestEngine::new(base.clone()).run(clone_racey_setup);
+        let forked = PrefixForkEngine::new(base, 0).run(clone_racey_setup);
+        let a = straight.bug.as_ref().expect("bug");
+        let b = forked.bug.as_ref().expect("bug");
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.trace.decisions, b.trace.decisions);
+    }
+
+    #[test]
+    fn prefix_fork_traces_replay_from_scratch() {
+        let base = TestConfig::new().with_iterations(500).with_seed(11);
+        let report = PrefixForkEngine::new(base.clone(), 2).run(clone_racey_setup);
+        let bug = report.bug.expect("forked exploration still finds the bug");
+        // The trace carries the forced prefix decisions, so an ordinary
+        // from-scratch replay reproduces the violation.
+        let replayed = TestEngine::new(base)
+            .replay(&bug.trace, clone_racey_setup)
+            .expect("replay reproduces");
+        assert_eq!(replayed.kind, bug.bug.kind);
+        assert_eq!(replayed.message, bug.bug.message);
+    }
+
+    #[test]
+    fn prefix_fork_prunes_equivalent_sibling_orderings() {
+        // Three machines whose start steps are local (no sends, no monitor):
+        // all 3! orderings of the first two tree levels are equivalent, so
+        // sleep sets must prune the redundant sibling subtrees.
+        #[derive(Clone)]
+        struct Loner;
+        impl Machine for Loner {
+            fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+            fn clone_state(&self) -> Option<Box<dyn Machine>> {
+                Some(Box::new(self.clone()))
+            }
+        }
+        let report = PrefixForkEngine::new(TestConfig::new().with_iterations(10), 2).run(|rt| {
+            rt.create_machine(Loner);
+            rt.create_machine(Loner);
+            rt.create_machine(Loner);
+        });
+        assert!(!report.found_bug());
+        assert_eq!(report.iterations_run, 10);
+        let pruned: u64 = report.per_strategy.iter().map(|r| r.pruned_schedules).sum();
+        assert!(
+            pruned >= 3,
+            "independent sibling orderings must be pruned, got {pruned}"
+        );
+    }
+
+    #[test]
+    fn prefix_fork_falls_back_when_not_snapshotable() {
+        let base = TestConfig::new().with_iterations(300).with_seed(7);
+        let straight = TestEngine::new(base.clone()).run(racey_setup);
+        let forked = PrefixForkEngine::new(base, 3).run(racey_setup);
+        let a = straight.bug.as_ref().expect("bug");
+        let b = forked.bug.as_ref().expect("bug");
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.trace.decisions, b.trace.decisions);
     }
 
     #[test]

@@ -104,16 +104,18 @@ pub mod trace;
 /// Convenience re-exports of the types needed by almost every harness.
 pub mod prelude {
     pub use crate::engine::{
-        BugReport, IterationOutcome, IterationStatus, ParallelTestEngine, TestConfig, TestEngine,
-        TestReport,
+        BugReport, IterationOutcome, IterationStatus, ParallelTestEngine, PrefixForkEngine,
+        TestConfig, TestEngine, TestReport,
     };
     pub use crate::error::{Bug, BugKind};
     pub use crate::event::Event;
     pub use crate::fault::{Fault, FaultPlan};
     pub use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner, Transition};
     pub use crate::monitor::{Monitor, MonitorContext, Temperature};
-    pub use crate::runtime::{CancelToken, Context, ExecutionOutcome, Runtime, RuntimeConfig};
-    pub use crate::scheduler::SchedulerKind;
+    pub use crate::runtime::{
+        CancelToken, Context, ExecutionOutcome, Runtime, RuntimeConfig, RuntimeSnapshot,
+    };
+    pub use crate::scheduler::{SchedulerKind, StepFootprint};
     pub use crate::shrink::{shrink_trace, ShrinkConfig, ShrinkReport};
     pub use crate::stats::{ModelStats, StrategyStats};
     pub use crate::timer::{Timer, TimerTick};

@@ -123,6 +123,23 @@ pub trait Machine: AsAny + 'static {
     fn name(&self) -> &str {
         short_type_name::<Self>()
     }
+
+    /// Produces an independent copy of this machine's current state for
+    /// [`Runtime::snapshot`](crate::runtime::Runtime::snapshot).
+    ///
+    /// The default returns `None`, which marks the machine as
+    /// non-snapshotable: a runtime containing it cannot be forked and the
+    /// engine falls back to straight-line execution. Machines whose state is
+    /// `Clone` opt in with a one-liner:
+    ///
+    /// ```ignore
+    /// fn clone_state(&self) -> Option<Box<dyn Machine>> {
+    ///     Some(Box::new(self.clone()))
+    /// }
+    /// ```
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        None
+    }
 }
 
 /// The outcome of handling an event in a [`StateMachine`].
@@ -187,6 +204,20 @@ pub trait StateMachine: 'static {
     /// The machine's display name.
     fn name(&self) -> &str {
         short_type_name::<Self>()
+    }
+
+    /// Produces an independent copy of this state machine for
+    /// [`Runtime::snapshot`](crate::runtime::Runtime::snapshot); the
+    /// [`StateMachineRunner`] adapter forwards its own `clone_state` here,
+    /// preserving the current state and transition count.
+    ///
+    /// The default returns `None` (non-snapshotable). `Clone` state machines
+    /// opt in with `Some(self.clone())`.
+    fn clone_state(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
     }
 }
 
@@ -261,6 +292,15 @@ impl<M: StateMachine> Machine for StateMachineRunner<M> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        let inner = self.inner.clone_state()?;
+        Some(Box::new(StateMachineRunner {
+            inner,
+            state: self.state,
+            transitions: self.transitions,
+        }))
     }
 }
 

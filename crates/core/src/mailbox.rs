@@ -72,6 +72,28 @@ impl Mailbox {
     pub fn clear(&mut self) {
         self.queue.clear();
     }
+
+    /// Clones every pending event into `target` (clearing it first), using
+    /// each event's [`Event::duplicate`] copy constructor. Returns `false` —
+    /// leaving `target` cleared — when any pending event was not created
+    /// with [`Event::replicable`] and therefore cannot be copied.
+    ///
+    /// This is the snapshot path of
+    /// [`Runtime::snapshot`](crate::runtime::Runtime::snapshot): writing into
+    /// a caller-provided mailbox lets forks reuse pooled queue allocations.
+    pub fn clone_into(&self, target: &mut Mailbox) -> bool {
+        target.clear();
+        for event in &self.queue {
+            match event.duplicate() {
+                Some(copy) => target.queue.push_back(copy),
+                None => {
+                    target.clear();
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

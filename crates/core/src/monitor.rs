@@ -96,6 +96,16 @@ pub trait Monitor: AsAny + 'static {
     fn name(&self) -> &str {
         short_type_name::<Self>()
     }
+
+    /// Produces an independent copy of this monitor's current state for
+    /// [`Runtime::snapshot`](crate::runtime::Runtime::snapshot).
+    ///
+    /// The default returns `None`, which marks the monitor as
+    /// non-snapshotable (the runtime then cannot be forked). `Clone`
+    /// monitors opt in with `Some(Box::new(self.clone()))`.
+    fn clone_state(&self) -> Option<Box<dyn Monitor>> {
+        None
+    }
 }
 
 /// Context handed to [`Monitor::observe`]; allows flagging violations.

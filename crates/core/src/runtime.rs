@@ -37,7 +37,7 @@ use crate::fault::{Fault, FaultPlan};
 use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner};
 use crate::mailbox::Mailbox;
 use crate::monitor::{Monitor, MonitorContext, Temperature};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, StepFootprint};
 use crate::trace::{Decision, NameId, Trace, TraceMode, TraceStep};
 
 /// How an execution of the system-under-test ended.
@@ -217,6 +217,11 @@ pub struct Runtime {
     /// machines without re-growing their queues.
     mailbox_pool: Vec<Mailbox>,
     cancel: Option<CancelToken>,
+    /// Side effects of the step currently executing (or, between steps, of
+    /// the last executed step). Rearmed in place per step so independence
+    /// tracking never allocates in the steady state; fed to
+    /// [`Scheduler::note_footprint`] after every step.
+    footprint: StepFootprint,
 }
 
 impl Runtime {
@@ -241,6 +246,7 @@ impl Runtime {
             marked_lossy: 0,
             mailbox_pool: Vec::new(),
             cancel: None,
+            footprint: StepFootprint::new(MachineId::from_raw(0)),
         }
     }
 
@@ -277,6 +283,7 @@ impl Runtime {
         self.marked_crashable = 0;
         self.marked_lossy = 0;
         self.cancel = None;
+        self.footprint.rearm(MachineId::from_raw(0));
     }
 
     /// Replaces the runtime's empty trace with a recycled one, keeping the
@@ -339,16 +346,16 @@ impl Runtime {
     ///
     /// Panics if `id` was not created by this runtime.
     pub fn mark_crashable(&mut self, id: MachineId) {
-        let slot = self.slot_mut(id);
-        let newly_marked = !slot.crashable;
-        let already_target = slot.crashable || slot.lossy;
-        slot.crashable = true;
+        let newly_marked = {
+            let slot = self.slot_mut(id);
+            let newly_marked = !slot.crashable;
+            slot.crashable = true;
+            newly_marked
+        };
         if newly_marked {
             self.marked_crashable += 1;
         }
-        if !already_target {
-            self.note_fault_target(id);
-        }
+        self.note_fault_target(id);
     }
 
     /// Marks a machine as *restartable* (implies crashable): after an
@@ -373,32 +380,44 @@ impl Runtime {
     ///
     /// Panics if `id` was not created by this runtime.
     pub fn mark_lossy(&mut self, id: MachineId) {
-        let slot = self.slot_mut(id);
-        let newly_marked = !slot.lossy;
-        let already_target = slot.crashable || slot.lossy;
-        slot.lossy = true;
+        let newly_marked = {
+            let slot = self.slot_mut(id);
+            let newly_marked = !slot.lossy;
+            slot.lossy = true;
+            newly_marked
+        };
         if newly_marked {
             self.marked_lossy += 1;
         }
-        if !already_target {
-            self.note_fault_target(id);
-        }
+        self.note_fault_target(id);
     }
 
     /// Adds a machine to the fault-target list, keeping it sorted so the
     /// candidate offer order stays machine-id order (replay depends on it).
     /// Machines are usually marked right after creation, in id order, so the
     /// common case is an O(1) push at the end.
+    ///
+    /// Idempotent: a machine carrying several markings (e.g. marked crashable
+    /// *and* lossy, in either order) is listed exactly once — a duplicate
+    /// entry would make the fault probe offer the same candidates twice,
+    /// skewing the scheduler's pick distribution and diverging replay.
     fn note_fault_target(&mut self, id: MachineId) {
         let index = id.raw() as u32;
         match self.fault_targets.last() {
-            Some(&last) if last >= index => {
+            Some(&last) if last == index => {}
+            Some(&last) if last > index => {
                 if let Err(position) = self.fault_targets.binary_search(&index) {
                     self.fault_targets.insert(position, index);
                 }
             }
             _ => self.fault_targets.push(index),
         }
+    }
+
+    /// Number of distinct machines carrying any fault marking (crashable,
+    /// restartable or lossy). A machine with several markings counts once.
+    pub fn fault_target_count(&self) -> usize {
+        self.fault_targets.len()
     }
 
     /// Returns `true` when the given machine is currently down due to an
@@ -592,6 +611,7 @@ impl Runtime {
             self.trace.push_decision(Decision::Schedule(chosen));
             self.step_machine(chosen);
             self.steps += 1;
+            self.scheduler.note_footprint(&self.footprint);
         }
     }
 
@@ -600,6 +620,7 @@ impl Runtime {
     }
 
     fn step_machine(&mut self, id: MachineId) {
+        self.footprint.rearm(id);
         let index = id.raw() as usize;
         let (mut machine, event, event_name, name) = {
             let slot = &mut self.slots[index];
@@ -996,6 +1017,253 @@ impl Runtime {
     pub fn replay_error(&self) -> Option<ReplayError> {
         self.scheduler.replay_error().cloned()
     }
+
+    /// Replaces the scheduler driving this runtime. Used by prefix-sharing
+    /// engines to install a fresh per-iteration strategy after
+    /// [`Runtime::restore_from`] (the snapshot carries the scheduler state
+    /// *at the snapshot point*, which a new suffix usually overrides).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Rewrites the seed recorded in the trace. Paired with
+    /// [`Runtime::set_scheduler`] when a restored runtime continues under a
+    /// different iteration's seed, so the reported trace identifies the
+    /// schedule that actually drove the suffix.
+    pub fn reseed(&mut self, seed: u64) {
+        self.trace.seed = seed;
+    }
+
+    /// Total schedule-equivalents the driving scheduler has pruned so far
+    /// (see [`Scheduler::pruned_equivalents`]); zero for non-reducing
+    /// strategies.
+    pub fn pruned_equivalents(&self) -> u64 {
+        self.scheduler.pruned_equivalents()
+    }
+
+    /// The side effects of the most recently executed step (empty before the
+    /// first step). Exposed for engines that drive steps one at a time via
+    /// [`Runtime::force_step`] and classify branches by independence.
+    pub fn last_footprint(&self) -> &StepFootprint {
+        &self.footprint
+    }
+
+    /// Recomputes and returns the currently enabled machines, in id order.
+    ///
+    /// The slice borrows the runtime's reusable enabled-set buffer; it is
+    /// recomputed on every call.
+    pub fn enabled_machines(&mut self) -> &[MachineId] {
+        self.enabled_buf.clear();
+        for (index, slot) in self.slots.iter().enumerate() {
+            if slot.is_enabled() {
+                self.enabled_buf.push(MachineId::from_raw(index as u64));
+            }
+        }
+        &self.enabled_buf
+    }
+
+    /// Executes exactly one step of the given machine, bypassing the
+    /// scheduler's choice (the decision is still recorded, so the trace
+    /// replays). Used by prefix-tree engines to expand a specific branch.
+    ///
+    /// Returns `false` — without stepping — when the machine is not
+    /// currently enabled or a bug is already pending.
+    pub fn force_step(&mut self, id: MachineId) -> bool {
+        let enabled = self
+            .slots
+            .get(id.raw() as usize)
+            .is_some_and(MachineSlot::is_enabled);
+        if !enabled || self.bug.is_some() {
+            return false;
+        }
+        self.trace.push_decision(Decision::Schedule(id));
+        self.step_machine(id);
+        self.steps += 1;
+        true
+    }
+
+    /// Captures a point-in-time copy of the whole execution state: machines
+    /// (via [`Machine::clone_state`]), mailboxes (via each queued event's
+    /// [`Event::duplicate`] copy constructor), monitors, fault budget and
+    /// markings, step counter and the recorded trace, plus the scheduler
+    /// when it supports [`Scheduler::clone_box`].
+    ///
+    /// Returns `None` when the state is not snapshotable: a machine or
+    /// monitor does not implement `clone_state`, a queued event was not
+    /// created with [`Event::replicable`], or a bug is already pending.
+    /// Engines treat `None` as "fall back to straight-line execution".
+    pub fn snapshot(&self) -> Option<RuntimeSnapshot> {
+        if self.bug.is_some() {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let machine = slot.machine.as_ref()?.clone_state()?;
+            let mut mailbox = Mailbox::new();
+            if !slot.mailbox.clone_into(&mut mailbox) {
+                return None;
+            }
+            slots.push(SnapshotSlot {
+                machine,
+                mailbox,
+                name: slot.name,
+                started: slot.started,
+                halted: slot.halted,
+                crashable: slot.crashable,
+                restartable: slot.restartable,
+                lossy: slot.lossy,
+                crashed: slot.crashed,
+            });
+        }
+        let mut monitors = Vec::with_capacity(self.monitors.len());
+        for slot in &self.monitors {
+            let monitor = slot.monitor.as_ref()?.clone_state()?;
+            monitors.push((monitor, Arc::clone(&slot.name)));
+        }
+        Some(RuntimeSnapshot {
+            slots,
+            monitors,
+            monitor_index: self.monitor_index.clone(),
+            scheduler: self.scheduler.clone_box(),
+            config: self.config.clone(),
+            trace: self.trace.clone(),
+            steps: self.steps,
+            faults_remaining: self.faults_remaining,
+            fault_targets: self.fault_targets.clone(),
+            marked_crashable: self.marked_crashable,
+            marked_lossy: self.marked_lossy,
+        })
+    }
+
+    /// Rewinds this runtime to the state captured in `snapshot`, reusing its
+    /// own grown allocations (mailbox pool, trace buffers, scratch buffers)
+    /// so a restore in the steady state costs only the machine/monitor state
+    /// clones plus queued-event copies — no bookkeeping reallocation.
+    ///
+    /// The snapshot's scheduler state (when captured) is re-cloned and
+    /// installed; engines typically follow with [`Runtime::set_scheduler`]
+    /// and [`Runtime::reseed`] to drive the suffix with a fresh strategy. A
+    /// restore can be repeated: the snapshot is not consumed.
+    pub fn restore_from(&mut self, snapshot: &RuntimeSnapshot) {
+        let pool = &mut self.mailbox_pool;
+        for mut slot in self.slots.drain(..) {
+            slot.mailbox.clear();
+            pool.push(slot.mailbox);
+        }
+        for slot in &snapshot.slots {
+            let machine = slot
+                .machine
+                .clone_state()
+                .expect("snapshotted machine state must stay clonable");
+            let mut mailbox = self.mailbox_pool.pop().unwrap_or_default();
+            let copied = slot.mailbox.clone_into(&mut mailbox);
+            debug_assert!(
+                copied,
+                "snapshotted mailboxes hold replicable events by construction"
+            );
+            self.slots.push(MachineSlot {
+                machine: Some(machine),
+                mailbox,
+                name: slot.name,
+                started: slot.started,
+                halted: slot.halted,
+                crashable: slot.crashable,
+                restartable: slot.restartable,
+                lossy: slot.lossy,
+                crashed: slot.crashed,
+            });
+        }
+        self.monitors.clear();
+        for (monitor, name) in &snapshot.monitors {
+            self.monitors.push(MonitorSlot {
+                monitor: Some(
+                    monitor
+                        .clone_state()
+                        .expect("snapshotted monitor state must stay clonable"),
+                ),
+                name: Arc::clone(name),
+            });
+        }
+        self.monitor_index.clone_from(&snapshot.monitor_index);
+        if let Some(scheduler) = snapshot
+            .scheduler
+            .as_ref()
+            .and_then(|scheduler| scheduler.clone_box())
+        {
+            self.scheduler = scheduler;
+        }
+        self.config = snapshot.config.clone();
+        self.trace.clone_from(&snapshot.trace);
+        self.bug = None;
+        self.steps = snapshot.steps;
+        self.enabled_buf.clear();
+        self.faults_remaining = snapshot.faults_remaining;
+        self.fault_buf.clear();
+        self.fault_targets.clone_from(&snapshot.fault_targets);
+        self.marked_crashable = snapshot.marked_crashable;
+        self.marked_lossy = snapshot.marked_lossy;
+        self.footprint.rearm(MachineId::from_raw(0));
+        self.cancel = None;
+    }
+}
+
+/// One captured machine slot of a [`RuntimeSnapshot`].
+struct SnapshotSlot {
+    machine: Box<dyn Machine>,
+    mailbox: Mailbox,
+    name: NameId,
+    started: bool,
+    halted: bool,
+    crashable: bool,
+    restartable: bool,
+    lossy: bool,
+    crashed: bool,
+}
+
+/// A point-in-time copy of a [`Runtime`]'s execution state, captured with
+/// [`Runtime::snapshot`] and re-installed (any number of times) with
+/// [`Runtime::restore_from`].
+///
+/// Snapshots are the mechanism behind prefix-sharing execution: a decision
+/// prefix shared by many schedules is executed once, snapshotted, and each
+/// suffix forks from the copy instead of re-executing the prefix. The
+/// snapshot owns independent copies of every machine, queued event and
+/// monitor, so restoring never aliases live state; the originating runtime's
+/// trace (including the prefix's recorded decisions) is carried along, which
+/// keeps forked executions replayable from scratch by an ordinary
+/// [`ReplayScheduler`](crate::scheduler::ReplayScheduler).
+pub struct RuntimeSnapshot {
+    slots: Vec<SnapshotSlot>,
+    monitors: Vec<(Box<dyn Monitor>, Arc<str>)>,
+    monitor_index: HashMap<std::any::TypeId, usize>,
+    /// Scheduler state at the snapshot point, when the strategy supports
+    /// mid-stream cloning; `None` otherwise (a restore then keeps the
+    /// runtime's current scheduler).
+    scheduler: Option<Box<dyn Scheduler>>,
+    config: RuntimeConfig,
+    trace: Trace,
+    steps: usize,
+    faults_remaining: FaultPlan,
+    fault_targets: Vec<u32>,
+    marked_crashable: usize,
+    marked_lossy: usize,
+}
+
+impl RuntimeSnapshot {
+    /// Number of machine steps executed up to the snapshot point.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of machines captured (including halted ones).
+    pub fn machine_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of decisions recorded in the captured prefix trace.
+    pub fn decision_count(&self) -> usize {
+        self.trace.decision_count()
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1036,21 +1304,25 @@ impl<'r> Context<'r> {
     ///
     /// Panics if `target` is not a machine of this runtime.
     pub fn send(&mut self, target: MachineId, event: Event) {
+        self.rt.footprint.sends.push(target);
         self.rt.send(target, event);
     }
 
     /// Sends an event to the machine itself.
     pub fn send_to_self(&mut self, event: Event) {
-        self.rt.send(self.id, event);
+        let id = self.id;
+        self.send(id, event);
     }
 
     /// Creates a new machine and returns its id.
     pub fn create<M: Machine>(&mut self, machine: M) -> MachineId {
+        self.rt.footprint.created_machine = true;
         self.rt.create_machine(machine)
     }
 
     /// Creates a new machine from a declarative [`StateMachine`].
     pub fn create_state_machine<M: StateMachine>(&mut self, machine: M) -> MachineId {
+        self.rt.footprint.created_machine = true;
         self.rt.create_state_machine(machine)
     }
 
@@ -1074,6 +1346,7 @@ impl<'r> Context<'r> {
 
     /// Resolves a controlled nondeterministic boolean (P#'s `Nondet()`).
     pub fn random_bool(&mut self) -> bool {
+        self.rt.footprint.made_choice = true;
         let value = self.rt.scheduler.next_bool();
         self.rt.trace.push_decision(Decision::Bool(value));
         value
@@ -1086,6 +1359,7 @@ impl<'r> Context<'r> {
     /// Panics if `bound` is zero.
     pub fn random_index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
+        self.rt.footprint.made_choice = true;
         let value = self.rt.scheduler.next_int(bound).min(bound - 1);
         self.rt.trace.push_decision(Decision::Int(value));
         value
@@ -1135,6 +1409,7 @@ impl<'r> Context<'r> {
 
     /// Publishes an event to the monitor of type `M`, if one is registered.
     pub fn notify_monitor<M: Monitor>(&mut self, event: Event) {
+        self.rt.footprint.notified_monitor = true;
         let step = self.rt.steps;
         self.rt.deliver_to_monitor::<M>(&event, step);
     }
@@ -1575,6 +1850,165 @@ mod tests {
         let replayed = build(Box::new(ReplayScheduler::from_trace(&trace)));
         assert_eq!(replayed.trace().decisions, trace.decisions);
         assert!(replayed.replay_error().is_none());
+    }
+
+    #[derive(Clone)]
+    struct CloneResponder;
+    impl Machine for CloneResponder {
+        fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+            if let Some(ping) = event.downcast_ref::<Ping>() {
+                ctx.send(ping.0, Event::new(Pong));
+            }
+        }
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    #[derive(Clone)]
+    struct CloneRequester {
+        responder: MachineId,
+        pongs: usize,
+    }
+    impl Machine for CloneRequester {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let me = ctx.id();
+            ctx.send(self.responder, Event::new(Ping(me)));
+        }
+        fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+            if event.is::<Pong>() {
+                self.pongs += 1;
+                if self.pongs < 3 {
+                    let me = ctx.id();
+                    ctx.send(self.responder, Event::new(Ping(me)));
+                } else {
+                    ctx.halt();
+                }
+            }
+        }
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_straight_line_trace() {
+        let mut rt = runtime(42);
+        let responder = rt.create_machine(CloneResponder);
+        rt.create_machine(CloneRequester {
+            responder,
+            pongs: 0,
+        });
+        let snapshot = rt.snapshot().expect("clonable system snapshots");
+        assert_eq!(snapshot.machine_count(), 2);
+        assert_eq!(snapshot.steps(), 0);
+
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        let straight = rt.trace().clone();
+
+        // Restoring rewinds to the snapshot point; re-running under the
+        // re-cloned scheduler state reproduces the identical execution.
+        rt.restore_from(&snapshot);
+        assert_eq!(rt.steps(), 0);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        assert_eq!(rt.trace().decisions, straight.decisions);
+        assert_eq!(rt.steps(), 8);
+
+        // A snapshot is not consumed: a second restore works too.
+        rt.restore_from(&snapshot);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        assert_eq!(rt.trace().decisions, straight.decisions);
+    }
+
+    #[test]
+    fn restored_runtime_accepts_a_fresh_scheduler_and_seed() {
+        let mut rt = runtime(1);
+        let responder = rt.create_machine(CloneResponder);
+        rt.create_machine(CloneRequester {
+            responder,
+            pongs: 0,
+        });
+        let snapshot = rt.snapshot().expect("snapshotable");
+        rt.restore_from(&snapshot);
+        rt.set_scheduler(Box::new(RandomScheduler::new(99)));
+        rt.reseed(99);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+        let forked = rt.trace().clone();
+        assert_eq!(forked.seed, 99);
+
+        // The forked trace replays from scratch like any other recording.
+        let mut replay = Runtime::new(
+            Box::new(ReplayScheduler::from_trace(&forked)),
+            RuntimeConfig::default(),
+            99,
+        );
+        let responder = replay.create_machine(CloneResponder);
+        replay.create_machine(CloneRequester {
+            responder,
+            pongs: 0,
+        });
+        replay.run();
+        assert_eq!(replay.trace().decisions, forked.decisions);
+        assert!(replay.replay_error().is_none());
+    }
+
+    #[test]
+    fn snapshot_requires_clonable_machines_and_replicable_events() {
+        // `Responder` keeps the default `clone_state` (None).
+        let mut rt = runtime(2);
+        rt.create_machine(Responder);
+        assert!(rt.snapshot().is_none());
+
+        // A queued event built with `Event::new` cannot be copied.
+        let mut rt = runtime(3);
+        let id = rt.create_machine(CloneResponder);
+        rt.send(id, Event::new(Pong));
+        assert!(rt.snapshot().is_none());
+
+        // The same event built with `Event::replicable` can.
+        #[derive(Debug, Clone)]
+        struct RepPong;
+        let mut rt = runtime(4);
+        let id = rt.create_machine(CloneResponder);
+        rt.send(id, Event::replicable(RepPong));
+        let snapshot = rt.snapshot().expect("replicable events snapshot");
+        rt.restore_from(&snapshot);
+        assert_eq!(rt.machine_count(), 1);
+    }
+
+    #[test]
+    fn force_step_records_a_replayable_decision() {
+        let mut rt = runtime(5);
+        let responder = rt.create_machine(CloneResponder);
+        let requester = rt.create_machine(CloneRequester {
+            responder,
+            pongs: 0,
+        });
+        assert_eq!(rt.enabled_machines(), &[responder, requester]);
+        // The responder has no queued event after its start step, so a
+        // second forced step on it is rejected.
+        assert!(rt.force_step(responder));
+        assert!(!rt.force_step(responder));
+        assert!(rt.force_step(requester));
+        assert_eq!(rt.steps(), 2);
+        assert_eq!(rt.trace().decision_count(), 2);
+        // The requester's start sent a ping; the footprint recorded it.
+        assert_eq!(rt.last_footprint().machine, requester);
+        assert_eq!(rt.last_footprint().sends, vec![responder]);
+        assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+    }
+
+    #[test]
+    fn fault_target_listed_once_when_marked_crashable_and_lossy() {
+        let mut rt = runtime(6);
+        let a = rt.create_machine(CloneResponder);
+        let b = rt.create_machine(CloneResponder);
+        rt.mark_crashable(a);
+        rt.mark_lossy(a);
+        rt.mark_lossy(b);
+        rt.mark_restartable(b);
+        rt.mark_crashable(b);
+        assert_eq!(rt.fault_target_count(), 2);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   exploring long uninterrupted stretches random scheduling rarely visits.
 //! * [`RoundRobinScheduler`] — deterministic round-robin, useful as a
 //!   baseline ablation and for smoke tests.
+//! * [`SleepSetScheduler`] — sleep-set partial-order reduction over a random
+//!   base: the runtime reports what every executed step did (its
+//!   [`StepFootprint`]), and machines whose last step provably commutes with
+//!   its neighbors are put to sleep so schedules that differ only in the
+//!   order of independent steps are explored once.
 //! * [`ReplayScheduler`] — replays a recorded [`Trace`] decision-for-decision
 //!   so a bug can be reproduced deterministically.
 
@@ -31,6 +36,94 @@ use crate::fault::{Fault, FaultGate};
 use crate::machine::MachineId;
 use crate::rng::SplitMix64;
 use crate::trace::{Decision, Trace};
+
+/// What one executed machine step did, as far as commutativity with other
+/// steps is concerned. The runtime records one footprint per step (into a
+/// reused buffer — the hot path stays allocation-free) and reports it to the
+/// scheduler via [`Scheduler::note_footprint`].
+///
+/// Two steps of *different* machines commute — executing them in either
+/// order reaches the same state — when neither was a fault, neither notified
+/// a shared monitor, and neither delivered a message to the other machine or
+/// raced a delivery to a common target. Fault decisions never produce a
+/// footprint (they are never treated as independent), so a footprint only
+/// ever describes an ordinary handler step.
+#[derive(Debug, Clone)]
+pub struct StepFootprint {
+    /// The machine that executed the step.
+    pub machine: MachineId,
+    /// Targets of every send the handler performed, in send order (including
+    /// sends-to-self).
+    pub sends: Vec<MachineId>,
+    /// Whether the handler published a notification to a monitor. Monitor
+    /// state is shared between all machines, so such steps are never
+    /// independent of each other.
+    pub notified_monitor: bool,
+    /// Whether the handler created a machine. Ids are assigned in creation
+    /// order, so two creating steps never commute.
+    pub created_machine: bool,
+    /// Whether the handler consumed a `random_bool` / `random_index`
+    /// decision. The values drawn depend on the position in the scheduler's
+    /// decision stream, so reordering such a step does not provably reach an
+    /// equivalent execution; it is conservatively treated as dependent.
+    pub made_choice: bool,
+}
+
+impl StepFootprint {
+    /// Creates an empty footprint for `machine`.
+    pub fn new(machine: MachineId) -> Self {
+        StepFootprint {
+            machine,
+            sends: Vec::new(),
+            notified_monitor: false,
+            created_machine: false,
+            made_choice: false,
+        }
+    }
+
+    /// Rearms the footprint for a new step, keeping the send buffer's
+    /// allocation.
+    pub(crate) fn rearm(&mut self, machine: MachineId) {
+        self.machine = machine;
+        self.sends.clear();
+        self.notified_monitor = false;
+        self.created_machine = false;
+        self.made_choice = false;
+    }
+
+    /// `true` when the step had global side effects that defeat any
+    /// commutation argument: it touched a (shared) monitor, allocated a
+    /// machine id, or consumed a value decision from the shared stream.
+    fn has_global_effect(&self) -> bool {
+        self.notified_monitor || self.created_machine || self.made_choice
+    }
+
+    /// `true` when the step neither delivered any message nor had a global
+    /// side effect: it only mutated its own machine's private state, so it
+    /// commutes with any step of another machine that does not send to it.
+    pub fn is_local(&self) -> bool {
+        self.sends.is_empty() && !self.has_global_effect()
+    }
+
+    /// `true` when this step and `other` (steps of two different machines)
+    /// commute: neither had a global side effect, neither sent to the
+    /// other's machine, and they did not race a send to a common target
+    /// mailbox.
+    pub fn independent(&self, other: &StepFootprint) -> bool {
+        if self.machine == other.machine {
+            return false;
+        }
+        if self.has_global_effect() || other.has_global_effect() {
+            return false;
+        }
+        if self.sends.contains(&other.machine) || other.sends.contains(&self.machine) {
+            return false;
+        }
+        // A send to a common target does not commute: the target's FIFO
+        // mailbox observes the delivery order.
+        !self.sends.iter().any(|t| other.sends.contains(t))
+    }
+}
 
 /// Resolves every nondeterministic choice of an execution.
 ///
@@ -105,6 +198,33 @@ pub trait Scheduler {
     fn fair_step_spacing(&self, machines: usize) -> usize {
         machines
     }
+
+    /// Reports what the step just executed did (who ran, what it sent,
+    /// whether it touched a monitor). Called by the runtime after every
+    /// ordinary machine step, in execution order. Strategies that reason
+    /// about step independence ([`SleepSetScheduler`]) maintain their sleep
+    /// sets here; the default ignores it.
+    fn note_footprint(&mut self, footprint: &StepFootprint) {
+        let _ = footprint;
+    }
+
+    /// Number of provably-equivalent interleavings this scheduler skipped so
+    /// far in the current execution: each time an enabled-but-slept machine
+    /// was passed over at a scheduling point, one equivalent branch of the
+    /// schedule tree was pruned. `0` for strategies that do not prune.
+    fn pruned_equivalents(&self) -> u64 {
+        0
+    }
+
+    /// Clones this scheduler mid-execution, preserving its full decision
+    /// state, for [`Runtime::snapshot`](crate::runtime::Runtime::snapshot):
+    /// a fork restored from a snapshot must continue the random stream (and
+    /// any strategy state) exactly where the snapshot left it. Returns
+    /// `None` for schedulers that cannot be cloned; every built-in strategy
+    /// supports it.
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        None
+    }
 }
 
 /// Identifies which scheduling strategy a [`TestEngine`](crate::engine::TestEngine)
@@ -134,6 +254,10 @@ pub enum SchedulerKind {
     },
     /// Deterministic round-robin over enabled machines.
     RoundRobin,
+    /// Sleep-set partial-order reduction over a random base schedule: skips
+    /// interleavings that are equivalent to already-explored ones up to
+    /// commutation of independent steps.
+    SleepSet,
 }
 
 impl SchedulerKind {
@@ -154,6 +278,7 @@ impl SchedulerKind {
                 ProbabilisticRandomScheduler::new(seed, switch_percent).with_horizon(max_steps),
             ),
             SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::seeded(seed)),
+            SchedulerKind::SleepSet => Box::new(SleepSetScheduler::new(seed)),
         }
     }
 
@@ -174,6 +299,7 @@ impl SchedulerKind {
             SchedulerKind::DelayBounding { delays: 2 },
             SchedulerKind::ProbabilisticRandom { switch_percent: 10 },
             SchedulerKind::RoundRobin,
+            SchedulerKind::SleepSet,
         ]
     }
 
@@ -185,6 +311,7 @@ impl SchedulerKind {
             SchedulerKind::DelayBounding { .. } => "delay",
             SchedulerKind::ProbabilisticRandom { .. } => "prob",
             SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::SleepSet => "sleep-set",
         }
     }
 
@@ -239,6 +366,10 @@ impl Scheduler for RandomScheduler {
 
     fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
         self.fault_gate.pick(candidates)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -364,6 +495,10 @@ impl Scheduler for PctScheduler {
     fn unfair_prefix_len(&self) -> Option<usize> {
         Some(self.fair_after)
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Delay-bounded scheduler (Emmi et al., POPL'11).
@@ -469,6 +604,10 @@ impl Scheduler for DelayBoundingScheduler {
     fn unfair_prefix_len(&self) -> Option<usize> {
         Some(self.fair_after)
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Probabilistic random-walk scheduler (Coyote's probabilistic strategy).
@@ -568,6 +707,10 @@ impl Scheduler for ProbabilisticRandomScheduler {
             .saturating_mul((100 / self.switch_percent.max(1)) as usize)
             .max(machines)
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Deterministic round-robin scheduler.
@@ -637,6 +780,168 @@ impl Scheduler for RoundRobinScheduler {
 
     fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
         self.fault_gate.pick(candidates)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+/// Sleep-set partial-order reduction over a uniformly random base schedule.
+///
+/// Classic sleep sets (Godefroid) prune a *stateless search tree*: after
+/// exploring a step `t` from a state, sibling branches need not re-explore
+/// interleavings where `t` commutes with the step they start with. This
+/// scheduler applies the same idea linearly, one execution at a time, using
+/// the per-step [`StepFootprint`]s the runtime reports:
+///
+/// * A machine whose last executed step was **local** — it delivered no
+///   message and touched no monitor, so it commutes with any step of another
+///   machine that does not send to it — is put to sleep. While it sleeps,
+///   scheduling points prefer awake machines: picking the sleeper next would
+///   produce an execution equivalent (up to commutation of its already-taken
+///   local step) to one where it runs later anyway. Every pass-over is
+///   counted as one pruned equivalent branch
+///   ([`Scheduler::pruned_equivalents`]).
+/// * A sleeping machine **wakes** as soon as any step sends to it (a new
+///   dependency), when every enabled machine is asleep (something must run;
+///   the random pick wakes), when a fault fires (faults invalidate
+///   commutativity assumptions wholesale), or after
+///   [`SleepSetScheduler::WAKE_AFTER_SKIPS`] consecutive pass-overs — a
+///   fairness bound that keeps the strategy sound for liveness checking:
+///   no machine is ever starved for more than a constant number of
+///   scheduling points.
+///
+/// The recorded trace contains only the final picks, so replay and shrinking
+/// work unchanged. The pruning is a heuristic under-approximation of full
+/// DPOR — it never skips a schedule that is *not* observationally equivalent
+/// to a neighboring one under the independence rules above, but it also
+/// cannot prune across long distances. `por_soundness.rs` checks the
+/// strategy still finds every seeded case-study bug.
+#[derive(Debug, Clone)]
+pub struct SleepSetScheduler {
+    rng: SplitMix64,
+    fault_gate: FaultGate,
+    /// Machines currently asleep, each paired with how many scheduling
+    /// points have passed it over since it fell asleep.
+    asleep: Vec<(MachineId, u32)>,
+    /// Scratch buffer for the awake subset of the enabled set (reused across
+    /// steps; the hot path stays allocation-free once warmed up).
+    awake_buf: Vec<MachineId>,
+    pruned: u64,
+}
+
+impl SleepSetScheduler {
+    /// A sleeping machine is forcibly woken after this many consecutive
+    /// pass-overs, bounding how long sleep sets can defer any machine.
+    pub const WAKE_AFTER_SKIPS: u32 = 8;
+
+    /// Creates a sleep-set scheduler driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SleepSetScheduler {
+            rng: SplitMix64::new(seed),
+            fault_gate: FaultGate::new(seed),
+            asleep: Vec::new(),
+            awake_buf: Vec::new(),
+            pruned: 0,
+        }
+    }
+
+    fn wake(&mut self, machine: MachineId) {
+        if let Some(i) = self.asleep.iter().position(|&(m, _)| m == machine) {
+            self.asleep.swap_remove(i);
+        }
+    }
+
+    fn sleep(&mut self, machine: MachineId) {
+        if !self.asleep.iter().any(|&(m, _)| m == machine) {
+            self.asleep.push((machine, 0));
+        }
+    }
+}
+
+impl Scheduler for SleepSetScheduler {
+    fn name(&self) -> &'static str {
+        "sleep-set"
+    }
+
+    fn next_machine(&mut self, enabled: &[MachineId], _step: usize) -> MachineId {
+        let Self {
+            awake_buf, asleep, ..
+        } = self;
+        awake_buf.clear();
+        awake_buf.extend(
+            enabled
+                .iter()
+                .copied()
+                .filter(|m| !asleep.iter().any(|&(s, _)| s == *m)),
+        );
+        let chosen = if self.awake_buf.is_empty() {
+            // Every enabled machine is asleep: something must run. Wake the
+            // random pick; the branches through the other sleepers stay
+            // pruned.
+            let pick = enabled[self.rng.next_below(enabled.len())];
+            self.wake(pick);
+            self.pruned += (enabled.len() - 1) as u64;
+            pick
+        } else {
+            self.pruned += (enabled.len() - self.awake_buf.len()) as u64;
+            let index = self.rng.next_below(self.awake_buf.len());
+            self.awake_buf[index]
+        };
+        // Age every sleeper that was enabled but passed over; wake the ones
+        // that hit the fairness bound.
+        let mut i = 0;
+        while i < self.asleep.len() {
+            let (m, ref mut skips) = self.asleep[i];
+            if m != chosen && enabled.contains(&m) {
+                *skips += 1;
+                if *skips >= Self::WAKE_AFTER_SKIPS {
+                    self.asleep.swap_remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        chosen
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    fn next_int(&mut self, bound: usize) -> usize {
+        self.rng.next_below(bound)
+    }
+
+    fn next_fault(&mut self, candidates: &[Fault], _step: usize) -> Option<Fault> {
+        let fault = self.fault_gate.pick(candidates);
+        if fault.is_some() {
+            // A fault mutates machines and mailboxes outside any handler:
+            // all commutativity assumptions are off.
+            self.asleep.clear();
+        }
+        fault
+    }
+
+    fn note_footprint(&mut self, footprint: &StepFootprint) {
+        // Deliveries create new dependencies: wake every receiver.
+        for i in 0..footprint.sends.len() {
+            self.wake(footprint.sends[i]);
+        }
+        if footprint.is_local() {
+            self.sleep(footprint.machine);
+        } else {
+            self.wake(footprint.machine);
+        }
+    }
+
+    fn pruned_equivalents(&self) -> u64 {
+        self.pruned
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -830,6 +1135,10 @@ impl Scheduler for ReplayScheduler {
                 self.fallback_int(bound)
             }
         }
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -1117,6 +1426,126 @@ mod tests {
         descriptions.sort();
         descriptions.dedup();
         assert_eq!(descriptions.len(), portfolio.len());
+    }
+
+    #[test]
+    fn sleep_set_is_deterministic_per_seed() {
+        let enabled = ids(&[0, 1, 2, 3]);
+        let mut a = SleepSetScheduler::new(17);
+        let mut b = SleepSetScheduler::new(17);
+        for step in 0..100 {
+            let pick_a = a.next_machine(&enabled, step);
+            let pick_b = b.next_machine(&enabled, step);
+            assert_eq!(pick_a, pick_b);
+            // Both observe the same (local) footprint stream.
+            let fp = StepFootprint::new(pick_a);
+            a.note_footprint(&fp);
+            b.note_footprint(&fp);
+            assert_eq!(a.next_bool(), b.next_bool());
+        }
+        assert_eq!(a.pruned_equivalents(), b.pruned_equivalents());
+    }
+
+    #[test]
+    fn sleep_set_prunes_local_steps_and_stays_fair() {
+        // Three machines whose steps are all local: after each step the
+        // stepper goes to sleep, so scheduling points increasingly skip
+        // sleepers — but the fairness bound still schedules everyone.
+        let enabled = ids(&[0, 1, 2]);
+        let mut s = SleepSetScheduler::new(5);
+        let mut seen = [false; 3];
+        for step in 0..200 {
+            let pick = s.next_machine(&enabled, step);
+            seen[pick.raw() as usize] = true;
+            s.note_footprint(&StepFootprint::new(pick));
+        }
+        assert!(seen.iter().all(|&b| b), "no machine may be starved");
+        assert!(
+            s.pruned_equivalents() > 100,
+            "all-local steps must prune aggressively, got {}",
+            s.pruned_equivalents()
+        );
+    }
+
+    #[test]
+    fn sleep_set_wakes_receiver_on_send() {
+        let enabled = ids(&[0, 1]);
+        let mut s = SleepSetScheduler::new(1);
+        // Machine 0 takes a local step and falls asleep.
+        s.note_footprint(&StepFootprint::new(MachineId::from_raw(0)));
+        assert_eq!(s.asleep.len(), 1);
+        // Machine 1 sends to machine 0: 0 wakes, 1 stays awake (its step was
+        // not local).
+        let mut fp = StepFootprint::new(MachineId::from_raw(1));
+        fp.sends.push(MachineId::from_raw(0));
+        s.note_footprint(&fp);
+        assert!(s.asleep.is_empty());
+        let _ = enabled;
+    }
+
+    #[test]
+    fn sleep_set_monitor_steps_never_sleep() {
+        let mut s = SleepSetScheduler::new(1);
+        let mut fp = StepFootprint::new(MachineId::from_raw(0));
+        fp.notified_monitor = true;
+        s.note_footprint(&fp);
+        assert!(s.asleep.is_empty());
+    }
+
+    #[test]
+    fn footprint_independence_rules() {
+        let a = MachineId::from_raw(0);
+        let b = MachineId::from_raw(1);
+        let c = MachineId::from_raw(2);
+        let local_a = StepFootprint::new(a);
+        let local_b = StepFootprint::new(b);
+        assert!(local_a.independent(&local_b));
+        assert!(
+            !local_a.independent(&local_a),
+            "same machine never commutes"
+        );
+
+        let mut send_a_to_b = StepFootprint::new(a);
+        send_a_to_b.sends.push(b);
+        assert!(!send_a_to_b.independent(&local_b), "delivery to the peer");
+
+        let mut send_b_to_c = StepFootprint::new(b);
+        send_b_to_c.sends.push(c);
+        let mut send_a_to_c = StepFootprint::new(a);
+        send_a_to_c.sends.push(c);
+        assert!(
+            !send_a_to_c.independent(&send_b_to_c),
+            "racing sends to a common mailbox"
+        );
+        assert!(!send_a_to_b.independent(&send_b_to_c), "b receives");
+
+        let mut monitor_step = StepFootprint::new(a);
+        monitor_step.notified_monitor = true;
+        assert!(!monitor_step.independent(&local_b), "monitors are shared");
+    }
+
+    #[test]
+    fn built_in_schedulers_clone_mid_stream() {
+        // Cloning mid-execution must preserve the decision stream exactly.
+        let enabled = ids(&[0, 1, 2, 3]);
+        let mut kinds = SchedulerKind::default_portfolio();
+        kinds.push(SchedulerKind::SleepSet);
+        for kind in kinds {
+            let mut original = kind.build(33, 1_000);
+            for step in 0..10 {
+                original.next_machine(&enabled, step);
+                original.next_bool();
+            }
+            let mut copy = original.clone_box().expect("built-ins are clonable");
+            for step in 10..40 {
+                assert_eq!(
+                    original.next_machine(&enabled, step),
+                    copy.next_machine(&enabled, step),
+                    "{kind:?} diverged after clone"
+                );
+                assert_eq!(original.next_int(9), copy.next_int(9));
+            }
+        }
     }
 
     #[test]

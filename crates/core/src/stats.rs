@@ -155,6 +155,13 @@ pub struct StrategyStats {
     /// Property violations this strategy found (0 or 1 today: runs stop at
     /// the first bug).
     pub bugs_found: u64,
+    /// Schedule-equivalents this strategy pruned instead of exploring
+    /// (see
+    /// [`Scheduler::pruned_equivalents`](crate::scheduler::Scheduler::pruned_equivalents)).
+    /// Zero for non-reducing strategies; for the sleep-set strategy, the
+    /// effective exploration rate is
+    /// `(total_steps + pruned_schedules) / wall-time`.
+    pub pruned_schedules: u64,
 }
 
 impl StrategyStats {
@@ -165,6 +172,7 @@ impl StrategyStats {
             iterations_run: 0,
             total_steps: 0,
             bugs_found: 0,
+            pruned_schedules: 0,
         }
     }
 
@@ -181,13 +189,14 @@ impl StrategyStats {
         self.iterations_run += other.iterations_run;
         self.total_steps += other.total_steps;
         self.bugs_found += other.bugs_found;
+        self.pruned_schedules += other.pruned_schedules;
     }
 
     /// Renders the header row matching [`StrategyStats`]'s `Display` output.
     pub fn table_header() -> String {
         format!(
-            "{:<14} {:>12} {:>12} {:>5}",
-            "Strategy", "Execs", "Steps", "Bugs"
+            "{:<14} {:>12} {:>12} {:>5} {:>12}",
+            "Strategy", "Execs", "Steps", "Bugs", "Pruned"
         )
     }
 }
@@ -196,8 +205,12 @@ impl fmt::Display for StrategyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<14} {:>12} {:>12} {:>5}",
-            self.scheduler, self.iterations_run, self.total_steps, self.bugs_found
+            "{:<14} {:>12} {:>12} {:>5} {:>12}",
+            self.scheduler,
+            self.iterations_run,
+            self.total_steps,
+            self.bugs_found,
+            self.pruned_schedules
         )
     }
 }
@@ -209,6 +222,7 @@ impl ToJson for StrategyStats {
             ("iterations_run", Json::UInt(self.iterations_run)),
             ("total_steps", Json::UInt(self.total_steps)),
             ("bugs_found", Json::UInt(self.bugs_found)),
+            ("pruned_schedules", Json::UInt(self.pruned_schedules)),
         ])
     }
 }

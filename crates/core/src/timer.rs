@@ -7,12 +7,19 @@
 //! is then free to interleave timeouts arbitrarily with regular system events
 //! — exactly the modeling pattern of Figure 9 in the paper.
 
+use std::rc::Rc;
+
 use crate::event::Event;
 use crate::machine::{Machine, MachineId};
 use crate::runtime::Context;
 
 /// Internal self-message that keeps the timer loop running.
-#[derive(Debug)]
+///
+/// Replicable so that a queued loop event never blocks [`Runtime::snapshot`]
+/// (timers are not marked lossy, so fault injection cannot duplicate it).
+///
+/// [`Runtime::snapshot`]: crate::runtime::Runtime::snapshot
+#[derive(Debug, Clone)]
 struct TimerLoop;
 
 /// Event sent by [`Timer`] machines to their target when the timer fires.
@@ -23,9 +30,13 @@ struct TimerLoop;
 pub struct TimerTick;
 
 /// A machine that models timer expiration with controlled nondeterminism.
+///
+/// Clonable (the tick constructor is behind an `Rc`), so harnesses using
+/// timers stay compatible with snapshot-based prefix sharing.
+#[derive(Clone)]
 pub struct Timer {
     target: MachineId,
-    make_tick: Box<dyn Fn() -> Event + 'static>,
+    make_tick: Rc<dyn Fn() -> Event + 'static>,
     max_ticks: Option<usize>,
     ticks_sent: usize,
 }
@@ -35,7 +46,7 @@ impl Timer {
     pub fn new(target: MachineId) -> Self {
         Timer {
             target,
-            make_tick: Box::new(|| Event::new(TimerTick)),
+            make_tick: Rc::new(|| Event::new(TimerTick)),
             max_ticks: None,
             ticks_sent: 0,
         }
@@ -51,7 +62,7 @@ impl Timer {
     {
         Timer {
             target,
-            make_tick: Box::new(make_tick),
+            make_tick: Rc::new(make_tick),
             max_ticks: None,
             ticks_sent: 0,
         }
@@ -74,7 +85,7 @@ impl Timer {
 
 impl Machine for Timer {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        ctx.send_to_self(Event::new(TimerLoop));
+        ctx.send_to_self(Event::replicable(TimerLoop));
     }
 
     fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
@@ -93,11 +104,15 @@ impl Machine for Timer {
             self.ticks_sent += 1;
             ctx.send(self.target, (self.make_tick)());
         }
-        ctx.send_to_self(Event::new(TimerLoop));
+        ctx.send_to_self(Event::replicable(TimerLoop));
     }
 
     fn name(&self) -> &str {
         "Timer"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -277,6 +277,66 @@ fn pooled_runtime_iteration_stays_within_a_constant_allocation_budget() {
     );
 }
 
+/// Snapshot forks ([`Runtime::restore_from`], the prefix-sharing path) recycle
+/// the pooled mailboxes, retained trace storage and footprint buffers of the
+/// runtime they overwrite, so once the pools are warm a fork costs O(machines)
+/// allocations — the re-cloned machine boxes, the snapshot scheduler re-clone
+/// and duplicated queued events — never O(steps) of the suffix it replaces.
+#[test]
+fn snapshot_fork_restore_stays_within_a_constant_allocation_budget() {
+    const STEPS: usize = 8_192;
+
+    /// Clonable twin of [`Spinner`]: snapshots require `clone_state`.
+    #[derive(Clone)]
+    struct CloneSpinner;
+    impl Machine for CloneSpinner {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_to_self(Event::new(Spin));
+        }
+        fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+            ctx.send_to_self(Event::new(Spin));
+        }
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    let mut rt = Runtime::new(
+        SchedulerKind::Random.build(11, STEPS),
+        RuntimeConfig {
+            max_steps: STEPS,
+            ..RuntimeConfig::default()
+        },
+        11,
+    );
+    rt.create_machine(CloneSpinner);
+    rt.create_machine(CloneSpinner);
+    let snapshot = rt.snapshot().expect("clonable harness snapshots");
+
+    // Warm-up forks grow every pooled buffer to its steady-state size.
+    for seed in [13, 17] {
+        rt.restore_from(&snapshot);
+        rt.set_scheduler(SchedulerKind::Random.build(seed, STEPS));
+        rt.reseed(seed);
+        assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
+    }
+
+    // The measured fork: restoring an 8k-step runtime back to the prefix
+    // must not touch the heap beyond the constant per-fork cost.
+    let (allocations, ()) = count_allocations(|| rt.restore_from(&snapshot));
+    assert!(
+        allocations <= 8,
+        "a warm snapshot fork allocated {allocations} times; \
+         recycled snapshot buffers must absorb the restore"
+    );
+
+    // And the fork is a fully working runtime: the suffix runs to the bound.
+    rt.set_scheduler(SchedulerKind::Random.build(19, STEPS));
+    rt.reseed(19);
+    assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
+    assert_eq!(rt.steps(), STEPS);
+}
+
 /// Bug-free portfolio sweeps auto-select `TraceMode::DecisionsOnly` when
 /// neither shrinking nor an explicit trace mode was requested
 /// (`TestConfig::effective_trace_mode`): the annotated schedule — the larger

@@ -327,6 +327,38 @@ fn unmarked_machines_are_never_offered_as_fault_targets() {
     }
 }
 
+/// Regression test: a machine marked both crashable AND lossy must appear in
+/// the fault-target candidate list exactly once, whichever order the marks
+/// arrive in — a duplicated entry would skew the replay-critical offer order
+/// and double that machine's selection weight.
+#[test]
+fn doubly_marked_machine_is_offered_as_one_fault_target() {
+    for flip in [false, true] {
+        let mut rt = runtime_with_faults(3, FaultPlan::new().with_crashes(1).with_drops(1), 400);
+        let worker = rt.create_machine(Worker::new());
+        let bystander = rt.create_machine(Worker::new());
+        if flip {
+            rt.mark_lossy(worker);
+            rt.mark_crashable(worker);
+        } else {
+            rt.mark_crashable(worker);
+            rt.mark_lossy(worker);
+        }
+        rt.mark_restartable(worker);
+        rt.mark_lossy(bystander);
+        assert_eq!(
+            rt.fault_target_count(),
+            2,
+            "two distinct machines are marked, so two candidates exist"
+        );
+        for _ in 0..10 {
+            rt.send(worker, Event::new(Ping));
+            rt.send(bystander, Event::new(Ping));
+        }
+        rt.run();
+    }
+}
+
 #[test]
 fn fault_budget_bounds_the_injected_fault_count() {
     let plan = FaultPlan::new().with_drops(2).with_duplicates(1);

@@ -125,6 +125,7 @@ pub struct NotifyApplied {
 // ---------------------------------------------------------------------------
 
 /// A Fabric replica hosting the counter service.
+#[derive(Clone)]
 pub struct ReplicaMachine {
     manager: MachineId,
     role: Role,
@@ -308,6 +309,10 @@ impl Machine for ReplicaMachine {
     fn name(&self) -> &str {
         "ReplicaMachine"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -317,6 +322,7 @@ impl Machine for ReplicaMachine {
 /// The modeled Fabric cluster manager: creates the replica set, routes client
 /// requests to the current primary, relays copy requests, and performs
 /// failover when the primary fails.
+#[derive(Clone)]
 pub struct ClusterManagerMachine {
     bugs: FabricBugs,
     secondary_count: usize,
@@ -476,6 +482,10 @@ impl Machine for ClusterManagerMachine {
     fn name(&self) -> &str {
         "ClusterManagerMachine"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -484,6 +494,7 @@ impl Machine for ClusterManagerMachine {
 
 /// Modeled client issuing a fixed number of counter increments through the
 /// cluster manager.
+#[derive(Clone)]
 pub struct FabricClient {
     manager: MachineId,
     remaining: usize,
@@ -524,6 +535,10 @@ impl Machine for FabricClient {
     fn name(&self) -> &str {
         "FabricClient"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -532,7 +547,7 @@ impl Machine for FabricClient {
 
 /// Safety monitor: for every sequence number, all replicas that apply it must
 /// reach the same service state (no divergent replicas).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ConsistencyMonitor {
     states_by_sequence: BTreeMap<(u64, u64), i64>,
     applications_observed: usize,
@@ -572,6 +587,10 @@ impl Monitor for ConsistencyMonitor {
 
     fn name(&self) -> &str {
         "ConsistencyMonitor"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -33,6 +33,7 @@ pub struct StageConfig {
 }
 
 /// First pipeline stage: scales raw records and forwards them downstream.
+#[derive(Clone)]
 pub struct StageOne {
     downstream: MachineId,
     scale: i64,
@@ -71,9 +72,14 @@ impl Machine for StageOne {
     fn name(&self) -> &str {
         "StageOne"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Second pipeline stage: windows and sums the derived records.
+#[derive(Clone)]
 pub struct StageTwo {
     config: Option<StageConfig>,
     buffer_until_configured: bool,
@@ -138,11 +144,16 @@ impl Machine for StageTwo {
     fn name(&self) -> &str {
         "StageTwo"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Configures stage two from a separate machine, so whether the
 /// configuration arrives before or after the first derived record depends on
 /// the interleaving the scheduler picks.
+#[derive(Clone)]
 pub struct Configurator {
     stage_two: MachineId,
     window: usize,
@@ -171,10 +182,15 @@ impl Machine for Configurator {
     fn name(&self) -> &str {
         "Configurator"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Drives the pipeline: feeds raw records into stage one while the
 /// [`Configurator`] races to deliver stage two's configuration.
+#[derive(Clone)]
 pub struct PipelineDriver {
     stage_one: MachineId,
     records: usize,
@@ -204,6 +220,10 @@ impl Machine for PipelineDriver {
 
     fn name(&self) -> &str {
         "PipelineDriver"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

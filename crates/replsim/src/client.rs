@@ -9,6 +9,7 @@ use psharp::prelude::*;
 use crate::events::{Ack, ClientReq};
 
 /// The modeled client.
+#[derive(Clone)]
 pub struct Client {
     server: MachineId,
     remaining_requests: usize,
@@ -70,6 +71,10 @@ impl Machine for Client {
 
     fn name(&self) -> &str {
         "Client"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

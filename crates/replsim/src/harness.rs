@@ -137,9 +137,12 @@ pub fn build_harness(rt: &mut Runtime, config: &ReplConfig) -> ReplHarness {
         timers.push(timer);
     }
 
+    // Replicable: the wiring event must not block the post-setup snapshot
+    // that prefix-sharing runs fork from (the server is not lossy, so fault
+    // injection can never duplicate it).
     rt.send(
         server,
-        Event::new(ServerInit {
+        Event::replicable(ServerInit {
             client,
             nodes: storage_nodes.clone(),
         }),

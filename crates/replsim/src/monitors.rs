@@ -9,6 +9,7 @@ use crate::events::{NotifyAck, NotifyClientReq, NotifyReplica};
 
 /// Safety monitor: an `Ack` must never be issued while fewer than the target
 /// number of distinct storage nodes hold the latest data.
+#[derive(Clone)]
 pub struct ReplicaSafetyMonitor {
     replica_target: usize,
     current_data: Option<u64>,
@@ -63,11 +64,15 @@ impl Monitor for ReplicaSafetyMonitor {
     fn name(&self) -> &str {
         "ReplicaSafetyMonitor"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Liveness monitor: every accepted client request must eventually be
 /// acknowledged.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AckLivenessMonitor {
     waiting_for_ack: bool,
     requests_observed: usize,
@@ -119,6 +124,10 @@ impl Monitor for AckLivenessMonitor {
 
     fn name(&self) -> &str {
         "AckLivenessMonitor"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 }
 

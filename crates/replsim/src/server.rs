@@ -44,6 +44,7 @@ pub struct ServerInit {
 }
 
 /// The replication server.
+#[derive(Clone)]
 pub struct Server {
     client: Option<MachineId>,
     nodes: Vec<MachineId>,
@@ -168,6 +169,10 @@ impl Machine for Server {
 
     fn name(&self) -> &str {
         "Server"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

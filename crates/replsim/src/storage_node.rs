@@ -10,6 +10,7 @@ use crate::events::{NotifyReplica, ReplReq, Sync, Timeout};
 use crate::monitors::ReplicaSafetyMonitor;
 
 /// A modeled storage node (SN).
+#[derive(Clone)]
 pub struct StorageNode {
     server: MachineId,
     log: Vec<u64>,
@@ -56,6 +57,10 @@ impl Machine for StorageNode {
 
     fn name(&self) -> &str {
         "StorageNode"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -94,6 +94,15 @@ impl SharedNetworkEngine {
     pub fn pending(&self) -> usize {
         self.sent.borrow().len()
     }
+
+    /// Deep-copies the engine: unlike `clone` (which shares the outbox
+    /// handle), the fork gets its own outbox holding a copy of the undrained
+    /// messages, so snapshot clones never share wire state.
+    pub fn fork(&self) -> SharedNetworkEngine {
+        SharedNetworkEngine {
+            sent: std::rc::Rc::new(std::cell::RefCell::new(self.sent.borrow().clone())),
+        }
+    }
 }
 
 impl NetworkEngine for SharedNetworkEngine {
@@ -167,6 +176,21 @@ impl ExtentManager {
     /// Replaces the network engine (the harness swaps in the modeled one).
     pub fn set_network_engine(&mut self, net: Box<dyn NetworkEngine>) {
         self.net = net;
+    }
+
+    /// Clones the manager's bookkeeping state, installing `net` as the
+    /// clone's network engine (the `Box<dyn NetworkEngine>` itself cannot be
+    /// cloned). Used by the snapshot path of the wrapper machine.
+    pub fn clone_with_network(&self, net: Box<dyn NetworkEngine>) -> ExtentManager {
+        ExtentManager {
+            config: self.config,
+            extent_center: self.extent_center.clone(),
+            extent_node_map: self.extent_node_map.clone(),
+            net,
+            clock: self.clock,
+            internal_timer_enabled: self.internal_timer_enabled,
+            repair_requests_sent: self.repair_requests_sent,
+        }
     }
 
     /// Disables the production-internal timer so that the expiration and

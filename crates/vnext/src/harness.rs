@@ -116,7 +116,10 @@ pub fn build_harness(rt: &mut Runtime, config: &VnextConfig) -> VnextHarness {
         extents.clone(),
     ));
     let driver = rt.create_machine(TestingDriver::new(manager));
-    rt.send(manager, Event::new(SetDriver(driver)));
+    // Replicable wiring events: they must not block the post-setup snapshot
+    // that prefix-sharing runs fork from (neither target is lossy, so fault
+    // injection can never duplicate them).
+    rt.send(manager, Event::replicable(SetDriver(driver)));
     // In the fail-and-repair scenario the initial ENs are crash candidates:
     // the core scheduler decides which one fails (and when) within the
     // test's fault budget, replacing the driver's old bespoke injection.
@@ -151,7 +154,7 @@ pub fn build_harness(rt: &mut Runtime, config: &VnextConfig) -> VnextHarness {
 
     rt.send(
         driver,
-        Event::new(DriverInit {
+        Event::replicable(DriverInit {
             ens: extent_nodes.clone(),
         }),
     );

@@ -29,6 +29,7 @@ pub struct DriverInit {
 }
 
 /// The testing driver machine.
+#[derive(Clone)]
 pub struct TestingDriver {
     manager: MachineId,
     ens: BTreeMap<EnId, MachineId>,
@@ -112,6 +113,10 @@ impl Machine for TestingDriver {
 
     fn name(&self) -> &str {
         "TestingDriver"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -16,6 +16,7 @@ use crate::monitor::RepairMonitor;
 use crate::types::{EnId, EnMessage};
 
 /// A modeled Extent Node.
+#[derive(Clone)]
 pub struct ExtentNodeMachine {
     en_id: EnId,
     manager: MachineId,
@@ -150,6 +151,10 @@ impl Machine for ExtentNodeMachine {
 
     fn name(&self) -> &str {
         "ExtentNodeMachine"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
     }
 }
 

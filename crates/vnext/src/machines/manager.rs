@@ -89,6 +89,17 @@ impl Machine for ExtentManagerMachine {
     fn name(&self) -> &str {
         "ExtentManagerMachine"
     }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        // The outbox is shared with the wrapped manager through an `Rc`
+        // handle: fork it so the clone's wire state is fully private.
+        let outbox = self.outbox.fork();
+        Some(Box::new(ExtentManagerMachine {
+            manager: self.manager.clone_with_network(Box::new(outbox.clone())),
+            outbox,
+            driver: self.driver,
+        }))
+    }
 }
 
 #[cfg(test)]

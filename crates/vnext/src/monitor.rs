@@ -17,7 +17,7 @@ use crate::types::{EnId, ExtentId};
 
 /// Liveness monitor checking that lost extent replicas are eventually
 /// repaired.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RepairMonitor {
     replica_target: usize,
     replicas: BTreeMap<ExtentId, BTreeSet<EnId>>,
@@ -95,6 +95,10 @@ impl Monitor for RepairMonitor {
 
     fn name(&self) -> &str {
         "RepairMonitor"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Monitor>> {
+        Some(Box::new(self.clone()))
     }
 }
 
