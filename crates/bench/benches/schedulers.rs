@@ -9,11 +9,12 @@
 //! prints the median wall-clock time plus executions/second.
 //!
 //! Besides the human-readable table the bench writes a machine-readable
-//! `BENCH_pr7.json` (override with `--json PATH`; schema-compatible with
+//! `BENCH_pr8.json` (override with `--json PATH`; schema-compatible with
 //! `BENCH_pr2.json`, plus per-strategy portfolio rows, the
 //! schedule-shrinking row added in PR 4, the fault-injection overhead rows
-//! added in PR 5, the worker-count scaling rows added in PR 6, and the
-//! calibration probe plus schedule-reduction rows added in PR 7) so the
+//! added in PR 5, the worker-count scaling rows added in PR 6, the
+//! calibration probe plus schedule-reduction rows added in PR 7, and the
+//! mega-scale machine-count sweep added in PR 8) so the
 //! perf trajectory of the engine is tracked from PR 2 on — `dashboard`
 //! renders the whole `BENCH_*.json` series as a trend table. `--quick`
 //! shrinks every budget for CI smoke runs.
@@ -26,6 +27,8 @@ use std::time::{Duration, Instant};
 use psharp::engine::ParallelTestEngine;
 use psharp::json::{Json, ToJson};
 use psharp::prelude::*;
+use psharp::runtime::RuntimeConfig;
+use psharp::scheduler::RandomScheduler;
 
 /// Pre-change reference point for the step-loop hot path, measured on the
 /// same host immediately before the PR 2 zero-allocation refactor (commit
@@ -74,7 +77,7 @@ fn parse_settings() -> Settings {
     let mut settings = Settings {
         reps: 5,
         scale: 1,
-        json: "BENCH_pr7.json".to_string(),
+        json: "BENCH_pr8.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -550,6 +553,82 @@ fn portfolio_per_strategy(b: &mut Bench) {
     }
 }
 
+/// The total machine counts the mega-scale sweep measures.
+const MEGAKV_SCALES: [usize; 4] = [256, 1024, 4096, 10_240];
+
+/// Mega-scale machine-count sweep (PR 8): the megakv harness embeds the
+/// *same* fixed client workload (two clients, a few put/get pairs over two
+/// hot shards) in systems of wildly different total size — from 256 to
+/// 10,240 machines — so per-step cost is the only thing that varies. With
+/// the O(active) scheduling core (incremental enabled index + lazy
+/// mailboxes) the steps/s figure should stay essentially flat as the cold
+/// machine count grows 40x; `write_report` computes the 4096-vs-256
+/// steps/s ratio the CI bench-smoke job warns on.
+///
+/// Two one-time O(total) costs are paid *outside* the timed window, so the
+/// rows measure steady-state stepping of the fixed active workload:
+/// harness construction (`create_machine` x total), and the startup drain —
+/// every fresh machine owes one schedulable `on_start` step, so the drain
+/// is forced in ascending id order untimed (cold replicas disable
+/// themselves after it; only the active workload machines stay enabled).
+fn megakv_scaling(b: &mut Bench) {
+    let group = "megakv_scaling";
+    let iterations = b.budget(40);
+    for &total in &MEGAKV_SCALES {
+        let config = megakv::MegaKvConfig::scale(total, 4);
+        let mut times: Vec<Duration> = Vec::with_capacity(b.settings.reps);
+        let mut last_steps = 0u64;
+        for _ in 0..b.settings.reps {
+            let mut elapsed = Duration::ZERO;
+            let mut steps = 0u64;
+            for iteration in 0..iterations {
+                let seed = 42 + iteration;
+                let mut rt = Runtime::new(
+                    Box::new(RandomScheduler::new(seed)),
+                    RuntimeConfig {
+                        // The budget covers the startup drain (one step per
+                        // machine) plus the client workload.
+                        max_steps: total + 4_000,
+                        ..RuntimeConfig::default()
+                    },
+                    seed,
+                );
+                megakv::build_harness(&mut rt, &config);
+                for raw in 0..rt.machine_count() {
+                    rt.force_step(MachineId::from_raw(raw as u64));
+                }
+                let drained = rt.steps() as u64;
+                let start = Instant::now();
+                rt.run();
+                elapsed += start.elapsed();
+                steps += rt.steps() as u64 - drained;
+                assert!(
+                    rt.bug().is_none(),
+                    "the fixed megakv scale harness must stay clean"
+                );
+            }
+            times.push(elapsed);
+            last_steps = steps;
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let execs_per_sec = iterations as f64 / median.as_secs_f64().max(1e-9);
+        let name = format!("machines_{total}");
+        println!(
+            "{group:<32} {name:<24} median {:>9.3}ms  {:>10.0} exec/s  {last_steps:>8} steps",
+            median.as_secs_f64() * 1e3,
+            execs_per_sec,
+        );
+        b.results.push(BenchResult {
+            group,
+            name,
+            median,
+            execs_per_sec,
+            steps: last_steps,
+        });
+    }
+}
+
 /// The worker counts the scaling sweep measures.
 const SCALING_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -746,8 +825,42 @@ fn write_report(b: &Bench) {
         .execs_per_sec("calibration", "fixed_roundrobin_hotpath")
         .unwrap_or(0.0);
 
+    // Mega-scale sweep summary (PR 8): steps/s per machine count and the
+    // headline ratio. The acceptance bar is "per-step throughput at 4096
+    // total machines within 2x of the 256-machine configuration" — with the
+    // O(active) core the cold 4000 machines must not tax the step loop.
+    let megakv_steps_per_sec = |total: usize| -> f64 {
+        b.results
+            .iter()
+            .find(|r| r.group == "megakv_scaling" && r.name == format!("machines_{total}"))
+            .map(|r| r.steps as f64 / r.median.as_secs_f64().max(1e-9))
+            .unwrap_or(0.0)
+    };
+    let megakv_rows: Vec<Json> = MEGAKV_SCALES
+        .iter()
+        .map(|&total| {
+            Json::object([
+                ("machines", Json::UInt(total as u64)),
+                ("steps_per_sec", Json::Float(megakv_steps_per_sec(total))),
+            ])
+        })
+        .collect();
+    let megakv_ratio = megakv_steps_per_sec(4_096) / megakv_steps_per_sec(256).max(1e-9);
+    if quick && megakv_ratio < 0.5 {
+        eprintln!(
+            "warning: megakv steps/s at 4096 machines is {megakv_ratio:.2}x the 256-machine \
+             figure in quick mode (noise-prone; full runs assert >= 0.5x)"
+        );
+    } else {
+        assert!(
+            megakv_ratio >= 0.5,
+            "megakv per-step throughput at 4096 machines regressed to {megakv_ratio:.2}x the \
+             256-machine figure (the O(active) step loop must not scale with cold machines)"
+        );
+    }
+
     let json = Json::object([
-        ("pr", Json::UInt(7)),
+        ("pr", Json::UInt(8)),
         (
             "bench",
             Json::Str("crates/bench/benches/schedulers.rs".to_string()),
@@ -823,6 +936,13 @@ fn write_report(b: &Bench) {
             ]),
         ),
         (
+            "megakv_scaling",
+            Json::object([
+                ("rows", Json::Array(megakv_rows)),
+                ("steps_per_sec_ratio_4096_vs_256", Json::Float(megakv_ratio)),
+            ]),
+        ),
+        (
             "results",
             Json::Array(b.results.iter().map(ToJson::to_json_value).collect()),
         ),
@@ -848,6 +968,13 @@ fn write_report(b: &Bench) {
          prefix sharing {prefix_speedup:.2}x vs straight-line"
     );
     println!("calibration probe: {calibration:.0} exec/s (fixed round-robin hotpath)");
+    println!(
+        "megakv scale sweep: {:.0} steps/s at 256 machines, {:.0} steps/s at 4096 \
+         ({megakv_ratio:.2}x), {:.0} steps/s at 10240",
+        megakv_steps_per_sec(256),
+        megakv_steps_per_sec(4_096),
+        megakv_steps_per_sec(10_240),
+    );
     println!("machine-readable report written to {}", b.settings.json);
 }
 
@@ -860,6 +987,7 @@ fn main() {
     calibration(&mut b);
     step_loop_hotpath(&mut b);
     schedule_reduction(&mut b);
+    megakv_scaling(&mut b);
     harness_throughput(&mut b);
     scheduler_ablation(&mut b);
     pct_budget_ablation(&mut b);

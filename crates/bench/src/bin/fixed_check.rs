@@ -16,7 +16,7 @@
 //! ring:N` bounds per-execution trace
 //! memory on long verification runs; `--faults` additionally injects
 //! environment faults — `--faults default` uses each harness's designed
-//! fault budget (crashes for vNext/Fabric, message loss for replsim,
+//! fault budget (crashes for vNext/Fabric/megakv, message loss for replsim,
 //! crash+restart for MigratingTable), verifying the *fault tolerance* of the
 //! fixed systems, while an explicit plan applies globally.
 //!
@@ -132,6 +132,14 @@ fn main() {
             }),
             5_000,
             fabric::FabricConfig::default().fault_plan(),
+        ),
+        (
+            "megakv sharded store (fixed)",
+            Box::new(|rt: &mut psharp::runtime::Runtime| {
+                megakv::build_harness(rt, &megakv::MegaKvConfig::default());
+            }),
+            4_000,
+            megakv::MegaKvConfig::default().fault_plan(),
         ),
     ];
 

@@ -13,7 +13,7 @@ use psharp::prelude::*;
 pub struct BugCase {
     /// The case-study index used by the paper's Table 2 ("1" = vNext,
     /// "2" = MigratingTable, "3" = Fabric; "0" = the §2 example replication
-    /// system).
+    /// system, "4" = the mega-scale sharded KV store).
     pub case_study: u8,
     /// The paper's bug identifier.
     pub name: &'static str,
@@ -103,6 +103,46 @@ pub fn bug_cases() -> Vec<BugCase> {
         }),
         max_steps: 2_000,
         faults: FaultPlan::none(),
+    });
+
+    // Case study 4: the mega-scale sharded KV store. Three bugs reachable on
+    // a reliable network (the shard-aliasing bug only exists beyond 256
+    // shards) plus the fault-induced promotion bug (needs a primary crash).
+    cases.push(BugCase {
+        case_study: 4,
+        name: "MegaKvShardAliasing",
+        build: Box::new(|rt| {
+            megakv::build_harness(rt, &megakv::MegaKvConfig::with_shard_aliasing_bug());
+        }),
+        max_steps: 6_000,
+        faults: FaultPlan::none(),
+    });
+    cases.push(BugCase {
+        case_study: 4,
+        name: "MegaKvSplitForgottenPrimary",
+        build: Box::new(|rt| {
+            megakv::build_harness(rt, &megakv::MegaKvConfig::with_split_bug());
+        }),
+        max_steps: 1_500,
+        faults: FaultPlan::none(),
+    });
+    cases.push(BugCase {
+        case_study: 4,
+        name: "MegaKvRebalanceLostWrite",
+        build: Box::new(|rt| {
+            megakv::build_harness(rt, &megakv::MegaKvConfig::with_rebalance_bug());
+        }),
+        max_steps: 2_000,
+        faults: FaultPlan::none(),
+    });
+    cases.push(BugCase {
+        case_study: 4,
+        name: "MegaKvPromoteLostWrite",
+        build: Box::new(|rt| {
+            megakv::build_harness(rt, &megakv::MegaKvConfig::with_promote_lost_write_bug());
+        }),
+        max_steps: 2_500,
+        faults: megakv::MegaKvConfig::with_promote_lost_write_bug().fault_plan(),
     });
 
     cases
@@ -424,13 +464,14 @@ mod tests {
     #[test]
     fn bug_case_list_covers_all_case_studies() {
         let cases = bug_cases();
-        assert_eq!(cases.len(), 16);
+        assert_eq!(cases.len(), 20);
         assert_eq!(cases.iter().filter(|c| c.case_study == 0).count(), 1);
         assert_eq!(cases.iter().filter(|c| c.case_study == 1).count(), 1);
         assert_eq!(cases.iter().filter(|c| c.case_study == 2).count(), 12);
         assert_eq!(cases.iter().filter(|c| c.case_study == 3).count(), 2);
+        assert_eq!(cases.iter().filter(|c| c.case_study == 4).count(), 4);
         // Exactly one fault-induced bug per case-study crate.
-        assert_eq!(cases.iter().filter(|c| !c.faults.is_none()).count(), 4);
+        assert_eq!(cases.iter().filter(|c| !c.faults.is_none()).count(), 5);
     }
 
     #[test]

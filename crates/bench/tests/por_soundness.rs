@@ -70,6 +70,12 @@ fn every_case_study_harness_supports_post_setup_snapshots() {
                 fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
             }),
         ),
+        (
+            "megakv",
+            Box::new(|rt: &mut Runtime| {
+                megakv::build_harness(rt, &megakv::MegaKvConfig::with_promote_lost_write_bug());
+            }),
+        ),
     ];
     for (name, build) in harnesses {
         let mut rt = Runtime::new(

@@ -1,0 +1,243 @@
+//! Incrementally maintained enabled-machine index.
+//!
+//! Before this module the step loop recomputed the enabled set by scanning
+//! every machine slot on every step, which made per-step cost O(total
+//! machines created). At mega-scale harnesses (thousands of mostly idle
+//! machines, a handful of active ones) that scan dominated the whole run.
+//! [`EnabledSet`] instead maintains the set *incrementally*: the runtime
+//! notifies it at every enablement edge (enqueue into an empty mailbox,
+//! dequeue of the last event, halt, crash, restart, machine creation), so
+//! membership queries are O(1) and the per-step cost is a function of the
+//! *active* machine count only.
+//!
+//! # Invariants
+//!
+//! * `list` holds exactly the currently enabled machine ids, in **ascending
+//!   id order** — the [`Scheduler`](crate::scheduler::Scheduler) contract
+//!   promises a sorted slice, and replay depends on the order being
+//!   identical to the historical from-scratch slot scan.
+//! * `member[id]` is `true` iff `id` is in `list`. The dense membership
+//!   bitmap is what makes `contains` O(1); the *position* of an id is
+//!   recovered by binary search over the sorted list when a mid-list edit
+//!   needs it, so mutations never rewrite per-id bookkeeping for the
+//!   entries behind the edit point. (An earlier revision kept an id →
+//!   position map instead; the scalar fix-up loop after every mid-list
+//!   edit made the mass machine-startup drain of a 10⁴-machine harness
+//!   quadratic in practice, where the `memmove` the `Vec` edit itself
+//!   performs is vectorized and far cheaper.)
+//! * All storage is retained across [`EnabledSet::clear`] /
+//!   [`EnabledSet::rebuild`], so pooled runtimes
+//!   ([`Runtime::reset`](crate::runtime::Runtime::reset)) and snapshot forks
+//!   ([`Runtime::restore_from`](crate::runtime::Runtime::restore_from)) keep
+//!   the index without reallocating.
+//!
+//! Mutations keep the list sorted with a binary search plus `Vec`
+//! insert/remove; the common creation-order append and the steady-state
+//! "highest active id finishes first" cases hit O(1) fast paths.
+
+use crate::machine::MachineId;
+
+/// The set of currently enabled machines, maintained incrementally by the
+/// runtime and consumed by schedulers and the fault probe.
+///
+/// See the [module documentation](self) for the invariants.
+#[derive(Debug, Default)]
+pub struct EnabledSet {
+    /// Enabled machine ids in ascending order.
+    list: Vec<MachineId>,
+    /// Dense id → membership bitmap. Indexed by raw machine id; grown on
+    /// demand and retained across clears.
+    member: Vec<bool>,
+}
+
+impl EnabledSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        EnabledSet::default()
+    }
+
+    /// The enabled machines, in ascending id order.
+    #[inline]
+    pub fn as_slice(&self) -> &[MachineId] {
+        &self.list
+    }
+
+    /// Number of enabled machines.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Returns `true` when no machine is enabled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, id: MachineId) -> bool {
+        self.member
+            .get(id.raw() as usize)
+            .is_some_and(|&present| present)
+    }
+
+    /// Inserts `id`, keeping the list sorted. Idempotent; O(1) when `id` is
+    /// greater than every present id (the creation-order common case),
+    /// otherwise a binary search plus `Vec::insert` memmove.
+    pub fn insert(&mut self, id: MachineId) {
+        let index = id.raw() as usize;
+        if self.member.len() <= index {
+            self.member.resize(index + 1, false);
+        }
+        if self.member[index] {
+            return;
+        }
+        self.member[index] = true;
+        match self.list.last() {
+            Some(&last) if last > id => {
+                let at = self.list.partition_point(|&m| m < id);
+                self.list.insert(at, id);
+            }
+            _ => self.list.push(id),
+        }
+    }
+
+    /// Removes `id` if present; O(1) when `id` is the highest enabled id,
+    /// otherwise a binary search plus `Vec::remove` memmove.
+    pub fn remove(&mut self, id: MachineId) {
+        let index = id.raw() as usize;
+        if !self.member.get(index).is_some_and(|&present| present) {
+            return;
+        }
+        self.member[index] = false;
+        if self.list.last() == Some(&id) {
+            self.list.pop();
+            return;
+        }
+        let at = self.list.partition_point(|&m| m < id);
+        debug_assert_eq!(self.list.get(at), Some(&id), "bitmap/list divergence");
+        self.list.remove(at);
+    }
+
+    /// Empties the set in O(enabled), retaining all storage.
+    pub fn clear(&mut self) {
+        for id in self.list.drain(..) {
+            self.member[id.raw() as usize] = false;
+        }
+    }
+
+    /// Rebuilds the set from an iterator of enabled ids **in ascending
+    /// order** (the snapshot-restore path, which reconstructs all slots
+    /// anyway). Retains storage; `total` is the machine count the
+    /// membership bitmap must cover.
+    pub fn rebuild(&mut self, total: usize, ids: impl Iterator<Item = MachineId>) {
+        self.clear();
+        if self.member.len() < total {
+            self.member.resize(total, false);
+        }
+        for id in ids {
+            debug_assert!(
+                self.list.last().is_none_or(|&last| last < id),
+                "rebuild input must be ascending"
+            );
+            self.member[id.raw() as usize] = true;
+            self.list.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> MachineId {
+        MachineId::from_raw(raw)
+    }
+
+    fn ids(set: &EnabledSet) -> Vec<u64> {
+        set.as_slice().iter().map(|m| m.raw()).collect()
+    }
+
+    #[test]
+    fn insert_keeps_ascending_order_and_membership() {
+        let mut set = EnabledSet::new();
+        for raw in [4, 1, 7, 0, 3] {
+            set.insert(id(raw));
+        }
+        assert_eq!(ids(&set), vec![0, 1, 3, 4, 7]);
+        for raw in [0, 1, 3, 4, 7] {
+            assert!(set.contains(id(raw)));
+        }
+        assert!(!set.contains(id(2)));
+        assert!(!set.contains(id(100)), "beyond the map is absent");
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut set = EnabledSet::new();
+        set.insert(id(2));
+        set.insert(id(2));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn remove_keeps_later_entries_addressable() {
+        let mut set = EnabledSet::new();
+        for raw in 0..6 {
+            set.insert(id(raw));
+        }
+        set.remove(id(2));
+        assert_eq!(ids(&set), vec![0, 1, 3, 4, 5]);
+        // Entries after the removal point must still be removable — the
+        // sorted order the binary search relies on is intact.
+        set.remove(id(4));
+        assert_eq!(ids(&set), vec![0, 1, 3, 5]);
+        assert!(!set.contains(id(2)));
+        assert!(!set.contains(id(4)));
+        // Removing an absent or out-of-range id is a no-op.
+        set.remove(id(2));
+        set.remove(id(99));
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn clear_and_rebuild_retain_consistency() {
+        let mut set = EnabledSet::new();
+        for raw in 0..5 {
+            set.insert(id(raw));
+        }
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(id(3)));
+        set.rebuild(8, [1, 5, 6].into_iter().map(id));
+        assert_eq!(ids(&set), vec![1, 5, 6]);
+        assert!(set.contains(id(5)));
+        assert!(!set.contains(id(0)));
+        assert!(!set.contains(id(7)));
+    }
+
+    #[test]
+    fn interleaved_ops_match_a_reference_set() {
+        // Deterministic pseudo-random interleaving of inserts and removes
+        // over a small id universe, checked against a sorted reference.
+        let mut set = EnabledSet::new();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let raw = (state >> 33) % 64;
+            if (state >> 16) & 1 == 0 {
+                set.insert(id(raw));
+                if !reference.contains(&raw) {
+                    reference.push(raw);
+                    reference.sort_unstable();
+                }
+            } else {
+                set.remove(id(raw));
+                reference.retain(|&r| r != raw);
+            }
+            assert_eq!(ids(&set), reference);
+        }
+    }
+}

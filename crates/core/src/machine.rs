@@ -51,6 +51,15 @@ impl MachineId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// The id as a dense `usize` index into per-machine tables (machine
+    /// slots, the enabled-set position map, lazy mailbox slots). Ids are
+    /// assigned sequentially, so this is always in-bounds for tables sized
+    /// by the creation count.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 impl fmt::Display for MachineId {

@@ -96,6 +96,73 @@ impl Mailbox {
     }
 }
 
+/// A mailbox slot that materializes its queue lazily, on first send.
+///
+/// At mega-scale (thousands of machines, most of which never receive a
+/// message) eagerly giving every machine a `VecDeque` wastes both the
+/// allocation and the pooled-queue inventory. A `LazyMailbox` starts
+/// *vacant* — an empty queue for every read purpose — and only binds a real
+/// [`Mailbox`] (preferably a recycled one from the runtime's pool) when the
+/// first event actually arrives. Halting or crashing a machine releases the
+/// queue back to the pool via [`LazyMailbox::release_into`].
+#[derive(Debug, Default)]
+pub struct LazyMailbox {
+    inner: Option<Mailbox>,
+}
+
+impl LazyMailbox {
+    /// Creates a vacant slot (no queue bound).
+    pub fn vacant() -> Self {
+        LazyMailbox { inner: None }
+    }
+
+    /// Wraps an already materialized mailbox (the snapshot-restore path).
+    pub fn materialized(mailbox: Mailbox) -> Self {
+        LazyMailbox {
+            inner: Some(mailbox),
+        }
+    }
+
+    /// Binds a queue if none is bound yet — recycled from `pool` when
+    /// possible — and returns it for enqueuing.
+    pub fn materialize_from<'a>(&'a mut self, pool: &mut Vec<Mailbox>) -> &'a mut Mailbox {
+        self.inner
+            .get_or_insert_with(|| pool.pop().unwrap_or_default())
+    }
+
+    /// The bound queue, if any. Vacant slots read as empty mailboxes.
+    pub fn as_ref(&self) -> Option<&Mailbox> {
+        self.inner.as_ref()
+    }
+
+    /// Mutable access to the bound queue, if any. Dequeue paths use this:
+    /// an enabled started machine always has a bound, non-empty queue.
+    pub fn as_mut(&mut self) -> Option<&mut Mailbox> {
+        self.inner.as_mut()
+    }
+
+    /// Returns `true` when no event is pending (vacant or bound-but-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.as_ref().is_none_or(Mailbox::is_empty)
+    }
+
+    /// Number of pending events (zero when vacant).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, Mailbox::len)
+    }
+
+    /// Unbinds the queue — cleared — into `pool` for reuse by another slot.
+    /// Used when a machine halts or crashes (its pending events are lost)
+    /// and when a pooled runtime resets.
+    pub fn release_into(&mut self, pool: &mut Vec<Mailbox>) {
+        if let Some(mut mailbox) = self.inner.take() {
+            mailbox.clear();
+            pool.push(mailbox);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +224,40 @@ mod tests {
         mb.clear();
         assert!(mb.is_empty());
         assert_eq!(mb.peek_name(), None);
+    }
+
+    #[test]
+    fn lazy_mailbox_stays_vacant_until_first_send() {
+        let mut pool: Vec<Mailbox> = Vec::new();
+        let mut lazy = LazyMailbox::vacant();
+        assert!(lazy.is_empty());
+        assert_eq!(lazy.len(), 0);
+        assert!(lazy.as_ref().is_none());
+
+        lazy.materialize_from(&mut pool).enqueue(Event::new(B));
+        assert!(!lazy.is_empty());
+        assert_eq!(lazy.len(), 1);
+        assert!(lazy.as_ref().is_some());
+    }
+
+    #[test]
+    fn lazy_mailbox_prefers_the_pooled_queue() {
+        let mut seeded = Mailbox::new();
+        seeded.enqueue(Event::new(B));
+        seeded.clear();
+        let mut pool = vec![seeded];
+        let mut lazy = LazyMailbox::vacant();
+        lazy.materialize_from(&mut pool);
+        assert!(pool.is_empty(), "the pooled queue was taken");
+
+        // Releasing hands the (cleared) queue back for the next slot.
+        lazy.materialize_from(&mut pool).enqueue(Event::new(A(1)));
+        lazy.release_into(&mut pool);
+        assert_eq!(pool.len(), 1);
+        assert!(pool[0].is_empty());
+        assert!(lazy.as_ref().is_none());
+        // Releasing a vacant slot is a no-op.
+        lazy.release_into(&mut pool);
+        assert_eq!(pool.len(), 1);
     }
 }

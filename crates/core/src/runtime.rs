@@ -21,21 +21,27 @@
 //!
 //! The step loop is the throughput product of systematic testing (the paper's
 //! iteration counts only work because executions are cheap), so it is kept
-//! allocation-free in the steady state: the enabled set is computed into a
-//! reusable buffer, and machine/event names are recorded in the trace as
-//! interned [`NameId`]s — strings are materialized only when a trace is
-//! rendered or a bug is reported.
+//! allocation-free in the steady state and its per-step cost is a function of
+//! the *active* machine count, not the created machine count: the enabled set
+//! is an incrementally maintained [`EnabledSet`] index updated at every
+//! enablement edge (enqueue, dequeue, halt, crash, restart, creation) instead
+//! of being recomputed by an O(total) slot scan, mailboxes are materialized
+//! lazily on first send from a recycled pool ([`LazyMailbox`]), and
+//! machine/event names are recorded in the trace as interned [`NameId`]s —
+//! strings are materialized only when a trace is rendered or a bug is
+//! reported.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::enabled::EnabledSet;
 use crate::error::{Bug, BugKind, ReplayError};
 use crate::event::Event;
 use crate::fault::{Fault, FaultPlan};
 use crate::machine::{Machine, MachineId, StateMachine, StateMachineRunner};
-use crate::mailbox::Mailbox;
+use crate::mailbox::{LazyMailbox, Mailbox};
 use crate::monitor::{Monitor, MonitorContext, Temperature};
 use crate::scheduler::{Scheduler, StepFootprint};
 use crate::trace::{Decision, NameId, Trace, TraceMode, TraceStep};
@@ -126,7 +132,9 @@ impl Default for RuntimeConfig {
 
 struct MachineSlot {
     machine: Option<Box<dyn Machine>>,
-    mailbox: Mailbox,
+    /// Lazily materialized on first send; machines that never receive a
+    /// message never bind a queue.
+    mailbox: LazyMailbox,
     /// The machine's display name, interned in the trace's name table.
     name: NameId,
     started: bool,
@@ -194,9 +202,11 @@ pub struct Runtime {
     trace: Trace,
     bug: Option<Bug>,
     steps: usize,
-    /// Reused across steps so computing the enabled set never allocates in
-    /// the steady state.
-    enabled_buf: Vec<MachineId>,
+    /// Incrementally maintained enabled-machine index: updated at every
+    /// enablement edge, so the step loop never rescans the slots and
+    /// membership checks are O(1). Storage is retained across
+    /// [`Runtime::reset`] and [`Runtime::restore_from`].
+    enabled: EnabledSet,
     /// Remaining fault budget of this execution (decremented as faults are
     /// injected).
     faults_remaining: FaultPlan,
@@ -238,7 +248,7 @@ impl Runtime {
             trace,
             bug: None,
             steps: 0,
-            enabled_buf: Vec::new(),
+            enabled: EnabledSet::new(),
             faults_remaining,
             fault_buf: Vec::new(),
             fault_targets: Vec::new(),
@@ -266,8 +276,7 @@ impl Runtime {
     pub fn reset(&mut self, scheduler: Box<dyn Scheduler>, config: RuntimeConfig, seed: u64) {
         let pool = &mut self.mailbox_pool;
         for mut slot in self.slots.drain(..) {
-            slot.mailbox.clear();
-            pool.push(slot.mailbox);
+            slot.mailbox.release_into(pool);
         }
         self.monitors.clear();
         self.monitor_index.clear();
@@ -277,7 +286,7 @@ impl Runtime {
         self.config = config;
         self.bug = None;
         self.steps = 0;
-        self.enabled_buf.clear();
+        self.enabled.clear();
         self.fault_buf.clear();
         self.fault_targets.clear();
         self.marked_crashable = 0;
@@ -325,7 +334,10 @@ impl Runtime {
         let name = self.trace.intern(machine.name());
         self.slots.push(MachineSlot {
             machine: Some(Box::new(machine)),
-            mailbox: self.mailbox_pool.pop().unwrap_or_default(),
+            // No queue until the first send: at mega-scale most machines
+            // never receive a message, so binding a queue eagerly would
+            // waste both the allocation and the recycled-pool inventory.
+            mailbox: LazyMailbox::vacant(),
             name,
             started: false,
             halted: false,
@@ -334,6 +346,9 @@ impl Runtime {
             lossy: false,
             crashed: false,
         });
+        // A fresh machine is enabled (its `on_start` is pending); ids are
+        // assigned in ascending order, so this is the index's O(1) append.
+        self.enabled.insert(id);
         id
     }
 
@@ -471,10 +486,16 @@ impl Runtime {
     pub fn send(&mut self, target: MachineId, event: Event) {
         let slot = self
             .slots
-            .get_mut(target.raw() as usize)
+            .get_mut(target.index())
             .expect("send target must be a machine created by this runtime");
         if !slot.halted && !slot.crashed {
-            slot.mailbox.enqueue(event);
+            slot.mailbox
+                .materialize_from(&mut self.mailbox_pool)
+                .enqueue(event);
+            // Enqueue is an enablement edge: a started machine with a
+            // previously empty mailbox becomes runnable. O(1) no-op when the
+            // target is already in the set.
+            self.enabled.insert(target);
         }
     }
 
@@ -580,13 +601,7 @@ impl Runtime {
                     }
                 }
             }
-            self.enabled_buf.clear();
-            for (index, slot) in self.slots.iter().enumerate() {
-                if slot.is_enabled() {
-                    self.enabled_buf.push(MachineId::from_raw(index as u64));
-                }
-            }
-            if self.enabled_buf.is_empty() {
+            if self.enabled.is_empty() {
                 if let Some(pending) = grace {
                     // Quiescent while hot (the cooled entries were retained
                     // away above): the monitor can never cool again, so the
@@ -601,12 +616,16 @@ impl Runtime {
                     false => ExecutionOutcome::Quiescent,
                 };
             }
-            let chosen = self.scheduler.next_machine(&self.enabled_buf, self.steps);
-            let chosen = if self.enabled_buf.contains(&chosen) {
+            let chosen = self
+                .scheduler
+                .next_machine(self.enabled.as_slice(), self.steps);
+            let chosen = if self.enabled.contains(chosen) {
                 chosen
             } else {
                 // Defensive: a misbehaving scheduler must not wedge the run.
-                self.enabled_buf[0]
+                // O(1) membership via the index; the fallback is the lowest
+                // enabled id (the sorted list's head), deterministically.
+                self.enabled.as_slice()[0]
             };
             self.trace.push_decision(Decision::Schedule(chosen));
             self.step_machine(chosen);
@@ -619,9 +638,23 @@ impl Runtime {
         self.bug.take().expect("bug is present when taken")
     }
 
+    /// Re-syncs one machine's membership in the enabled index with its
+    /// slot's actual [`MachineSlot::is_enabled`] state. Called after every
+    /// point that may flip enablement without going through
+    /// [`Runtime::send`] / [`Runtime::create_machine`]: the end of a step
+    /// (dequeue, halt, start transition) and fault application.
+    #[inline]
+    fn sync_enabled(&mut self, id: MachineId) {
+        if self.slots[id.index()].is_enabled() {
+            self.enabled.insert(id);
+        } else {
+            self.enabled.remove(id);
+        }
+    }
+
     fn step_machine(&mut self, id: MachineId) {
         self.footprint.rearm(id);
-        let index = id.raw() as usize;
+        let index = id.index();
         let (mut machine, event, event_name, name) = {
             let slot = &mut self.slots[index];
             let machine = slot
@@ -634,6 +667,8 @@ impl Runtime {
             } else {
                 let event = slot
                     .mailbox
+                    .as_mut()
+                    .expect("enabled started machine has a bound mailbox")
                     .dequeue()
                     .expect("enabled machine has an event");
                 let event_name = event.name();
@@ -681,8 +716,15 @@ impl Runtime {
         let slot = &mut self.slots[index];
         slot.machine = Some(machine);
         if slot.halted {
-            slot.mailbox.clear();
+            // A halted machine's pending events are lost; its queue goes
+            // back to the pool for the next lazily materialized mailbox.
+            slot.mailbox.release_into(&mut self.mailbox_pool);
         }
+        // The step may have flipped this machine's enablement (start
+        // transition with an empty mailbox, last event dequeued, halt,
+        // self-sends): re-sync it. Every *other* machine the handler touched
+        // was synced by `send` / `create_machine` already.
+        self.sync_enabled(id);
     }
 
     /// Whether the per-step fault probe can possibly produce a candidate:
@@ -725,7 +767,13 @@ impl Runtime {
             if slot.lossy && !slot.mailbox.is_empty() && budget.drops > 0 {
                 buf.push(Fault::Drop(id));
             }
-            if slot.lossy && budget.duplicates > 0 && slot.mailbox.front_can_duplicate() {
+            if slot.lossy
+                && budget.duplicates > 0
+                && slot
+                    .mailbox
+                    .as_ref()
+                    .is_some_and(Mailbox::front_can_duplicate)
+            {
                 buf.push(Fault::Duplicate(id));
             }
         }
@@ -740,16 +788,18 @@ impl Runtime {
         match fault {
             Fault::Crash(id) => {
                 self.faults_remaining.crashes -= 1;
-                let slot = &mut self.slots[id.raw() as usize];
+                let slot = &mut self.slots[id.index()];
                 slot.crashed = true;
                 // Messages queued at a dead node are lost; the slot's
                 // `crashed` flag also drops everything sent until a restart.
-                slot.mailbox.clear();
+                slot.mailbox.release_into(&mut self.mailbox_pool);
                 self.run_fault_hook(id, FaultHook::Crash);
+                // A crashed machine is not schedulable until restarted.
+                self.sync_enabled(id);
             }
             Fault::Restart(id) => {
                 self.faults_remaining.restarts -= 1;
-                let slot = &mut self.slots[id.raw() as usize];
+                let slot = &mut self.slots[id.index()];
                 slot.crashed = false;
                 if slot.started {
                     // Recovery resumes through `on_restart`, never through a
@@ -760,20 +810,70 @@ impl Runtime {
                 // `started` stays false and `on_start` runs (with all its
                 // wiring/initial sends) when the scheduler first picks it —
                 // there is no prior incarnation for `on_restart` to recover.
+                self.sync_enabled(id);
             }
             Fault::Drop(id) => {
                 self.faults_remaining.drops -= 1;
-                self.slots[id.raw() as usize].mailbox.dequeue();
+                if let Some(mailbox) = self.slots[id.index()].mailbox.as_mut() {
+                    mailbox.dequeue();
+                }
+                // Dropping the last queued event disables the target.
+                self.sync_enabled(id);
             }
             Fault::Duplicate(id) => {
                 self.faults_remaining.duplicates -= 1;
-                let duplicated = self.slots[id.raw() as usize].mailbox.duplicate_front();
+                let duplicated = self.slots[id.index()]
+                    .mailbox
+                    .as_mut()
+                    .is_some_and(Mailbox::duplicate_front);
                 debug_assert!(
                     duplicated,
                     "duplicate candidates are validated when offered"
                 );
+                // No enablement edge: the queue was non-empty and grew.
             }
         }
+    }
+
+    /// Applies one fault directly — bypassing the per-step scheduler probe —
+    /// when the target's markings, its current state and the remaining
+    /// [`RuntimeConfig::faults`] budget allow it; returns whether the fault
+    /// was applied. An applied fault is recorded as a decision, so the
+    /// resulting trace replays like a scheduler-injected one. Exposed for
+    /// harnesses and tests that drive fault scenarios deterministically
+    /// (e.g. the enabled-index property test); exploration uses the probe.
+    pub fn inject_fault(&mut self, fault: Fault) -> bool {
+        let budget = self.faults_remaining;
+        let slot = |id: MachineId| self.slots.get(id.index());
+        let applicable = match fault {
+            Fault::Crash(id) => {
+                budget.crashes > 0
+                    && slot(id).is_some_and(|s| s.crashable && !s.halted && !s.crashed)
+            }
+            Fault::Restart(id) => {
+                budget.restarts > 0
+                    && slot(id).is_some_and(|s| s.restartable && !s.halted && s.crashed)
+            }
+            Fault::Drop(id) => {
+                budget.drops > 0
+                    && slot(id).is_some_and(|s| {
+                        s.lossy && !s.halted && !s.crashed && !s.mailbox.is_empty()
+                    })
+            }
+            Fault::Duplicate(id) => {
+                budget.duplicates > 0
+                    && slot(id).is_some_and(|s| {
+                        s.lossy
+                            && !s.halted
+                            && !s.crashed
+                            && s.mailbox.as_ref().is_some_and(Mailbox::front_can_duplicate)
+                    })
+            }
+        };
+        if applicable {
+            self.apply_fault(fault);
+        }
+        applicable
     }
 
     /// Runs a machine's [`Machine::on_crash`] / [`Machine::on_restart`] hook
@@ -1048,18 +1148,26 @@ impl Runtime {
         &self.footprint
     }
 
-    /// Recomputes and returns the currently enabled machines, in id order.
+    /// The currently enabled machines, in ascending id order.
     ///
-    /// The slice borrows the runtime's reusable enabled-set buffer; it is
-    /// recomputed on every call.
-    pub fn enabled_machines(&mut self) -> &[MachineId] {
-        self.enabled_buf.clear();
-        for (index, slot) in self.slots.iter().enumerate() {
-            if slot.is_enabled() {
-                self.enabled_buf.push(MachineId::from_raw(index as u64));
-            }
-        }
-        &self.enabled_buf
+    /// The slice borrows the incrementally maintained enabled index — no
+    /// recomputation happens; the call is O(1).
+    pub fn enabled_machines(&self) -> &[MachineId] {
+        self.enabled.as_slice()
+    }
+
+    /// Recomputes the enabled set from scratch with a full slot scan — the
+    /// O(total machines) reference implementation the incremental index
+    /// replaced. Kept as the oracle for the `enabled_index` property test
+    /// (the index must stay byte-identical to this scan, order included);
+    /// engines and the step loop use [`Runtime::enabled_machines`].
+    pub fn scan_enabled(&self) -> Vec<MachineId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_enabled())
+            .map(|(index, _)| MachineId::from_raw(index as u64))
+            .collect()
     }
 
     /// Executes exactly one step of the given machine, bypassing the
@@ -1069,10 +1177,7 @@ impl Runtime {
     /// Returns `false` — without stepping — when the machine is not
     /// currently enabled or a bug is already pending.
     pub fn force_step(&mut self, id: MachineId) -> bool {
-        let enabled = self
-            .slots
-            .get(id.raw() as usize)
-            .is_some_and(MachineSlot::is_enabled);
+        let enabled = self.enabled.contains(id);
         if !enabled || self.bug.is_some() {
             return false;
         }
@@ -1099,10 +1204,18 @@ impl Runtime {
         let mut slots = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
             let machine = slot.machine.as_ref()?.clone_state()?;
-            let mut mailbox = Mailbox::new();
-            if !slot.mailbox.clone_into(&mut mailbox) {
-                return None;
-            }
+            // Vacant lazy slots snapshot as vacant: the fork re-creates the
+            // machine queueless, exactly as the original was.
+            let mailbox = match slot.mailbox.as_ref() {
+                None => None,
+                Some(source) => {
+                    let mut copy = Mailbox::new();
+                    if !source.clone_into(&mut copy) {
+                        return None;
+                    }
+                    Some(copy)
+                }
+            };
             slots.push(SnapshotSlot {
                 machine,
                 mailbox,
@@ -1147,20 +1260,25 @@ impl Runtime {
     pub fn restore_from(&mut self, snapshot: &RuntimeSnapshot) {
         let pool = &mut self.mailbox_pool;
         for mut slot in self.slots.drain(..) {
-            slot.mailbox.clear();
-            pool.push(slot.mailbox);
+            slot.mailbox.release_into(pool);
         }
         for slot in &snapshot.slots {
             let machine = slot
                 .machine
                 .clone_state()
                 .expect("snapshotted machine state must stay clonable");
-            let mut mailbox = self.mailbox_pool.pop().unwrap_or_default();
-            let copied = slot.mailbox.clone_into(&mut mailbox);
-            debug_assert!(
-                copied,
-                "snapshotted mailboxes hold replicable events by construction"
-            );
+            let mailbox = match slot.mailbox.as_ref() {
+                None => LazyMailbox::vacant(),
+                Some(source) => {
+                    let mut copy = self.mailbox_pool.pop().unwrap_or_default();
+                    let copied = source.clone_into(&mut copy);
+                    debug_assert!(
+                        copied,
+                        "snapshotted mailboxes hold replicable events by construction"
+                    );
+                    LazyMailbox::materialized(copy)
+                }
+            };
             self.slots.push(MachineSlot {
                 machine: Some(machine),
                 mailbox,
@@ -1196,7 +1314,17 @@ impl Runtime {
         self.trace.clone_from(&snapshot.trace);
         self.bug = None;
         self.steps = snapshot.steps;
-        self.enabled_buf.clear();
+        // The restore rebuilt every slot anyway (O(total) by necessity), so
+        // re-deriving the index here is free relative to the restore itself;
+        // all storage is retained, so a warm fork does not allocate.
+        self.enabled.rebuild(
+            self.slots.len(),
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_enabled())
+                .map(|(index, _)| MachineId::from_raw(index as u64)),
+        );
         self.faults_remaining = snapshot.faults_remaining;
         self.fault_buf.clear();
         self.fault_targets.clone_from(&snapshot.fault_targets);
@@ -1210,7 +1338,8 @@ impl Runtime {
 /// One captured machine slot of a [`RuntimeSnapshot`].
 struct SnapshotSlot {
     machine: Box<dyn Machine>,
-    mailbox: Mailbox,
+    /// `None` mirrors a lazy slot that never materialized a queue.
+    mailbox: Option<Mailbox>,
     name: NameId,
     started: bool,
     halted: bool,

@@ -277,6 +277,48 @@ fn pooled_runtime_iteration_stays_within_a_constant_allocation_budget() {
     );
 }
 
+/// The mega-scale acceptance of the O(active) scheduling core (PR 8): a
+/// *recycled* 10,240-machine megakv iteration — pooled [`Runtime::reset`],
+/// full harness re-creation, then a run to quiescence covering one
+/// schedulable `on_start` step per machine — stays within the same ≤8
+/// allocation budget as the small harnesses above. The enabled index,
+/// mailbox pool (all cold mailboxes stay lazily vacant), trace storage and
+/// name table all retain their capacity across the reset, so ten thousand
+/// machines cost the armed window nothing. The harness re-build (machine
+/// boxes, slot-vector reuse) is the iteration's own setup cost and happens
+/// outside the window, exactly as the engines sequence it.
+#[test]
+fn recycled_megakv_iteration_at_ten_thousand_machines_stays_within_budget() {
+    const TOTAL: usize = 10_240;
+    let kv = megakv::MegaKvConfig::scale(TOTAL, 0);
+    let config = RuntimeConfig {
+        max_steps: TOTAL + 100,
+        ..RuntimeConfig::default()
+    };
+
+    // Warm-up iteration grows every pooled buffer to mega-scale size.
+    let mut rt = Runtime::new(
+        SchedulerKind::Random.build(11, TOTAL + 100),
+        config.clone(),
+        11,
+    );
+    megakv::build_harness(&mut rt, &kv);
+    assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+    assert_eq!(rt.steps(), TOTAL, "one start step per machine");
+
+    // The recycled iteration: reset, re-build, measure the run.
+    rt.reset(SchedulerKind::Random.build(13, TOTAL + 100), config, 13);
+    megakv::build_harness(&mut rt, &kv);
+    let (allocations, outcome) = count_allocations(|| rt.run());
+    assert_eq!(outcome, ExecutionOutcome::Quiescent);
+    assert_eq!(rt.steps(), TOTAL);
+    assert!(
+        allocations <= 8,
+        "a recycled {TOTAL}-machine megakv iteration allocated {allocations} times; \
+         the O(active) core must absorb mega-scale runs in retained storage"
+    );
+}
+
 /// Snapshot forks ([`Runtime::restore_from`], the prefix-sharing path) recycle
 /// the pooled mailboxes, retained trace storage and footprint buffers of the
 /// runtime they overwrite, so once the pools are warm a fork costs O(machines)

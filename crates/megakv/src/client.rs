@@ -1,0 +1,164 @@
+//! Modeled clients: request floods over a small hot-key set, with retry
+//! ticks and NACK-driven resends.
+//!
+//! Each client works through a configured number of put/get pairs: write a
+//! nondeterministically chosen hot key, and after the acknowledgement read
+//! it back, reporting both to the read-your-writes safety monitor. Every
+//! outstanding operation has a retry tick in flight (a replicable
+//! self-send), so the scheduler can fire the "timeout" before the reply —
+//! producing the spurious retries the router's fast path keys on — and a
+//! client whose request died with a crashed primary keeps retrying until
+//! the promoted backup serves it. NACKs retry immediately, which under a
+//! misrouted table turns into the cascading retry floods the liveness
+//! monitor judges at the step bound.
+//!
+//! Clients use disjoint hot keys, so each key has a single writer and a
+//! read observing anything but the last acknowledged write is a genuine
+//! safety violation.
+
+use psharp::prelude::*;
+
+use crate::events::{
+    GetReply, KvOp, KvRequest, Nack, PutAck, ReadObserved, ReqCompleted, ReqIssued, RetryTick,
+    WriteAcked,
+};
+use crate::monitors::{ProgressMonitor, ReadYourWritesMonitor};
+
+/// The operation a client is currently waiting on.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    op: KvOp,
+    attempt: u32,
+}
+
+/// A modeled client issuing put/get pairs against hot keys.
+#[derive(Clone)]
+pub struct Client {
+    router: MachineId,
+    hot_keys: Vec<u64>,
+    pairs_left: usize,
+    seq: u64,
+    pending: Option<Pending>,
+}
+
+impl Client {
+    /// Creates a client that will run `pairs` put/get pairs over `hot_keys`.
+    pub fn new(router: MachineId, hot_keys: Vec<u64>, pairs: usize) -> Self {
+        Client {
+            router,
+            hot_keys,
+            pairs_left: pairs,
+            seq: 0,
+            pending: None,
+        }
+    }
+
+    /// Put/get pairs still to run (exposed for tests; 0 = workload done).
+    pub fn pairs_left(&self) -> usize {
+        self.pairs_left
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_>, op: KvOp) {
+        self.seq += 1;
+        self.pending = Some(Pending { op, attempt: 0 });
+        self.send_request(ctx, op, 0);
+        ctx.send_to_self(Event::replicable(RetryTick { seq: self.seq }));
+    }
+
+    fn send_request(&self, ctx: &mut Context<'_>, op: KvOp, attempt: u32) {
+        let req = KvRequest {
+            op,
+            client: ctx.id(),
+            seq: self.seq,
+            attempt,
+        };
+        ctx.send(self.router, Event::replicable(req));
+    }
+
+    fn retry(&mut self, ctx: &mut Context<'_>) {
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
+        pending.attempt += 1;
+        let (op, attempt) = (pending.op, pending.attempt);
+        self.send_request(ctx, op, attempt);
+    }
+
+    fn begin_pair(&mut self, ctx: &mut Context<'_>) {
+        ctx.notify_monitor::<ProgressMonitor>(Event::replicable(ReqIssued));
+        let key = *ctx.choose(&self.hot_keys);
+        // Values are derived from the (strictly increasing) sequence number,
+        // so every write to a key carries a distinct value.
+        let val = self.seq + 1;
+        self.issue(ctx, KvOp::Put { key, val });
+    }
+}
+
+impl Machine for Client {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.pairs_left > 0 && !self.hot_keys.is_empty() {
+            self.begin_pair(ctx);
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        if let Some(&ack) = event.downcast_ref::<PutAck>() {
+            if ack.seq != self.seq {
+                return; // stale ack of a retried, already-completed put
+            }
+            if let Some(Pending {
+                op: KvOp::Put { key, val },
+                ..
+            }) = self.pending
+            {
+                ctx.notify_monitor::<ReadYourWritesMonitor>(Event::replicable(WriteAcked {
+                    key,
+                    val,
+                }));
+                self.issue(ctx, KvOp::Get { key });
+            }
+        } else if let Some(&reply) = event.downcast_ref::<GetReply>() {
+            if reply.seq != self.seq
+                || !matches!(
+                    self.pending,
+                    Some(Pending {
+                        op: KvOp::Get { .. },
+                        ..
+                    })
+                )
+            {
+                return;
+            }
+            ctx.notify_monitor::<ReadYourWritesMonitor>(Event::replicable(ReadObserved {
+                key: reply.key,
+                value: reply.value,
+            }));
+            ctx.notify_monitor::<ProgressMonitor>(Event::replicable(ReqCompleted));
+            self.pending = None;
+            self.pairs_left -= 1;
+            if self.pairs_left > 0 {
+                self.begin_pair(ctx);
+            }
+        } else if let Some(&nack) = event.downcast_ref::<Nack>() {
+            if nack.seq == self.seq && self.pending.is_some() {
+                self.retry(ctx);
+            }
+        } else if let Some(&tick) = event.downcast_ref::<RetryTick>() {
+            if tick.seq == self.seq && self.pending.is_some() {
+                self.retry(ctx);
+                // Re-arm: the client keeps retrying until the operation
+                // completes, so a request lost with a crashed primary is
+                // eventually re-driven into the promoted backup.
+                ctx.send_to_self(Event::replicable(RetryTick { seq: self.seq }));
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "KvClient"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
+}

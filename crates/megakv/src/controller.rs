@@ -1,0 +1,227 @@
+//! The cluster controller: shard splits, rebalancing and failure handling.
+//!
+//! The controller owns the cluster metadata (which replica is primary for
+//! which range, and who its backup is). It drives two reconfiguration
+//! storms against shard 0 — a split of the range's upper half onto a newly
+//! created primary, then a rebalance of the remainder onto another new
+//! primary — and reacts to [`PrimaryDown`] failure-detector signals by
+//! promoting the shard's backup and repointing the router.
+//!
+//! The **split-forgotten-primary** seeded bug lives here: the buggy
+//! controller registers the freshly split-off range in the routing table
+//! but points it at the *old* primary, which has already shrunk and NACKs
+//! every request for the range — the client retries forever and the
+//! progress monitor stays hot.
+
+use psharp::prelude::*;
+
+use crate::events::{Handover, HandoverDone, HandoverFinalize, PrimaryDown, Promote, RouteUpdate};
+use crate::replica::{Replica, ReplicaBugs};
+
+/// Cluster metadata for one shard, as known to the controller.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardInfo {
+    /// First key of the shard's range.
+    pub start: u64,
+    /// One past the last key of the shard's range.
+    pub end: u64,
+    /// The serving primary.
+    pub primary: MachineId,
+    /// The shard's backup, if the configuration runs with replication.
+    pub backup: Option<MachineId>,
+}
+
+/// Wiring event sent by the harness once all initial machines exist.
+#[derive(Debug, Clone)]
+pub struct ControllerInit {
+    /// The routing front-end.
+    pub router: MachineId,
+    /// Initial metadata of every shard, in shard-index order.
+    pub shards: Vec<ShardInfo>,
+    /// Split shard 0's upper half onto a new primary.
+    pub do_split: bool,
+    /// Rebalance shard 0's (remaining) range onto a new primary.
+    pub do_rebalance: bool,
+}
+
+/// Which reconfiguration the controller is currently waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Splitting,
+    Rebalancing,
+}
+
+/// Seeded-bug switches of the [`Controller`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerBugs {
+    /// After a split, point the new range's route at the old primary.
+    pub split_routes_to_old_primary: bool,
+}
+
+/// The cluster-controller machine.
+#[derive(Clone)]
+pub struct Controller {
+    router: Option<MachineId>,
+    shards: Vec<ShardInfo>,
+    do_rebalance: bool,
+    phase: Phase,
+    /// The old primary of the in-flight handover (receives the finalize).
+    handing_over_from: Option<MachineId>,
+    /// Bug flags handed to replicas the controller creates at runtime.
+    replica_bugs: ReplicaBugs,
+    assert_on_misroute: bool,
+    bugs: ControllerBugs,
+    reconfigurations_done: usize,
+}
+
+impl Controller {
+    /// Creates the controller; it stays inert until [`ControllerInit`].
+    pub fn new(replica_bugs: ReplicaBugs, assert_on_misroute: bool, bugs: ControllerBugs) -> Self {
+        Controller {
+            router: None,
+            shards: Vec::new(),
+            do_rebalance: false,
+            phase: Phase::Idle,
+            handing_over_from: None,
+            replica_bugs,
+            assert_on_misroute,
+            bugs,
+            reconfigurations_done: 0,
+        }
+    }
+
+    /// Number of completed reconfigurations (exposed for tests).
+    pub fn reconfigurations_done(&self) -> usize {
+        self.reconfigurations_done
+    }
+
+    /// Creates a fresh primary (no backup) and starts handing `[start, end)`
+    /// of shard 0 over to it.
+    fn start_handover(&mut self, ctx: &mut Context<'_>, start: u64, end: u64, phase: Phase) {
+        let shard_index = self.shards.len();
+        let new_primary = ctx.create(Replica::primary(
+            ctx.id(),
+            shard_index,
+            start,
+            end,
+            Vec::new(),
+            self.assert_on_misroute,
+            self.replica_bugs,
+        ));
+        self.shards.push(ShardInfo {
+            start,
+            end,
+            primary: new_primary,
+            backup: None,
+        });
+        let old_primary = self.shards[0].primary;
+        self.handing_over_from = Some(old_primary);
+        self.phase = phase;
+        ctx.send(
+            old_primary,
+            Event::replicable(Handover {
+                start,
+                end,
+                to: new_primary,
+            }),
+        );
+    }
+
+    fn handle_init(&mut self, ctx: &mut Context<'_>, init: &ControllerInit) {
+        self.router = Some(init.router);
+        self.shards = init.shards.clone();
+        self.do_rebalance = init.do_rebalance;
+        if init.do_split {
+            let shard0 = self.shards[0];
+            let mid = shard0.start + (shard0.end - shard0.start) / 2;
+            self.start_handover(ctx, mid, shard0.end, Phase::Splitting);
+        } else if init.do_rebalance {
+            let shard0 = self.shards[0];
+            self.do_rebalance = false;
+            self.start_handover(ctx, shard0.start, shard0.end, Phase::Rebalancing);
+        }
+    }
+
+    fn handle_handover_done(&mut self, ctx: &mut Context<'_>, done: HandoverDone) {
+        let Some(router) = self.router else {
+            return;
+        };
+        let Some(old_primary) = self.handing_over_from.take() else {
+            return;
+        };
+        let new_primary = if self.phase == Phase::Splitting && self.bugs.split_routes_to_old_primary
+        {
+            // The forgotten-primary bug: the split-off range is registered,
+            // but at the shrunk old primary, which NACKs everything in it.
+            old_primary
+        } else {
+            done.to
+        };
+        ctx.send(
+            router,
+            Event::replicable(RouteUpdate {
+                start: done.start,
+                end: done.end,
+                primary: new_primary,
+            }),
+        );
+        ctx.send(
+            old_primary,
+            Event::replicable(HandoverFinalize { at: done.start }),
+        );
+        // Shard 0's authoritative range shrinks to what was not handed over.
+        self.shards[0].end = done.start;
+        self.reconfigurations_done += 1;
+        let was_splitting = self.phase == Phase::Splitting;
+        self.phase = Phase::Idle;
+        if was_splitting && self.do_rebalance {
+            let shard0 = self.shards[0];
+            self.do_rebalance = false;
+            self.start_handover(ctx, shard0.start, shard0.end, Phase::Rebalancing);
+        }
+    }
+
+    fn handle_primary_down(&mut self, ctx: &mut Context<'_>, down: PrimaryDown) {
+        let Some(router) = self.router else {
+            return;
+        };
+        let Some(info) = self.shards.get_mut(down.shard) else {
+            return;
+        };
+        let Some(backup) = info.backup.take() else {
+            return;
+        };
+        info.primary = backup;
+        ctx.send(backup, Event::replicable(Promote));
+        ctx.send(
+            router,
+            Event::replicable(RouteUpdate {
+                start: info.start,
+                end: info.end,
+                primary: backup,
+            }),
+        );
+    }
+}
+
+impl Machine for Controller {
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        if let Some(init) = event.downcast_ref::<ControllerInit>() {
+            let init = init.clone();
+            self.handle_init(ctx, &init);
+        } else if let Some(&done) = event.downcast_ref::<HandoverDone>() {
+            self.handle_handover_done(ctx, done);
+        } else if let Some(&down) = event.downcast_ref::<PrimaryDown>() {
+            self.handle_primary_down(ctx, down);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "KvController"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
+}

@@ -1,0 +1,192 @@
+//! Events of the mega-scale sharded key-value system.
+//!
+//! Every event is `Clone` and sent via [`Event::replicable`] so executions
+//! stay snapshotable: the prefix-sharing engine can fork a run at any point
+//! (`Runtime::snapshot` requires every queued payload to be copyable).
+//!
+//! [`Event::replicable`]: psharp::prelude::Event::replicable
+
+use psharp::prelude::MachineId;
+
+/// A client operation against the keyspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Write `val` under `key`.
+    Put {
+        /// Target key.
+        key: u64,
+        /// Value to store.
+        val: u64,
+    },
+    /// Read the current value under `key`.
+    Get {
+        /// Target key.
+        key: u64,
+    },
+}
+
+impl KvOp {
+    /// The key this operation addresses.
+    pub fn key(&self) -> u64 {
+        match *self {
+            KvOp::Put { key, .. } | KvOp::Get { key } => key,
+        }
+    }
+}
+
+/// A client request, routed by the router and served by a shard primary.
+///
+/// The same payload travels client → router → primary; `attempt` counts
+/// resends (retry ticks and NACK-driven retries), which the router's
+/// (optionally buggy) retry fast path keys on.
+#[derive(Debug, Clone, Copy)]
+pub struct KvRequest {
+    /// The operation.
+    pub op: KvOp,
+    /// Where to send the reply.
+    pub client: MachineId,
+    /// Client-local sequence number identifying the operation instance.
+    pub seq: u64,
+    /// 0 for the original send, incremented on every retry.
+    pub attempt: u32,
+}
+
+/// Positive reply to a [`KvOp::Put`].
+#[derive(Debug, Clone, Copy)]
+pub struct PutAck {
+    /// Sequence number of the acknowledged operation.
+    pub seq: u64,
+    /// The written key.
+    pub key: u64,
+}
+
+/// Reply to a [`KvOp::Get`].
+#[derive(Debug, Clone, Copy)]
+pub struct GetReply {
+    /// Sequence number of the answered operation.
+    pub seq: u64,
+    /// The requested key.
+    pub key: u64,
+    /// The stored value, or `None` when the key is absent.
+    pub value: Option<u64>,
+}
+
+/// Negative reply: the receiving shard does not (or no longer does) own the
+/// requested key. The client retries through the router.
+#[derive(Debug, Clone, Copy)]
+pub struct Nack {
+    /// Sequence number of the rejected operation.
+    pub seq: u64,
+}
+
+/// Client-internal retry timer, modeled as a replicable self-send: the
+/// scheduler interleaves it freely with the reply, so both the
+/// timeout-then-retry and the prompt-reply orderings are explored.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryTick {
+    /// Sequence number of the operation the tick was armed for; stale ticks
+    /// (the operation already completed) are ignored.
+    pub seq: u64,
+}
+
+/// Primary → backup replication of one write.
+#[derive(Debug, Clone, Copy)]
+pub struct Replicate {
+    /// Written key.
+    pub key: u64,
+    /// Written value.
+    pub val: u64,
+    /// Write sequence number; backups apply last-writer-wins by `seq`, so
+    /// duplicated or reordered replication is idempotent.
+    pub seq: u64,
+}
+
+/// Controller → backup: take over as primary for the shard's range.
+#[derive(Debug, Clone, Copy)]
+pub struct Promote;
+
+/// Failure-detector signal sent by a primary's crash hook to the controller.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimaryDown {
+    /// Index of the shard whose primary went down.
+    pub shard: usize,
+}
+
+/// Controller → primary: hand the key range `[start, end)` over to `to`
+/// (the upper half of a split, or the whole range for a rebalance).
+#[derive(Debug, Clone, Copy)]
+pub struct Handover {
+    /// First key of the handed-over range.
+    pub start: u64,
+    /// One past the last key of the handed-over range.
+    pub end: u64,
+    /// The replica taking over the range.
+    pub to: MachineId,
+}
+
+/// Old primary → new primary: the state snapshot of a handed-over range.
+#[derive(Debug, Clone)]
+pub struct InstallRange {
+    /// `(key, val, seq)` triples of the transferred entries.
+    pub entries: Vec<(u64, u64, u64)>,
+}
+
+/// Old primary → controller: the range snapshot has been sent to `to`; the
+/// controller may now repoint the routing table.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoverDone {
+    /// First key of the handed-over range.
+    pub start: u64,
+    /// One past the last key of the handed-over range.
+    pub end: u64,
+    /// The replica that received the snapshot.
+    pub to: MachineId,
+}
+
+/// Controller → old primary: the routing table has been repointed; stop
+/// serving the handed-over range. The correct primary shrinks its range
+/// already when handling [`Handover`] and ignores this; the seeded
+/// rebalance bug shrinks only here, silently dropping every write it
+/// accepted in between.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoverFinalize {
+    /// First key of the range being finalized away.
+    pub at: u64,
+}
+
+/// Controller → router: the range `[start, end)` is now served by `primary`.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteUpdate {
+    /// First key of the updated range.
+    pub start: u64,
+    /// One past the last key of the updated range.
+    pub end: u64,
+    /// The primary now serving the range.
+    pub primary: MachineId,
+}
+
+/// Monitor notification: a client began a put/get pair.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqIssued;
+
+/// Monitor notification: a client completed a put/get pair.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqCompleted;
+
+/// Monitor notification: a put was acknowledged to the client.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteAcked {
+    /// Acknowledged key.
+    pub key: u64,
+    /// Acknowledged value.
+    pub val: u64,
+}
+
+/// Monitor notification: a get reply was observed by the client.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadObserved {
+    /// Read key.
+    pub key: u64,
+    /// Returned value (`None` = key reported absent).
+    pub value: Option<u64>,
+}

@@ -1,0 +1,273 @@
+//! Shard replicas: the primaries (and backups) serving slices of the
+//! keyspace.
+//!
+//! A replica owns a contiguous key range `[start, end)`. Primaries serve
+//! [`KvRequest`]s forwarded by the router, replicate writes to their backups
+//! and acknowledge the client; backups only apply [`Replicate`]s until a
+//! [`Promote`] turns them into the primary. Writes carry the client's
+//! sequence number and are applied last-writer-wins, so duplicated retries
+//! are idempotent.
+//!
+//! Two of the case study's seeded bugs live here:
+//!
+//! * **`keep_accepting_during_handover`** — on a [`Handover`] the replica
+//!   sends the range snapshot but keeps serving (and acknowledging) writes
+//!   for the handed-over range until the controller's [`HandoverFinalize`];
+//!   every write accepted in that window is silently dropped with the range.
+//!   The correct replica stops owning the range atomically with the
+//!   snapshot.
+//! * **`ack_before_replicate`** — the primary acknowledges writes
+//!   immediately and batches replication, flushing only every
+//!   [`Replica::FLUSH_THRESHOLD`] writes; a crash with a non-empty batch
+//!   loses acknowledged writes, which the promoted backup then cannot serve.
+//!   The correct primary sends the replication before acknowledging, so the
+//!   write survives in the backup's mailbox even if the primary dies next.
+
+use std::collections::HashMap;
+
+use psharp::prelude::*;
+
+use crate::events::{
+    GetReply, Handover, HandoverDone, HandoverFinalize, InstallRange, KvOp, KvRequest, Nack,
+    PrimaryDown, Promote, PutAck, Replicate,
+};
+
+/// Seeded-bug switches of a [`Replica`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaBugs {
+    /// Keep serving a handed-over range until [`HandoverFinalize`] (the
+    /// rebalance lost-write bug).
+    pub keep_accepting_during_handover: bool,
+    /// Acknowledge writes before replicating them, flushing replication in
+    /// batches (the promotion lost-write bug).
+    pub ack_before_replicate: bool,
+}
+
+/// One shard replica (primary or backup).
+#[derive(Clone)]
+pub struct Replica {
+    controller: MachineId,
+    shard: usize,
+    start: u64,
+    end: u64,
+    backup: bool,
+    backups: Vec<MachineId>,
+    store: HashMap<u64, (u64, u64)>,
+    unflushed: Vec<Replicate>,
+    pending_shrink: Option<u64>,
+    /// Out-of-range requests fail an assertion instead of NACKing. Only the
+    /// shard-aliasing configuration sets this: there, with no splits or
+    /// crashes, the only way a request can arrive at the wrong shard is the
+    /// router's truncated retry cache.
+    assert_on_misroute: bool,
+    bugs: ReplicaBugs,
+}
+
+impl Replica {
+    /// Batch size of the buggy deferred-replication path.
+    pub const FLUSH_THRESHOLD: usize = 8;
+
+    /// Creates a primary for `[start, end)` replicating to `backups`.
+    pub fn primary(
+        controller: MachineId,
+        shard: usize,
+        start: u64,
+        end: u64,
+        backups: Vec<MachineId>,
+        assert_on_misroute: bool,
+        bugs: ReplicaBugs,
+    ) -> Self {
+        Replica {
+            controller,
+            shard,
+            start,
+            end,
+            backup: false,
+            backups,
+            store: HashMap::new(),
+            unflushed: Vec::new(),
+            pending_shrink: None,
+            assert_on_misroute,
+            bugs,
+        }
+    }
+
+    /// Creates a backup for `[start, end)`; it applies replicated writes and
+    /// serves nothing until promoted.
+    pub fn backup(controller: MachineId, shard: usize, start: u64, end: u64) -> Self {
+        Replica {
+            controller,
+            shard,
+            start,
+            end,
+            backup: true,
+            backups: Vec::new(),
+            store: HashMap::new(),
+            unflushed: Vec::new(),
+            pending_shrink: None,
+            assert_on_misroute: false,
+            bugs: ReplicaBugs::default(),
+        }
+    }
+
+    /// The replica's current key range (exposed for tests).
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// Number of keys currently stored (exposed for tests).
+    pub fn stored_keys(&self) -> usize {
+        self.store.len()
+    }
+
+    fn owns(&self, key: u64) -> bool {
+        self.start <= key && key < self.end
+    }
+
+    fn apply(&mut self, key: u64, val: u64, seq: u64) {
+        let entry = self.store.entry(key).or_insert((val, seq));
+        if seq >= entry.1 {
+            *entry = (val, seq);
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut Context<'_>, req: KvRequest) {
+        let key = req.op.key();
+        if self.backup || !self.owns(key) {
+            if self.assert_on_misroute {
+                ctx.assert(
+                    false,
+                    format!(
+                        "key {key} routed to shard {} which owns [{}, {})",
+                        self.shard, self.start, self.end
+                    ),
+                );
+            } else {
+                ctx.send(req.client, Event::replicable(Nack { seq: req.seq }));
+            }
+            return;
+        }
+        match req.op {
+            KvOp::Put { key, val } => {
+                self.apply(key, val, req.seq);
+                let replicate = Replicate {
+                    key,
+                    val,
+                    seq: req.seq,
+                };
+                if self.bugs.ack_before_replicate {
+                    // Fast-ack: reply first, batch the replication. The
+                    // batch is volatile — a crash takes it down with the
+                    // machine.
+                    ctx.send(req.client, Event::replicable(PutAck { seq: req.seq, key }));
+                    self.unflushed.push(replicate);
+                    if self.unflushed.len() >= Self::FLUSH_THRESHOLD {
+                        for pending in std::mem::take(&mut self.unflushed) {
+                            for &b in &self.backups {
+                                ctx.send(b, Event::replicable(pending));
+                            }
+                        }
+                    }
+                } else {
+                    // Replicate-then-ack: once the ack is out, the write
+                    // already sits in every backup's mailbox and survives a
+                    // primary crash.
+                    for &b in &self.backups {
+                        ctx.send(b, Event::replicable(replicate));
+                    }
+                    ctx.send(req.client, Event::replicable(PutAck { seq: req.seq, key }));
+                }
+            }
+            KvOp::Get { key } => {
+                ctx.send(
+                    req.client,
+                    Event::replicable(GetReply {
+                        seq: req.seq,
+                        key,
+                        value: self.store.get(&key).map(|&(val, _)| val),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn handle_handover(&mut self, ctx: &mut Context<'_>, handover: Handover) {
+        let entries: Vec<(u64, u64, u64)> = self
+            .store
+            .iter()
+            .filter(|(&key, _)| handover.start <= key && key < handover.end)
+            .map(|(&key, &(val, seq))| (key, val, seq))
+            .collect();
+        ctx.send(handover.to, Event::replicable(InstallRange { entries }));
+        ctx.send(
+            self.controller,
+            Event::replicable(HandoverDone {
+                start: handover.start,
+                end: handover.end,
+                to: handover.to,
+            }),
+        );
+        if self.bugs.keep_accepting_during_handover {
+            // Keep serving the range until the controller finalizes; writes
+            // accepted in that window never reach the new primary.
+            self.pending_shrink = Some(handover.start);
+        } else {
+            // Stop owning the range atomically with the snapshot; in-window
+            // requests NACK and the client retries into the new primary.
+            self.shrink_to(handover.start);
+        }
+    }
+
+    fn shrink_to(&mut self, at: u64) {
+        self.end = at;
+        let (start, end) = (self.start, self.end);
+        self.store.retain(|&key, _| start <= key && key < end);
+    }
+}
+
+impl Machine for Replica {
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        if let Some(&req) = event.downcast_ref::<KvRequest>() {
+            self.handle_request(ctx, req);
+        } else if let Some(&rep) = event.downcast_ref::<Replicate>() {
+            self.apply(rep.key, rep.val, rep.seq);
+        } else if event.is::<Promote>() {
+            self.backup = false;
+        } else if let Some(&handover) = event.downcast_ref::<Handover>() {
+            self.handle_handover(ctx, handover);
+        } else if let Some(&finalize) = event.downcast_ref::<HandoverFinalize>() {
+            if self.pending_shrink == Some(finalize.at) {
+                self.pending_shrink = None;
+                self.shrink_to(finalize.at);
+            }
+        } else if let Some(install) = event.downcast_ref::<InstallRange>() {
+            let entries = install.entries.clone();
+            for (key, val, seq) in entries {
+                self.apply(key, val, seq);
+            }
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Context<'_>) {
+        // The environment's failure detector: the controller learns about
+        // the dead primary and promotes its backup.
+        if !self.backup {
+            ctx.send(
+                self.controller,
+                Event::replicable(PrimaryDown { shard: self.shard }),
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        if self.backup {
+            "KvBackup"
+        } else {
+            "KvPrimary"
+        }
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
+}

@@ -1,0 +1,143 @@
+//! The request router: the single front-end mapping keys to shard primaries.
+//!
+//! The router holds the authoritative routing table (sorted, non-overlapping
+//! key ranges) and forwards every [`KvRequest`] to the owning primary.
+//! The controller repoints ranges with [`RouteUpdate`]s after splits,
+//! rebalances and promotions.
+//!
+//! The **shard-aliasing** seeded bug lives here: a retry fast path that
+//! caches the last routed primary under an 8-bit shard hint
+//! (`key / SHARD_WIDTH` truncated to `u8`). With 256 shards or fewer the
+//! hint is exact and the cache can only ever hit the correct primary; from
+//! 257 shards up two shards alias to the same hint, and a retried request
+//! can be forwarded to a primary that does not own its key. The bug is
+//! structurally unreachable below 257 shards — it only exists at scale.
+
+use psharp::prelude::*;
+
+use crate::events::{KvRequest, Nack, RouteUpdate};
+use crate::SHARD_WIDTH;
+
+/// One routing-table entry: keys in `[start, end)` go to `primary`.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    start: u64,
+    end: u64,
+    primary: MachineId,
+}
+
+/// The routing front-end machine.
+#[derive(Clone)]
+pub struct Router {
+    /// Sorted, non-overlapping ranges covering the keyspace.
+    table: Vec<Route>,
+    /// Retry fast-path cache: the last full lookup, keyed by the truncated
+    /// 8-bit shard hint. Only consulted when `retry_cache_truncation` is on.
+    cache: Option<(u8, MachineId)>,
+    retry_cache_truncation: bool,
+}
+
+impl Router {
+    /// Creates the router over `shards` initial `(start, end, primary)`
+    /// ranges (must be sorted and non-overlapping).
+    pub fn new(shards: Vec<(u64, u64, MachineId)>, retry_cache_truncation: bool) -> Self {
+        Router {
+            table: shards
+                .into_iter()
+                .map(|(start, end, primary)| Route {
+                    start,
+                    end,
+                    primary,
+                })
+                .collect(),
+            cache: None,
+            retry_cache_truncation,
+        }
+    }
+
+    /// Number of routing-table entries (exposed for tests).
+    pub fn route_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The 8-bit shard hint of the buggy retry fast path. Exact for up to
+    /// 256 initial shards; aliasing beyond that.
+    fn hint(key: u64) -> u8 {
+        (key / SHARD_WIDTH) as u8
+    }
+
+    /// Full routing-table lookup.
+    fn lookup(&self, key: u64) -> Option<MachineId> {
+        let at = self.table.partition_point(|route| route.start <= key);
+        let route = self.table.get(at.checked_sub(1)?)?;
+        (key < route.end).then_some(route.primary)
+    }
+
+    fn route(&mut self, ctx: &mut Context<'_>, req: KvRequest) {
+        let key = req.op.key();
+        if req.attempt > 0 && self.retry_cache_truncation {
+            // Retry fast path: skip the table walk when the cached hint
+            // matches. The hint is the shard index truncated to 8 bits, so
+            // beyond 256 shards two shards collide and the retry lands on a
+            // primary that does not own the key.
+            if let Some((hint, primary)) = self.cache {
+                if hint == Self::hint(key) {
+                    ctx.send(primary, Event::replicable(req));
+                    return;
+                }
+            }
+        }
+        match self.lookup(key) {
+            Some(primary) => {
+                self.cache = Some((Self::hint(key), primary));
+                ctx.send(primary, Event::replicable(req));
+            }
+            None => ctx.send(req.client, Event::replicable(Nack { seq: req.seq })),
+        }
+    }
+
+    fn update(&mut self, update: RouteUpdate) {
+        // A route update repoints an exact existing range (promotion,
+        // rebalance) or registers the tail split off an existing range.
+        self.cache = None;
+        let at = self
+            .table
+            .partition_point(|route| route.start <= update.start);
+        let Some(index) = at.checked_sub(1) else {
+            return;
+        };
+        let route = &mut self.table[index];
+        if route.start == update.start {
+            route.end = update.end;
+            route.primary = update.primary;
+        } else if update.start < route.end {
+            route.end = update.start;
+            self.table.insert(
+                index + 1,
+                Route {
+                    start: update.start,
+                    end: update.end,
+                    primary: update.primary,
+                },
+            );
+        }
+    }
+}
+
+impl Machine for Router {
+    fn handle(&mut self, ctx: &mut Context<'_>, event: Event) {
+        if let Some(&req) = event.downcast_ref::<KvRequest>() {
+            self.route(ctx, req);
+        } else if let Some(&update) = event.downcast_ref::<RouteUpdate>() {
+            self.update(update);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "KvRouter"
+    }
+
+    fn clone_state(&self) -> Option<Box<dyn Machine>> {
+        Some(Box::new(self.clone()))
+    }
+}

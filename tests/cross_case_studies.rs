@@ -82,6 +82,16 @@ fn every_fixed_case_study_is_clean_under_both_schedulers() {
             scheduler,
             report.bug
         );
+
+        let report = engine(50, 4_000, 1, scheduler).run(|rt| {
+            megakv::build_harness(rt, &megakv::MegaKvConfig::default());
+        });
+        assert!(
+            clean(&report, scheduler),
+            "megakv/{:?}: {:?}",
+            scheduler,
+            report.bug
+        );
     }
 }
 

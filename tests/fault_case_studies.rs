@@ -1,4 +1,4 @@
-//! Fault-injection acceptance across the four case-study crates (PR 5): for
+//! Fault-injection acceptance across the case-study crates (PR 5): for
 //! a seeded *fault-induced* bug in each crate,
 //!
 //! * the bug is found via a `--faults`-style budget (and is unreachable
@@ -74,6 +74,23 @@ fn cases() -> Vec<FaultCase> {
             minimum_faults: 1, // one primary crash
             build: |rt| {
                 fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
+            },
+        },
+        FaultCase {
+            name: "megakv/MegaKvPromoteLostWrite",
+            max_steps: 2_500,
+            iterations: 3_000,
+            seed: 2016,
+            // Only one machine is crashable, so the surplus comes from the
+            // drop/duplicate budget absorbed by the (lossy) router, which the
+            // system tolerates by design.
+            faults: FaultPlan::new()
+                .with_crashes(1)
+                .with_drops(2)
+                .with_duplicates(2),
+            minimum_faults: 1, // one primary crash losing the unflushed batch
+            build: |rt| {
+                megakv::build_harness(rt, &megakv::MegaKvConfig::with_promote_lost_write_bug());
             },
         },
     ]

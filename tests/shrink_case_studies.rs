@@ -1,4 +1,4 @@
-//! Shrink acceptance across the four case-study crates: for a seeded bug in
+//! Shrink acceptance across the case-study crates: for a seeded bug in
 //! each crate, the shrink pass produces a minimized trace that (a) replays
 //! to the same bug, (b) has strictly fewer decisions than the original
 //! recording, and (c) is byte-identical across engines and worker counts.
@@ -60,6 +60,16 @@ fn cases() -> Vec<Case> {
             faults: fabric::FabricConfig::with_promotion_bug().fault_plan(),
             build: |rt| {
                 fabric::build_harness(rt, &fabric::FabricConfig::with_promotion_bug());
+            },
+        },
+        Case {
+            name: "megakv/rebalance-lost-write (safety)",
+            max_steps: 2_000,
+            iterations: 2_000,
+            seed: 7,
+            faults: FaultPlan::none(),
+            build: |rt| {
+                megakv::build_harness(rt, &megakv::MegaKvConfig::with_rebalance_bug());
             },
         },
     ]
