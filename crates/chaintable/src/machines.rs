@@ -259,9 +259,7 @@ impl Machine for TablesMachine {
         "TablesMachine"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 // ---------------------------------------------------------------------------
@@ -758,9 +756,7 @@ impl Machine for ServiceMachine {
         "ServiceMachine"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 // ---------------------------------------------------------------------------
@@ -954,7 +950,5 @@ impl Machine for MigratorMachine {
         "MigratorMachine"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }

@@ -149,6 +149,64 @@ pub trait Machine: AsAny + 'static {
     fn clone_state(&self) -> Option<Box<dyn Machine>> {
         None
     }
+
+    /// Copies this machine's current state *into* an existing box, reusing
+    /// its allocation when `target` holds the same concrete type. Returns
+    /// `false` when the machine is non-snapshotable (`clone_state` would
+    /// return `None`), leaving `target` untouched.
+    ///
+    /// This is the allocation-recycling twin of [`clone_state`]: the
+    /// runtime's machine pool hands back retired boxes so copy-on-write
+    /// break-offs and pooled restores do not pay a fresh box per clone. The
+    /// default forwards to `clone_state` (correct but allocating);
+    /// [`impl_machine_snapshot!`](crate::impl_machine_snapshot) generates the
+    /// in-place version for `Clone` machines.
+    ///
+    /// [`clone_state`]: Machine::clone_state
+    fn clone_state_into(&self, target: &mut Box<dyn Machine>) -> bool {
+        match self.clone_state() {
+            Some(fresh) => {
+                *target = fresh;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Implements [`Machine::clone_state`] and [`Machine::clone_state_into`] for
+/// a `Clone` machine type. Expands *inside* an `impl Machine for T` block:
+///
+/// ```ignore
+/// impl Machine for Worker {
+///     fn handle(&mut self, ctx: &mut Context<'_>, event: Event) { /* … */ }
+///     psharp::impl_machine_snapshot!();
+/// }
+/// ```
+///
+/// The generated `clone_state_into` downcasts the recycled box and
+/// `clone_from`s into it, so a copy-on-write break-off reuses the retired
+/// box of the same concrete type instead of allocating a fresh one.
+#[macro_export]
+macro_rules! impl_machine_snapshot {
+    () => {
+        fn clone_state(&self) -> Option<Box<dyn $crate::machine::Machine>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn clone_state_into(&self, target: &mut Box<dyn $crate::machine::Machine>) -> bool {
+            match $crate::monitor::AsAny::as_any_mut(&mut **target).downcast_mut::<Self>() {
+                Some(recycled) => {
+                    recycled.clone_from(self);
+                    true
+                }
+                None => {
+                    *target = Box::new(self.clone());
+                    true
+                }
+            }
+        }
+    };
 }
 
 /// The outcome of handling an event in a [`StateMachine`].
@@ -310,6 +368,27 @@ impl<M: StateMachine> Machine for StateMachineRunner<M> {
             state: self.state,
             transitions: self.transitions,
         }))
+    }
+
+    fn clone_state_into(&self, target: &mut Box<dyn Machine>) -> bool {
+        let Some(inner) = self.inner.clone_state() else {
+            return false;
+        };
+        match AsAny::as_any_mut(&mut **target).downcast_mut::<Self>() {
+            Some(recycled) => {
+                recycled.inner = inner;
+                recycled.state = self.state;
+                recycled.transitions = self.transitions;
+            }
+            None => {
+                *target = Box::new(StateMachineRunner {
+                    inner,
+                    state: self.state,
+                    transitions: self.transitions,
+                });
+            }
+        }
+        true
     }
 }
 

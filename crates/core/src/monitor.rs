@@ -34,10 +34,18 @@ pub enum Temperature {
 pub trait AsAny {
     /// Returns `self` as `&dyn Any` for downcasting.
     fn as_any(&self) -> &dyn Any;
+
+    /// Returns `self` as `&mut dyn Any` for in-place downcasting, used by the
+    /// machine pool to recycle a retired box of the same concrete type.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 impl<T: Any> AsAny for T {
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 }

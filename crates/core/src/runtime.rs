@@ -130,8 +130,74 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// How a slot holds its machine state.
+///
+/// Slots start out owning their machine. Taking a snapshot moves every
+/// machine behind an [`Arc`] shared with the snapshot (`Shared`), so an
+/// untouched machine costs a restore nothing and the *next* snapshot a
+/// pointer bump. The first mutation — a step, a fault hook — breaks the
+/// sharing off into a fresh `Owned` box (copy-on-write), recycled from the
+/// machine pool when possible.
+enum MachineCell {
+    /// Transiently empty while the machine's handler or fault hook runs
+    /// (the box is moved out so the handler can borrow the runtime).
+    Absent,
+    /// The slot owns its machine state and may mutate it in place.
+    Owned(Box<dyn Machine>),
+    /// The slot aliases state captured by a [`RuntimeSnapshot`];
+    /// copy-on-write breaks the alias before any mutation.
+    Shared(Arc<dyn Machine>),
+}
+
+impl MachineCell {
+    /// Borrows the machine state for inspection, whichever way it is held.
+    fn as_dyn(&self) -> Option<&dyn Machine> {
+        match self {
+            MachineCell::Absent => None,
+            MachineCell::Owned(machine) => Some(&**machine),
+            MachineCell::Shared(shared) => Some(&**shared),
+        }
+    }
+}
+
+/// Retired machine boxes keyed by concrete type, recycled by
+/// `create_machine` and copy-on-write break-offs — the machine-state
+/// extension of the `mailbox_pool` pattern.
+type MachinePool = HashMap<std::any::TypeId, Vec<Box<dyn Machine>>>;
+
+/// Dense dirty-slot index mirroring [`EnabledSet`]'s list + bitmap shape:
+/// `mark` is O(1) amortized, `clear` is O(dirty), and iteration visits only
+/// the machines actually touched since the last fork point.
+#[derive(Default)]
+struct DirtySet {
+    /// Dirty slot indices in first-touch order (deduplicated via `member`).
+    list: Vec<u32>,
+    /// `member[i]` iff `i` is in `list`.
+    member: Vec<bool>,
+}
+
+impl DirtySet {
+    #[inline]
+    fn mark(&mut self, index: usize) {
+        if self.member.len() <= index {
+            self.member.resize(index + 1, false);
+        }
+        if !self.member[index] {
+            self.member[index] = true;
+            self.list.push(index as u32);
+        }
+    }
+
+    fn clear(&mut self) {
+        for &index in &self.list {
+            self.member[index as usize] = false;
+        }
+        self.list.clear();
+    }
+}
+
 struct MachineSlot {
-    machine: Option<Box<dyn Machine>>,
+    machine: MachineCell,
     /// Lazily materialized on first send; machines that never receive a
     /// message never bind a queue.
     mailbox: LazyMailbox,
@@ -226,6 +292,27 @@ pub struct Runtime {
     /// pops from here before allocating, so a pooled runtime re-creates its
     /// machines without re-growing their queues.
     mailbox_pool: Vec<Mailbox>,
+    /// Retired machine boxes recycled by `create_machine` and copy-on-write
+    /// break-offs; fed by reset, restore and snapshot's share conversion.
+    machine_pool: MachinePool,
+    /// The id of the [`RuntimeSnapshot`] this runtime's dirty tracking is
+    /// relative to: while `Some(id)`, every mutated machine slot is recorded
+    /// in `dirty`, and `restore_from` that very snapshot re-syncs only the
+    /// dirty slots. `None` means no snapshot origin (dirty tracking off;
+    /// restores are full).
+    cow_origin: Option<u64>,
+    /// Machine slots mutated since `cow_origin` was established (stepped,
+    /// sent-to, faulted, marked). Slots *not* in this set are byte-identical
+    /// to the origin snapshot, which is what makes the O(dirty) restore
+    /// sound.
+    dirty: DirtySet,
+    /// Per-monitor dirty flags (parallel to `monitors`): set when a monitor
+    /// observes a notification, so a restore re-clones only notified
+    /// monitors.
+    monitor_dirty: Vec<bool>,
+    /// Whether any `mark_*` call changed the fault-target list or counters
+    /// since `cow_origin`; a restore then re-copies `fault_targets`.
+    fault_marks_changed: bool,
     cancel: Option<CancelToken>,
     /// Side effects of the step currently executing (or, between steps, of
     /// the last executed step). Rearmed in place per step so independence
@@ -255,8 +342,49 @@ impl Runtime {
             marked_crashable: 0,
             marked_lossy: 0,
             mailbox_pool: Vec::new(),
+            machine_pool: HashMap::new(),
+            cow_origin: None,
+            dirty: DirtySet::default(),
+            monitor_dirty: Vec::new(),
+            fault_marks_changed: false,
             cancel: None,
             footprint: StepFootprint::new(MachineId::from_raw(0)),
+        }
+    }
+
+    /// Retires a machine cell's box (if it owns one) into the pool for
+    /// recycling by `create_machine` and copy-on-write break-offs.
+    fn retire_machine(pool: &mut MachinePool, cell: MachineCell) {
+        if let MachineCell::Owned(machine) = cell {
+            let type_id = (*machine).as_any().type_id();
+            pool.entry(type_id).or_default().push(machine);
+        }
+    }
+
+    /// Materializes an owned copy of shared machine state (the copy-on-write
+    /// break-off), recycling a retired box of the same concrete type when the
+    /// pool has one.
+    fn break_off(pool: &mut MachinePool, shared: &Arc<dyn Machine>) -> Box<dyn Machine> {
+        let source: &dyn Machine = &**shared;
+        if let Some(boxes) = pool.get_mut(&source.as_any().type_id()) {
+            if let Some(mut recycled) = boxes.pop() {
+                if source.clone_state_into(&mut recycled) {
+                    return recycled;
+                }
+                boxes.push(recycled);
+            }
+        }
+        source
+            .clone_state()
+            .expect("shared machine state stays clonable (it was cloned to build the snapshot)")
+    }
+
+    /// Marks a machine slot dirty relative to the current snapshot origin
+    /// (no-op while dirty tracking is off).
+    #[inline]
+    fn mark_dirty(&mut self, id: MachineId) {
+        if self.cow_origin.is_some() {
+            self.dirty.mark(id.index());
         }
     }
 
@@ -274,9 +402,15 @@ impl Runtime {
     /// the same [`NameId`]s in creation order) and all fault markings and
     /// counters are cleared, so pooling never leaks state across iterations.
     pub fn reset(&mut self, scheduler: Box<dyn Scheduler>, config: RuntimeConfig, seed: u64) {
-        let pool = &mut self.mailbox_pool;
-        for mut slot in self.slots.drain(..) {
-            slot.mailbox.release_into(pool);
+        let Runtime {
+            slots,
+            mailbox_pool,
+            machine_pool,
+            ..
+        } = self;
+        for mut slot in slots.drain(..) {
+            slot.mailbox.release_into(mailbox_pool);
+            Self::retire_machine(machine_pool, slot.machine);
         }
         self.monitors.clear();
         self.monitor_index.clear();
@@ -291,6 +425,10 @@ impl Runtime {
         self.fault_targets.clear();
         self.marked_crashable = 0;
         self.marked_lossy = 0;
+        self.cow_origin = None;
+        self.dirty.clear();
+        self.monitor_dirty.clear();
+        self.fault_marks_changed = false;
         self.cancel = None;
         self.footprint.rearm(MachineId::from_raw(0));
     }
@@ -310,6 +448,10 @@ impl Runtime {
             // created, so this loop is normally empty.)
             slot.name = self.trace.intern(discarded.names.resolve(slot.name));
         }
+        // Re-interning rebinds slot name ids without marking slots dirty, so
+        // an outstanding snapshot origin no longer describes clean slots:
+        // force the next restore to be a full one.
+        self.cow_origin = None;
     }
 
     /// Consumes the runtime and returns its recorded trace, buffers and all.
@@ -332,8 +474,24 @@ impl Runtime {
     pub fn create_machine<M: Machine>(&mut self, machine: M) -> MachineId {
         let id = MachineId::from_raw(self.slots.len() as u64);
         let name = self.trace.intern(machine.name());
+        // Recycle a retired box of the same concrete type when the pool has
+        // one: the fresh machine moves into the old allocation in place.
+        let boxed: Box<dyn Machine> = match self
+            .machine_pool
+            .get_mut(&std::any::TypeId::of::<M>())
+            .and_then(Vec::pop)
+        {
+            Some(mut recycled) => match (*recycled).as_any_mut().downcast_mut::<M>() {
+                Some(state) => {
+                    *state = machine;
+                    recycled
+                }
+                None => Box::new(machine),
+            },
+            None => Box::new(machine),
+        };
         self.slots.push(MachineSlot {
-            machine: Some(Box::new(machine)),
+            machine: MachineCell::Owned(boxed),
             // No queue until the first send: at mega-scale most machines
             // never receive a message, so binding a queue eagerly would
             // waste both the allocation and the recycled-pool inventory.
@@ -370,6 +528,10 @@ impl Runtime {
         if newly_marked {
             self.marked_crashable += 1;
         }
+        // Markings live in the slot and the fault-target list; both must be
+        // rolled back by an O(dirty) restore.
+        self.mark_dirty(id);
+        self.fault_marks_changed = true;
         self.note_fault_target(id);
     }
 
@@ -382,6 +544,7 @@ impl Runtime {
     ///
     /// Panics if `id` was not created by this runtime.
     pub fn mark_restartable(&mut self, id: MachineId) {
+        // mark_crashable records the dirty mark and the fault-marks edge.
         self.mark_crashable(id);
         self.slot_mut(id).restartable = true;
     }
@@ -404,6 +567,8 @@ impl Runtime {
         if newly_marked {
             self.marked_lossy += 1;
         }
+        self.mark_dirty(id);
+        self.fault_marks_changed = true;
         self.note_fault_target(id);
     }
 
@@ -474,6 +639,8 @@ impl Runtime {
             monitor: Some(Box::new(monitor)),
             name,
         });
+        // Kept parallel to `monitors` so notification marking can index it.
+        self.monitor_dirty.push(false);
     }
 
     /// Sends an event to a machine from outside the system (the test
@@ -496,6 +663,9 @@ impl Runtime {
             // previously empty mailbox becomes runnable. O(1) no-op when the
             // target is already in the set.
             self.enabled.insert(target);
+            // The queue diverged from the snapshot's copy (sends to halted /
+            // crashed machines are dropped and leave the slot clean).
+            self.mark_dirty(target);
         }
     }
 
@@ -654,16 +824,16 @@ impl Runtime {
 
     fn step_machine(&mut self, id: MachineId) {
         self.footprint.rearm(id);
+        // A step mutates the machine (handler), its mailbox (dequeue) and its
+        // flags (start / halt): dirty before anything else happens.
+        self.mark_dirty(id);
         let index = id.index();
-        let (mut machine, event, event_name, name) = {
+        let mut machine = self.take_machine(index);
+        let (event, event_name, name) = {
             let slot = &mut self.slots[index];
-            let machine = slot
-                .machine
-                .take()
-                .expect("machine is present when scheduled");
             if !slot.started {
                 slot.started = true;
-                (machine, None, "start", slot.name)
+                (None, "start", slot.name)
             } else {
                 let event = slot
                     .mailbox
@@ -672,7 +842,7 @@ impl Runtime {
                     .dequeue()
                     .expect("enabled machine has an event");
                 let event_name = event.name();
-                (machine, Some(event), event_name, slot.name)
+                (Some(event), event_name, slot.name)
             }
         };
         let event_id = self.trace.intern(event_name);
@@ -714,7 +884,7 @@ impl Runtime {
         }
 
         let slot = &mut self.slots[index];
-        slot.machine = Some(machine);
+        slot.machine = MachineCell::Owned(machine);
         if slot.halted {
             // A halted machine's pending events are lost; its queue goes
             // back to the pool for the next lazily materialized mailbox.
@@ -725,6 +895,16 @@ impl Runtime {
         // self-sends): re-sync it. Every *other* machine the handler touched
         // was synced by `send` / `create_machine` already.
         self.sync_enabled(id);
+    }
+
+    /// Moves a machine's state out of its slot for a handler or fault hook,
+    /// breaking copy-on-write sharing if the slot still aliases a snapshot.
+    fn take_machine(&mut self, index: usize) -> Box<dyn Machine> {
+        match std::mem::replace(&mut self.slots[index].machine, MachineCell::Absent) {
+            MachineCell::Owned(machine) => machine,
+            MachineCell::Shared(shared) => Self::break_off(&mut self.machine_pool, &shared),
+            MachineCell::Absent => unreachable!("machine is present when scheduled"),
+        }
     }
 
     /// Whether the per-step fault probe can possibly produce a candidate:
@@ -785,6 +965,13 @@ impl Runtime {
     /// restart hook where applicable.
     fn apply_fault(&mut self, fault: Fault) {
         self.trace.push_decision(fault.decision());
+        // Every fault kind mutates its target's slot (crashed flag, mailbox
+        // contents): dirty it for the O(dirty) restore.
+        let (Fault::Crash(target)
+        | Fault::Restart(target)
+        | Fault::Drop(target)
+        | Fault::Duplicate(target)) = fault;
+        self.mark_dirty(target);
         match fault {
             Fault::Crash(id) => {
                 self.faults_remaining.crashes -= 1;
@@ -880,14 +1067,8 @@ impl Runtime {
     /// with the same panic discipline as an event handler.
     fn run_fault_hook(&mut self, id: MachineId, hook: FaultHook) {
         let index = id.raw() as usize;
-        let (mut machine, name) = {
-            let slot = &mut self.slots[index];
-            let machine = slot
-                .machine
-                .take()
-                .expect("machine is present when a fault hook runs");
-            (machine, slot.name)
-        };
+        let mut machine = self.take_machine(index);
+        let name = self.slots[index].name;
         let hook_name = match hook {
             FaultHook::Crash => "crash",
             FaultHook::Restart => "restart",
@@ -920,7 +1101,7 @@ impl Runtime {
         } else {
             run_hook(self);
         }
-        self.slots[index].machine = Some(machine);
+        self.slots[index].machine = MachineCell::Owned(machine);
     }
 
     /// Checks every liveness monitor and records a violation for the first
@@ -1030,6 +1211,9 @@ impl Runtime {
             // run with or without their specifications attached.
             return;
         };
+        if self.cow_origin.is_some() {
+            self.monitor_dirty[index] = true;
+        }
         let mut monitor = self.monitors[index]
             .monitor
             .take()
@@ -1069,6 +1253,8 @@ impl Runtime {
         for slot in &mut self.slots {
             slot.name = self.trace.intern(taken.names.resolve(slot.name));
         }
+        // Slot name ids were rebound without dirty marks; see recycle_trace.
+        self.cow_origin = None;
         taken
     }
 
@@ -1107,8 +1293,7 @@ impl Runtime {
     /// concrete type.
     pub fn machine_ref<M: Machine>(&self, id: MachineId) -> Option<&M> {
         let slot = self.slots.get(id.raw() as usize)?;
-        let machine = slot.machine.as_ref()?;
-        (**machine).as_any().downcast_ref::<M>()
+        slot.machine.as_dyn()?.as_any().downcast_ref::<M>()
     }
 
     /// The replay divergence error, when this runtime was driven by a
@@ -1197,13 +1382,46 @@ impl Runtime {
     /// monitor does not implement `clone_state`, a queued event was not
     /// created with [`Event::replicable`], or a bug is already pending.
     /// Engines treat `None` as "fall back to straight-line execution".
-    pub fn snapshot(&self) -> Option<RuntimeSnapshot> {
+    ///
+    /// Snapshots are *structurally shared*: machine state is captured behind
+    /// [`Arc`]s that the live slots alias afterwards (copy-on-write — a slot
+    /// breaks the alias the first time it is mutated), so a machine whose
+    /// state already sits behind an `Arc` costs a pointer bump, and a
+    /// restore back to this snapshot re-syncs only the slots dirtied since
+    /// (see [`Runtime::restore_from`]). Taking a snapshot therefore needs
+    /// `&mut self`; the captured state is still an independent point-in-time
+    /// copy.
+    pub fn snapshot(&mut self) -> Option<RuntimeSnapshot> {
         if self.bug.is_some() {
             return None;
         }
         let mut slots = Vec::with_capacity(self.slots.len());
-        for slot in &self.slots {
-            let machine = slot.machine.as_ref()?.clone_state()?;
+        for index in 0..self.slots.len() {
+            let cell = std::mem::replace(&mut self.slots[index].machine, MachineCell::Absent);
+            let machine: Arc<dyn Machine> = match cell {
+                // Already aliasing an earlier snapshot: the state is immutable
+                // while shared, so capturing it is a pointer bump.
+                MachineCell::Shared(shared) => {
+                    self.slots[index].machine = MachineCell::Shared(Arc::clone(&shared));
+                    shared
+                }
+                MachineCell::Owned(live) => {
+                    let Some(copy) = live.clone_state() else {
+                        // Put the box back before failing: the runtime must
+                        // stay runnable after a refused snapshot.
+                        self.slots[index].machine = MachineCell::Owned(live);
+                        return None;
+                    };
+                    let captured: Arc<dyn Machine> = Arc::from(copy);
+                    // The live slot shares the captured state from here on;
+                    // the owned box it held feeds the machine pool.
+                    self.slots[index].machine = MachineCell::Shared(Arc::clone(&captured));
+                    Self::retire_machine(&mut self.machine_pool, MachineCell::Owned(live));
+                    captured
+                }
+                MachineCell::Absent => return None,
+            };
+            let slot = &self.slots[index];
             // Vacant lazy slots snapshot as vacant: the fork re-creates the
             // machine queueless, exactly as the original was.
             let mailbox = match slot.mailbox.as_ref() {
@@ -1233,7 +1451,20 @@ impl Runtime {
             let monitor = slot.monitor.as_ref()?.clone_state()?;
             monitors.push((monitor, Arc::clone(&slot.name)));
         }
+        let id = NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed);
+        if self.cow_origin.is_none() {
+            // Dirty tracking starts (or restarts) relative to this snapshot.
+            // When an origin is already being tracked it is kept: prefix-tree
+            // engines interleave child snapshots with restores of the parent,
+            // and re-originating here would turn every one of those restores
+            // into a full rebuild.
+            self.cow_origin = Some(id);
+            self.dirty.clear();
+            self.monitor_dirty.iter_mut().for_each(|flag| *flag = false);
+            self.fault_marks_changed = false;
+        }
         Some(RuntimeSnapshot {
+            id,
             slots,
             monitors,
             monitor_index: self.monitor_index.clone(),
@@ -1257,16 +1488,128 @@ impl Runtime {
     /// installed; engines typically follow with [`Runtime::set_scheduler`]
     /// and [`Runtime::reseed`] to drive the suffix with a fresh strategy. A
     /// restore can be repeated: the snapshot is not consumed.
+    ///
+    /// When this runtime's dirty tracking originates from `snapshot` itself
+    /// — the steady state of every prefix-sharing engine, which forks the
+    /// same snapshot over and over — the restore is *incremental*: only the
+    /// machines, mailboxes and monitors actually touched since the fork
+    /// point are re-synced, O(dirty) instead of O(machines). Every other
+    /// slot still aliases the snapshot's state byte-for-byte and is skipped.
+    /// The result is observably identical to [`Runtime::restore_from_full`].
     pub fn restore_from(&mut self, snapshot: &RuntimeSnapshot) {
-        let pool = &mut self.mailbox_pool;
-        for mut slot in self.slots.drain(..) {
-            slot.mailbox.release_into(pool);
+        let incremental = self.cow_origin == Some(snapshot.id)
+            && self.slots.len() >= snapshot.slots.len()
+            && self.monitors.len() == snapshot.monitors.len();
+        if incremental {
+            self.restore_from_dirty(snapshot);
+        } else {
+            self.restore_from_full(snapshot);
+        }
+    }
+
+    /// O(dirty) restore: `self.cow_origin == snapshot.id`, so every slot not
+    /// in the dirty set (and every un-notified monitor) is already in the
+    /// snapshot's state and is left untouched.
+    fn restore_from_dirty(&mut self, snapshot: &RuntimeSnapshot) {
+        let Runtime {
+            slots,
+            mailbox_pool,
+            machine_pool,
+            enabled,
+            dirty,
+            ..
+        } = self;
+        // Machines created after the snapshot sit past its slot range.
+        while slots.len() > snapshot.slots.len() {
+            let index = slots.len() - 1;
+            let mut slot = slots.pop().expect("length checked above");
+            slot.mailbox.release_into(mailbox_pool);
+            Self::retire_machine(machine_pool, slot.machine);
+            enabled.remove(MachineId::from_raw(index as u64));
+        }
+        let mut dirty_list = std::mem::take(&mut dirty.list);
+        for &raw in &dirty_list {
+            let index = raw as usize;
+            dirty.member[index] = false;
+            if index >= snapshot.slots.len() {
+                // Created after the snapshot; truncated above.
+                continue;
+            }
+            let source = &snapshot.slots[index];
+            let slot = &mut slots[index];
+            let previous = std::mem::replace(
+                &mut slot.machine,
+                MachineCell::Shared(Arc::clone(&source.machine)),
+            );
+            Self::retire_machine(machine_pool, previous);
+            match source.mailbox.as_ref() {
+                None => slot.mailbox.release_into(mailbox_pool),
+                Some(queued) => {
+                    let copied = queued.clone_into(slot.mailbox.materialize_from(mailbox_pool));
+                    debug_assert!(
+                        copied,
+                        "snapshotted mailboxes hold replicable events by construction"
+                    );
+                }
+            }
+            slot.name = source.name;
+            slot.started = source.started;
+            slot.halted = source.halted;
+            slot.crashable = source.crashable;
+            slot.restartable = source.restartable;
+            slot.lossy = source.lossy;
+            slot.crashed = source.crashed;
+            // Inline `sync_enabled`: every enablement edge since the fork
+            // implies a dirty mark, so re-syncing the dirty slots (plus the
+            // truncation removals above) fully reconciles the index.
+            let id = MachineId::from_raw(index as u64);
+            if slot.is_enabled() {
+                enabled.insert(id);
+            } else {
+                enabled.remove(id);
+            }
+        }
+        dirty_list.clear();
+        self.dirty.list = dirty_list;
+        for index in 0..self.monitors.len() {
+            if !self.monitor_dirty[index] {
+                continue;
+            }
+            self.monitor_dirty[index] = false;
+            let (monitor, _) = &snapshot.monitors[index];
+            self.monitors[index].monitor = Some(
+                monitor
+                    .clone_state()
+                    .expect("snapshotted monitor state must stay clonable"),
+            );
+        }
+        if self.fault_marks_changed {
+            self.fault_marks_changed = false;
+            self.fault_targets.clone_from(&snapshot.fault_targets);
+        }
+        self.restore_scalars(snapshot);
+    }
+
+    /// Full restore: rebuilds every slot from the snapshot, regardless of
+    /// dirty state. This is the path for a snapshot this runtime is not
+    /// tracking (a different fork point, a foreign runtime) and the oracle
+    /// the `cow_snapshot` property test holds the incremental path against.
+    /// Machine state is re-installed by `Arc` sharing — O(machines) pointer
+    /// bumps plus mailbox copies, never a deep clone per machine.
+    pub fn restore_from_full(&mut self, snapshot: &RuntimeSnapshot) {
+        {
+            let Runtime {
+                slots,
+                mailbox_pool,
+                machine_pool,
+                ..
+            } = self;
+            for mut slot in slots.drain(..) {
+                slot.mailbox.release_into(mailbox_pool);
+                Self::retire_machine(machine_pool, slot.machine);
+            }
         }
         for slot in &snapshot.slots {
-            let machine = slot
-                .machine
-                .clone_state()
-                .expect("snapshotted machine state must stay clonable");
             let mailbox = match slot.mailbox.as_ref() {
                 None => LazyMailbox::vacant(),
                 Some(source) => {
@@ -1280,7 +1623,7 @@ impl Runtime {
                 }
             };
             self.slots.push(MachineSlot {
-                machine: Some(machine),
+                machine: MachineCell::Shared(Arc::clone(&slot.machine)),
                 mailbox,
                 name: slot.name,
                 started: slot.started,
@@ -1303,20 +1646,9 @@ impl Runtime {
             });
         }
         self.monitor_index.clone_from(&snapshot.monitor_index);
-        if let Some(scheduler) = snapshot
-            .scheduler
-            .as_ref()
-            .and_then(|scheduler| scheduler.clone_box())
-        {
-            self.scheduler = scheduler;
-        }
-        self.config = snapshot.config.clone();
-        self.trace.clone_from(&snapshot.trace);
-        self.bug = None;
-        self.steps = snapshot.steps;
-        // The restore rebuilt every slot anyway (O(total) by necessity), so
-        // re-deriving the index here is free relative to the restore itself;
-        // all storage is retained, so a warm fork does not allocate.
+        // The restore rebuilt every slot anyway, so re-deriving the index
+        // here is free relative to the restore itself; all storage is
+        // retained, so a warm fork does not allocate.
         self.enabled.rebuild(
             self.slots.len(),
             self.slots
@@ -1325,19 +1657,58 @@ impl Runtime {
                 .filter(|(_, slot)| slot.is_enabled())
                 .map(|(index, _)| MachineId::from_raw(index as u64)),
         );
+        self.fault_targets.clone_from(&snapshot.fault_targets);
+        // Every slot now aliases the snapshot: restart dirty tracking
+        // relative to it, so the *next* restore of this snapshot is O(dirty).
+        self.dirty.clear();
+        self.monitor_dirty.clear();
+        self.monitor_dirty.resize(self.monitors.len(), false);
+        self.fault_marks_changed = false;
+        self.restore_scalars(snapshot);
+    }
+
+    /// The O(1) tail shared by both restore paths: scheduler, config, trace,
+    /// counters and the fork-point bookkeeping.
+    fn restore_scalars(&mut self, snapshot: &RuntimeSnapshot) {
+        if let Some(scheduler) = snapshot
+            .scheduler
+            .as_ref()
+            .and_then(|scheduler| scheduler.clone_box())
+        {
+            self.scheduler = scheduler;
+        }
+        self.config.clone_from(&snapshot.config);
+        self.trace.clone_from(&snapshot.trace);
+        self.bug = None;
+        self.steps = snapshot.steps;
         self.faults_remaining = snapshot.faults_remaining;
         self.fault_buf.clear();
-        self.fault_targets.clone_from(&snapshot.fault_targets);
         self.marked_crashable = snapshot.marked_crashable;
         self.marked_lossy = snapshot.marked_lossy;
         self.footprint.rearm(MachineId::from_raw(0));
         self.cancel = None;
+        self.cow_origin = Some(snapshot.id);
+    }
+
+    /// Number of machine slots mutated since the current snapshot origin
+    /// (0 when dirty tracking is off). Exposed for the fork-cost bench and
+    /// the copy-on-write tests to observe what an incremental restore will
+    /// touch.
+    pub fn dirty_machine_count(&self) -> usize {
+        self.dirty.list.len()
     }
 }
 
+/// Globally unique snapshot identities: a runtime records which snapshot its
+/// dirty tracking is relative to by id, and ids must never collide across
+/// runtimes (workers snapshot independently), so the counter is process-wide.
+static NEXT_SNAPSHOT_ID: AtomicU64 = AtomicU64::new(0);
+
 /// One captured machine slot of a [`RuntimeSnapshot`].
 struct SnapshotSlot {
-    machine: Box<dyn Machine>,
+    /// Captured machine state, shared (copy-on-write) with the live slot it
+    /// was taken from and with every runtime restored from this snapshot.
+    machine: Arc<dyn Machine>,
     /// `None` mirrors a lazy slot that never materialized a queue.
     mailbox: Option<Mailbox>,
     name: NameId,
@@ -1355,13 +1726,20 @@ struct SnapshotSlot {
 ///
 /// Snapshots are the mechanism behind prefix-sharing execution: a decision
 /// prefix shared by many schedules is executed once, snapshotted, and each
-/// suffix forks from the copy instead of re-executing the prefix. The
-/// snapshot owns independent copies of every machine, queued event and
-/// monitor, so restoring never aliases live state; the originating runtime's
-/// trace (including the prefix's recorded decisions) is carried along, which
-/// keeps forked executions replayable from scratch by an ordinary
+/// suffix forks from the copy instead of re-executing the prefix. Machine
+/// state is captured behind [`Arc`]s structurally shared with the live
+/// runtime under a copy-on-write discipline — shared state is never mutated
+/// in place (a slot breaks the alias into an owned box before its first
+/// mutation), so the snapshot remains an immutable point-in-time copy while
+/// untouched machines cost a fork nothing. Queued events and monitors are
+/// owned copies. The originating runtime's trace (including the prefix's
+/// recorded decisions) is carried along, which keeps forked executions
+/// replayable from scratch by an ordinary
 /// [`ReplayScheduler`](crate::scheduler::ReplayScheduler).
 pub struct RuntimeSnapshot {
+    /// Process-unique identity used to match a runtime's dirty tracking to
+    /// its origin snapshot (see [`Runtime::restore_from`]).
+    id: u64,
     slots: Vec<SnapshotSlot>,
     monitors: Vec<(Box<dyn Monitor>, Arc<str>)>,
     monitor_index: HashMap<std::any::TypeId, usize>,

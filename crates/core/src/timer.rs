@@ -111,9 +111,7 @@ impl Machine for Timer {
         "Timer"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    crate::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

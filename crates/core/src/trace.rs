@@ -208,10 +208,27 @@ impl NameId {
 /// Machine and event names repeat across the (potentially tens of thousands
 /// of) steps of an execution; interning them once keeps every subsequent
 /// trace record allocation-free.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct NameTable {
     names: Vec<Arc<str>>,
     index: HashMap<Arc<str>, NameId>,
+}
+
+/// Hand-written so `clone_from` reuses the destination's backbone storage
+/// (the derived `clone_from` is `*self = source.clone()`, a full realloc).
+/// Snapshot restores clone the name table on every fork, so this is hot.
+impl Clone for NameTable {
+    fn clone(&self) -> Self {
+        NameTable {
+            names: self.names.clone(),
+            index: self.index.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.names.clone_from(&source.names);
+        self.index.clone_from(&source.index);
+    }
 }
 
 impl NameTable {
@@ -290,7 +307,7 @@ pub struct TraceStep {
 
 /// The full record of one execution: every decision plus an annotated,
 /// human-readable schedule (bounded by the trace's [`TraceMode`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Trace {
     /// The seed that parameterized the scheduler for this execution.
     pub seed: u64,
@@ -310,6 +327,36 @@ pub struct Trace {
     dropped_steps: usize,
     /// The interning table resolving the names referenced by the steps.
     pub names: NameTable,
+}
+
+/// Hand-written so `clone_from` — the path [`Runtime::restore_from`] takes on
+/// every snapshot fork — copies the decision and step streams into the
+/// destination's retained buffers (`Copy` elements, so a memcpy) instead of
+/// reallocating them, and reuses the name-table backbone.
+///
+/// [`Runtime::restore_from`]: crate::runtime::Runtime::restore_from
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        Trace {
+            seed: self.seed,
+            decisions: self.decisions.clone(),
+            steps: self.steps.clone(),
+            ring_head: self.ring_head,
+            mode: self.mode,
+            dropped_steps: self.dropped_steps,
+            names: self.names.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.seed = source.seed;
+        self.decisions.clone_from(&source.decisions);
+        self.steps.clone_from(&source.steps);
+        self.ring_head = source.ring_head;
+        self.mode = source.mode;
+        self.dropped_steps = source.dropped_steps;
+        self.names.clone_from(&source.names);
+    }
 }
 
 /// Trace equality is structural on the *resolved* schedule: two traces are

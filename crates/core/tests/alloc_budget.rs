@@ -379,6 +379,65 @@ fn snapshot_fork_restore_stays_within_a_constant_allocation_budget() {
     assert_eq!(rt.steps(), STEPS);
 }
 
+/// The copy-on-write acceptance at mega-scale (PR 9): a warm fork that
+/// touched K of 10,240 machines re-clones O(K) state, not O(machines). The
+/// snapshot holds every machine behind an `Arc`; stepping dirties a handful,
+/// and `Runtime::restore_from` rewinds only those — everything clean is an
+/// `Arc` the runtime still shares with the snapshot. The budget is pinned to
+/// the dirty count and deliberately does NOT scale with the total machine
+/// count: re-run this test at `TOTAL = 1_024` or `TOTAL = 102_400` and it
+/// must still hold.
+#[test]
+fn low_dirty_fork_at_ten_thousand_machines_costs_o_dirty_not_o_machines() {
+    const TOTAL: usize = 10_240;
+    const DIRTY: usize = 16;
+    let kv = megakv::MegaKvConfig::scale(TOTAL, 0);
+    let config = RuntimeConfig {
+        max_steps: TOTAL + 100,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(
+        SchedulerKind::Random.build(11, TOTAL + 100),
+        config.clone(),
+        11,
+    );
+    megakv::build_harness(&mut rt, &kv);
+    let snapshot = rt.snapshot().expect("megakv harness snapshots");
+
+    // Warm-up forks: dirty a few machines, rewind, twice — growing the
+    // machine pool, mailbox pool and trace storage to steady state.
+    for _ in 0..2 {
+        for raw in 0..DIRTY as u64 {
+            rt.force_step(MachineId::from_raw(raw));
+        }
+        rt.restore_from(&snapshot);
+    }
+
+    // The measured fork: K stepped machines (plus whatever they sent to)
+    // out of 10,240. The restore must touch only those.
+    for raw in 0..DIRTY as u64 {
+        rt.force_step(MachineId::from_raw(raw));
+    }
+    let touched = rt.dirty_machine_count();
+    assert!(
+        (DIRTY..TOTAL / 10).contains(&touched),
+        "expected a low-dirty fork, got {touched} dirty of {TOTAL}"
+    );
+    let (allocations, ()) = count_allocations(|| rt.restore_from(&snapshot));
+    assert_eq!(rt.dirty_machine_count(), 0);
+    let budget = 8 + 2 * touched as u64;
+    assert!(
+        allocations <= budget,
+        "a {touched}-dirty fork of {TOTAL} machines allocated {allocations} times \
+         (budget {budget}); the restore must cost O(dirty), not O(machines)"
+    );
+
+    // And the fork is a fully working runtime: every machine still runs its
+    // start step and the iteration reaches quiescence.
+    assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+    assert_eq!(rt.steps(), TOTAL);
+}
+
 /// Bug-free portfolio sweeps auto-select `TraceMode::DecisionsOnly` when
 /// neither shrinking nor an explicit trace mode was requested
 /// (`TestConfig::effective_trace_mode`): the annotated schedule — the larger

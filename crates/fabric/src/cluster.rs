@@ -310,9 +310,7 @@ impl Machine for ReplicaMachine {
         "ReplicaMachine"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 // ---------------------------------------------------------------------------
@@ -483,9 +481,7 @@ impl Machine for ClusterManagerMachine {
         "ClusterManagerMachine"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 // ---------------------------------------------------------------------------
@@ -536,9 +532,7 @@ impl Machine for FabricClient {
         "FabricClient"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 // ---------------------------------------------------------------------------

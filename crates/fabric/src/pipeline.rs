@@ -73,9 +73,7 @@ impl Machine for StageOne {
         "StageOne"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 /// Second pipeline stage: windows and sums the derived records.
@@ -145,9 +143,7 @@ impl Machine for StageTwo {
         "StageTwo"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 /// Configures stage two from a separate machine, so whether the
@@ -183,9 +179,7 @@ impl Machine for Configurator {
         "Configurator"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 /// Drives the pipeline: feeds raw records into stage one while the
@@ -222,9 +216,7 @@ impl Machine for PipelineDriver {
         "PipelineDriver"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

@@ -221,7 +221,5 @@ impl Machine for Controller {
         "KvController"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }

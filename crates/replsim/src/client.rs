@@ -73,9 +73,7 @@ impl Machine for Client {
         "Client"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

@@ -171,9 +171,7 @@ impl Machine for Server {
         "Server"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

@@ -59,9 +59,7 @@ impl Machine for StorageNode {
         "StorageNode"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

@@ -115,9 +115,7 @@ impl Machine for TestingDriver {
         "TestingDriver"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

@@ -153,9 +153,7 @@ impl Machine for ExtentNodeMachine {
         "ExtentNodeMachine"
     }
 
-    fn clone_state(&self) -> Option<Box<dyn Machine>> {
-        Some(Box::new(self.clone()))
-    }
+    psharp::impl_machine_snapshot!();
 }
 
 #[cfg(test)]

@@ -100,6 +100,26 @@ impl Machine for ExtentManagerMachine {
             driver: self.driver,
         }))
     }
+
+    fn clone_state_into(&self, target: &mut Box<dyn Machine>) -> bool {
+        let outbox = self.outbox.fork();
+        let manager = self.manager.clone_with_network(Box::new(outbox.clone()));
+        match psharp::monitor::AsAny::as_any_mut(&mut **target).downcast_mut::<Self>() {
+            Some(recycled) => {
+                recycled.manager = manager;
+                recycled.outbox = outbox;
+                recycled.driver = self.driver;
+            }
+            None => {
+                *target = Box::new(ExtentManagerMachine {
+                    manager,
+                    outbox,
+                    driver: self.driver,
+                });
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
