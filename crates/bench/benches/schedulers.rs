@@ -9,13 +9,14 @@
 //! prints the median wall-clock time plus executions/second.
 //!
 //! Besides the human-readable table the bench writes a machine-readable
-//! `BENCH_pr9.json` (override with `--json PATH`; schema-compatible with
+//! `BENCH_pr10.json` (override with `--json PATH`; schema-compatible with
 //! `BENCH_pr2.json`, plus per-strategy portfolio rows, the
 //! schedule-shrinking row added in PR 4, the fault-injection overhead rows
 //! added in PR 5, the worker-count scaling rows added in PR 6, the
 //! calibration probe plus schedule-reduction rows added in PR 7, the
-//! mega-scale machine-count sweep added in PR 8, and the copy-on-write
-//! fork-cost sweep added in PR 9) so the
+//! mega-scale machine-count sweep added in PR 8, the copy-on-write
+//! fork-cost sweep added in PR 9, and the DPOR-vs-sleep-set reduction plus
+//! parallel prefix-tree scaling rows added in PR 10) so the
 //! perf trajectory of the engine is tracked from PR 2 on — `dashboard`
 //! renders the whole `BENCH_*.json` series as a trend table. `--quick`
 //! shrinks every budget for CI smoke runs.
@@ -25,7 +26,7 @@
 
 use std::time::{Duration, Instant};
 
-use psharp::engine::ParallelTestEngine;
+use psharp::engine::{ParallelTestEngine, PrefixForkEngine};
 use psharp::json::{Json, ToJson};
 use psharp::prelude::*;
 use psharp::runtime::RuntimeConfig;
@@ -78,7 +79,7 @@ fn parse_settings() -> Settings {
     let mut settings = Settings {
         reps: 5,
         scale: 1,
-        json: "BENCH_pr9.json".to_string(),
+        json: "BENCH_pr10.json".to_string(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -139,12 +140,33 @@ impl ForkCostRow {
     }
 }
 
+/// Paired sleep-set vs DPOR measurement on the wide all-local workload
+/// (PR 10): both strategies get the identical budget; each row carries its
+/// own redundancy ratio `(explored steps + pruned equivalents) / explored
+/// steps` so the headline figure — how much further DPOR's vector-clock
+/// pruning reaches than the sleep-set window — comes from one run.
+struct DporReduction {
+    sleep_set_ratio: f64,
+    dpor_ratio: f64,
+    races_detected: u64,
+    backtracks_scheduled: u64,
+}
+
+impl DporReduction {
+    /// DPOR's redundancy ratio relative to sleep sets on the same workload.
+    fn ratio_vs_sleep_set(&self) -> f64 {
+        self.dpor_ratio / self.sleep_set_ratio.max(1e-9)
+    }
+}
+
 struct Bench {
     settings: Settings,
     results: Vec<BenchResult>,
     /// Redundancy ratio measured by the `schedule_reduction` group:
     /// `(explored steps + pruned schedule-equivalents) / explored steps`.
     reduction_ratio: Option<f64>,
+    /// Paired sleep-set/DPOR ratios from the `dpor_reduction` group.
+    dpor_reduction: Option<DporReduction>,
     /// Paired probe-on/probe-off measurement from the `fault_injection`
     /// group.
     probe_overhead: Option<ProbeOverhead>,
@@ -288,6 +310,24 @@ mod reduction {
             }
         }
     }
+
+    /// The wide variant for the DPOR comparison: the sleep-set scheduler's
+    /// pruning is capped by its fixed sleep window, while DPOR's sticky
+    /// run-to-completion prunes against *every* concurrently-enabled local
+    /// machine — so the gap between the two only shows once the enabled set
+    /// is wider than the sleep window.
+    pub const WIDE_SINKS: usize = 20;
+    pub const WIDE_EVENTS_PER_SINK: usize = 90;
+    pub const WIDE_MAX_STEPS: usize = WIDE_SINKS * WIDE_EVENTS_PER_SINK + 32;
+
+    pub fn setup_wide(rt: &mut Runtime) {
+        for _ in 0..WIDE_SINKS {
+            let sink = rt.create_machine(LocalSink);
+            for _ in 0..WIDE_EVENTS_PER_SINK {
+                rt.send(sink, Event::replicable(Job));
+            }
+        }
+    }
 }
 
 /// Fixed-work calibration probe: a deterministic workload whose size never
@@ -340,7 +380,7 @@ fn schedule_reduction(b: &mut Bench) {
     });
     let mut pruned = 0u64;
     let mut steps = 0u64;
-    let sleep_config = base.clone().with_scheduler(SchedulerKind::SleepSet);
+    let sleep_config = base.clone().with_scheduler(SchedulerKind::sleep_set());
     b.bench(group, "sleep_set", iterations, || {
         let report = TestEngine::new(sleep_config.clone()).run(reduction::setup);
         pruned = report.per_strategy.iter().map(|r| r.pruned_schedules).sum();
@@ -379,6 +419,94 @@ fn schedule_reduction(b: &mut Bench) {
             .run(chain)
             .total_steps
     });
+}
+
+/// Vector-clock DPOR vs sleep sets (PR 10): the same execution budget on the
+/// *wide* all-local workload (20 sinks). The sleep-set row's pruning is
+/// bounded by its fixed sleep window; the DPOR row's sticky
+/// run-to-completion pruning scales with the enabled-set width, so its
+/// redundancy ratio should clear 1.5x the sleep-set figure here — that gap
+/// is the headline `dpor_reduction` number the CI smoke job tracks.
+fn dpor_reduction(b: &mut Bench) {
+    let group = "dpor_reduction";
+    let iterations = b.budget(HOTPATH_ITERATIONS);
+    let base = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(reduction::WIDE_MAX_STEPS)
+        .with_seed(42);
+    let ratio_of = |report: &psharp::engine::TestReport| {
+        let pruned: u64 = report.per_strategy.iter().map(|r| r.pruned_schedules).sum();
+        (report.total_steps + pruned) as f64 / report.total_steps.max(1) as f64
+    };
+    let mut sleep_set_ratio = 1.0;
+    let sleep_config = base.clone().with_scheduler(SchedulerKind::sleep_set());
+    b.bench(group, "sleep_set_wide", iterations, || {
+        let report = TestEngine::new(sleep_config.clone()).run(reduction::setup_wide);
+        sleep_set_ratio = ratio_of(&report);
+        report.total_steps
+    });
+    let mut dpor_ratio = 1.0;
+    let mut races_detected = 0u64;
+    let mut backtracks_scheduled = 0u64;
+    let dpor_config = base.with_scheduler(SchedulerKind::Dpor);
+    b.bench(group, "dpor_wide", iterations, || {
+        let report = TestEngine::new(dpor_config.clone()).run(reduction::setup_wide);
+        dpor_ratio = ratio_of(&report);
+        races_detected = report.per_strategy.iter().map(|r| r.races_detected).sum();
+        backtracks_scheduled = report
+            .per_strategy
+            .iter()
+            .map(|r| r.backtracks_scheduled)
+            .sum();
+        report.total_steps
+    });
+    let row = DporReduction {
+        sleep_set_ratio,
+        dpor_ratio,
+        races_detected,
+        backtracks_scheduled,
+    };
+    println!(
+        "    DPOR redundancy {dpor_ratio:.2}x vs sleep-set {sleep_set_ratio:.2}x \
+         ({:.2}x further; {races_detected} races, {backtracks_scheduled} backtracks)",
+        row.ratio_vs_sleep_set()
+    );
+    b.dpor_reduction = Some(row);
+}
+
+/// The worker counts the parallel prefix-tree sweep measures.
+const TREE_WORKER_COUNTS: [usize; 2] = [1, 8];
+
+/// Parallel prefix-tree exploration (PR 10): the same bug-free chaintable
+/// portfolio budget driven through [`PrefixForkEngine`] at 1 and 8 workers.
+/// Phase 1 expands the shared prefix tree through a work-stealing queue of
+/// snapshot nodes and phase 2 drains the iteration space over the pooled
+/// leaves, so the 8-worker row should scale like the flat parallel engine
+/// while paying the tree expansion once. `write_report` computes the
+/// per-core efficiency the CI bench-smoke job warns on.
+fn prefix_tree_scaling(b: &mut Bench) {
+    let group = "prefix_tree";
+    let iterations = b.budget(40);
+    let base = TestConfig::new()
+        .with_iterations(iterations)
+        .with_max_steps(2_000)
+        .with_seed(42)
+        .with_default_portfolio();
+    let build = |rt: &mut Runtime| {
+        chaintable::build_harness(rt, &chaintable::ChainConfig::fixed());
+    };
+    for workers in TREE_WORKER_COUNTS {
+        b.bench(
+            group,
+            &format!("tree_workers_{workers}"),
+            iterations,
+            || {
+                PrefixForkEngine::new(base.clone().with_workers(workers), 2)
+                    .run(build)
+                    .total_steps
+            },
+        );
+    }
 }
 
 /// Raw step-loop throughput: the serial random-scheduler figure here is the
@@ -1039,6 +1167,46 @@ fn write_report(b: &Bench) {
         );
     }
 
+    // DPOR-vs-sleep-set summary (PR 10): each strategy's raw exec/s on the
+    // wide workload scaled by its own redundancy ratio gives effective
+    // schedule-equivalents/s; the acceptance bar is a DPOR redundancy ratio
+    // at least 1.5x the sleep-set figure from the same run.
+    let dpor = b.dpor_reduction.as_ref().expect("dpor pair measured");
+    let sleep_set_wide = b
+        .execs_per_sec("dpor_reduction", "sleep_set_wide")
+        .unwrap_or(0.0);
+    let dpor_wide = b
+        .execs_per_sec("dpor_reduction", "dpor_wide")
+        .unwrap_or(0.0);
+    let sleep_set_wide_equivalents = sleep_set_wide * dpor.sleep_set_ratio;
+    let dpor_equivalents = dpor_wide * dpor.dpor_ratio;
+    let dpor_vs_sleep_set = dpor.ratio_vs_sleep_set();
+    if quick && dpor_vs_sleep_set < 1.5 {
+        eprintln!(
+            "warning: DPOR redundancy ratio is only {dpor_vs_sleep_set:.2}x the sleep-set \
+             figure in quick mode (noise-prone; full runs assert >= 1.5x)"
+        );
+    } else {
+        assert!(
+            dpor_vs_sleep_set >= 1.5,
+            "DPOR redundancy ratio is only {dpor_vs_sleep_set:.2}x the sleep-set figure \
+             on the wide all-local workload (vector-clock pruning must reach past the \
+             sleep window)"
+        );
+    }
+
+    // Prefix-tree scaling summary (PR 10): per-core efficiency of the
+    // 8-worker tree run against the 1-worker tree run, normalized by the
+    // effective core count exactly like the flat `scaling` group.
+    let tree_1 = b
+        .execs_per_sec("prefix_tree", "tree_workers_1")
+        .unwrap_or(0.0);
+    let tree_8 = b
+        .execs_per_sec("prefix_tree", "tree_workers_8")
+        .unwrap_or(0.0);
+    let tree_effective_cores = 8usize.min(cores).max(1) as f64;
+    let tree_efficiency = tree_8 / (tree_1.max(1e-9) * tree_effective_cores);
+
     let calibration = b
         .execs_per_sec("calibration", "fixed_roundrobin_hotpath")
         .unwrap_or(0.0);
@@ -1120,7 +1288,7 @@ fn write_report(b: &Bench) {
     }
 
     let json = Json::object([
-        ("pr", Json::UInt(9)),
+        ("pr", Json::UInt(10)),
         (
             "bench",
             Json::Str("crates/bench/benches/schedulers.rs".to_string()),
@@ -1195,6 +1363,43 @@ fn write_report(b: &Bench) {
             ]),
         ),
         (
+            "dpor_reduction",
+            Json::object([
+                (
+                    "sleep_set_redundancy_ratio",
+                    Json::Float(dpor.sleep_set_ratio),
+                ),
+                ("dpor_redundancy_ratio", Json::Float(dpor.dpor_ratio)),
+                ("dpor_vs_sleep_set", Json::Float(dpor_vs_sleep_set)),
+                ("sleep_set_execs_per_sec", Json::Float(sleep_set_wide)),
+                ("dpor_execs_per_sec", Json::Float(dpor_wide)),
+                (
+                    "sleep_set_effective_equivalents_per_sec",
+                    Json::Float(sleep_set_wide_equivalents),
+                ),
+                (
+                    "dpor_effective_equivalents_per_sec",
+                    Json::Float(dpor_equivalents),
+                ),
+                ("races_detected", Json::UInt(dpor.races_detected)),
+                (
+                    "backtracks_scheduled",
+                    Json::UInt(dpor.backtracks_scheduled),
+                ),
+            ]),
+        ),
+        (
+            "prefix_tree",
+            Json::object([
+                ("workers_1_execs_per_sec", Json::Float(tree_1)),
+                ("workers_8_execs_per_sec", Json::Float(tree_8)),
+                (
+                    "per_core_efficiency_8_workers",
+                    Json::Float(tree_efficiency),
+                ),
+            ]),
+        ),
+        (
             "scaling",
             Json::object([
                 ("cores_available", Json::UInt(cores as u64)),
@@ -1253,6 +1458,16 @@ fn write_report(b: &Bench) {
          ({effective_speedup:.2}x the random baseline); \
          prefix sharing {prefix_speedup:.2}x vs straight-line"
     );
+    println!(
+        "DPOR reduction: {:.2}x redundancy vs sleep-set {:.2}x \
+         ({dpor_vs_sleep_set:.2}x further), {dpor_equivalents:.0} effective \
+         schedule-equivalents/s vs sleep-set {sleep_set_wide_equivalents:.0}",
+        dpor.dpor_ratio, dpor.sleep_set_ratio,
+    );
+    println!(
+        "prefix-tree scaling: {tree_8:.0} exec/s at 8 workers vs {tree_1:.0} at 1 \
+         ({tree_efficiency:.2}x per-core on {cores} core(s))"
+    );
     println!("calibration probe: {calibration:.0} exec/s (fixed round-robin hotpath)");
     println!(
         "megakv scale sweep: {:.0} steps/s at 256 machines, {:.0} steps/s at 4096 \
@@ -1280,12 +1495,15 @@ fn main() {
         settings: parse_settings(),
         results: Vec::new(),
         reduction_ratio: None,
+        dpor_reduction: None,
         probe_overhead: None,
         fork_cost: Vec::new(),
     };
     calibration(&mut b);
     step_loop_hotpath(&mut b);
     schedule_reduction(&mut b);
+    dpor_reduction(&mut b);
+    prefix_tree_scaling(&mut b);
     megakv_scaling(&mut b);
     fork_cost(&mut b);
     harness_throughput(&mut b);

@@ -3,14 +3,16 @@
 //! 100,000 executions" check after the fixes were applied (§3.6).
 //!
 //! Usage: `fixed_check [--iterations N] [--workers W|max]
-//! [--scheduler random|pct|delay|prob|round-robin|sleep-set] [--portfolio]
-//! [--prefix-share] [--trace-mode full|ring:N|decisions]
+//! [--scheduler random|pct|delay|prob|round-robin|sleep-set[:N]|dpor]
+//! [--portfolio] [--prefix-share] [--trace-mode full|ring:N|decisions]
 //! [--faults default|crash=N,restart=N,drop=N,dup=N]` (defaults: 2,000
 //! executions, 1 worker, random scheduling, full traces, no faults).
 //! `--portfolio` verifies under the full default strategy portfolio instead
 //! of a single scheduler; `--scheduler sleep-set` (alias `por`) verifies
 //! with the sleep-set partial-order-reduction scheduler, covering more
-//! distinct behaviors per execution budget; `--prefix-share` forks each
+//! distinct behaviors per execution budget (`sleep-set:N` sets its
+//! wake-after-skips fairness knob, and `--scheduler dpor` uses the
+//! vector-clock dynamic-POR scheduler instead); `--prefix-share` forks each
 //! iteration from a post-setup snapshot of the harness instead of
 //! rebuilding it (identical results, cheaper iterations); `--trace-mode
 //! ring:N` bounds per-execution trace

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! table2 [--iterations N] [--seed S]
-//!        [--scheduler random|pct|delay|prob|round-robin|sleep-set|both|all]
+//!        [--scheduler random|pct|delay|prob|round-robin|sleep-set[:N]|dpor|both|all]
 //!        [--json PATH] [--workers W] [--portfolio] [--prefix-share]
 //!        [--shrink] [--trace-mode full|ring:N|decisions]
 //!        [--faults crash=N,restart=N,drop=N,dup=N]
@@ -30,7 +30,10 @@
 //! `--scheduler all` adds the delay-bounding, probabilistic-random and
 //! round-robin ablations as extra rows per bug. `--scheduler sleep-set`
 //! (alias `por`) hunts with the sleep-set partial-order-reduction scheduler,
-//! which skips interleavings equivalent to ones already explored.
+//! which skips interleavings equivalent to ones already explored;
+//! `sleep-set:N` sets its wake-after-skips fairness knob. `--scheduler dpor`
+//! hunts with the vector-clock dynamic-POR scheduler, whose happens-before
+//! tracking prunes past the fixed sleep window.
 //!
 //! `--prefix-share` makes every run fork its iterations from a post-setup
 //! snapshot of the harness instead of rebuilding it, when the harness

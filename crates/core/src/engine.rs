@@ -26,7 +26,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::Bug;
@@ -473,6 +473,8 @@ impl TestConfig {
         };
         let steps = runtime.steps() as u64;
         let pruned = runtime.pruned_equivalents();
+        let races = runtime.races_detected();
+        let backtracks = runtime.backtracks_scheduled();
         // Hand the runtime back for the next iteration. (After a bug the
         // recorded trace went into the outcome and the runtime carries an
         // empty replacement — pooling it is still correct, just cheaper.)
@@ -484,6 +486,8 @@ impl TestConfig {
             portfolio_entry,
             steps,
             pruned,
+            races,
+            backtracks,
             status,
         }
     }
@@ -554,6 +558,14 @@ pub struct IterationOutcome {
     /// ([`Scheduler::pruned_equivalents`](crate::scheduler::Scheduler::pruned_equivalents));
     /// zero for non-reducing strategies.
     pub pruned: u64,
+    /// Racing step pairs the iteration's scheduler detected
+    /// ([`Scheduler::races_detected`](crate::scheduler::Scheduler::races_detected));
+    /// zero for strategies without vector-clock tracking.
+    pub races: u64,
+    /// Scheduling points the iteration's scheduler resolved from a DPOR
+    /// backtrack
+    /// ([`Scheduler::backtracks_scheduled`](crate::scheduler::Scheduler::backtracks_scheduled)).
+    pub backtracks: u64,
     /// How the execution ended.
     pub status: IterationStatus,
 }
@@ -747,6 +759,8 @@ impl TestEngine {
             let row = tally.row_mut(outcome.portfolio_entry);
             row.total_steps += outcome.steps;
             row.pruned_schedules += outcome.pruned;
+            row.races_detected += outcome.races;
+            row.backtracks_scheduled += outcome.backtracks;
             row.iterations_run += 1;
             if let IterationStatus::BugFound { bug, ndc, trace } = outcome.status {
                 row.bugs_found += 1;
@@ -1067,6 +1081,8 @@ impl ParallelTestEngine {
                                 let row = tally.row_mut(outcome.portfolio_entry);
                                 row.total_steps += outcome.steps;
                                 row.pruned_schedules += outcome.pruned;
+                                row.races_detected += outcome.races;
+                                row.backtracks_scheduled += outcome.backtracks;
                                 match outcome.status {
                                     IterationStatus::Cancelled => {
                                         // Keep the partial work in the step
@@ -1161,41 +1177,91 @@ impl ParallelTestEngine {
 }
 
 /// One node awaiting expansion in the [`PrefixForkEngine`]'s prefix tree:
-/// the snapshot at the node, the sleep set inherited on the path to it
-/// (machines whose next step is already covered by an equivalent sibling
-/// ordering, each with the footprint observed when it executed), and the
-/// remaining expansion depth.
+/// the snapshot at the node, the path of forced decisions that reached it
+/// (the node's canonical identity, independent of which worker expands it),
+/// the sleep set inherited on the path (machines whose next step is already
+/// covered by an equivalent sibling ordering, each with the footprint
+/// observed when it executed), and the remaining expansion depth.
 struct PrefixNode {
-    snapshot: RuntimeSnapshot,
+    snapshot: Arc<RuntimeSnapshot>,
+    path: Vec<u64>,
     sleep: Vec<(MachineId, StepFootprint)>,
     depth: usize,
 }
 
-/// Serial engine that organizes the iteration space as a **bounded-depth
+/// The shared work queue of the parallel tree expansion: pending nodes plus
+/// the number of nodes currently being expanded by some worker. Expansion
+/// terminates when both hit zero — a worker holding a node may still push
+/// children, so an empty `nodes` list alone does not mean the tree is done.
+struct ExpandQueue {
+    nodes: Vec<PrefixNode>,
+    in_flight: usize,
+}
+
+/// A bug hit by a *forced prefix step* during tree expansion. Candidates
+/// race across workers; the lexicographically smallest path wins, so the
+/// reported bug is worker-count-independent.
+struct PrefixBug {
+    path: Vec<u64>,
+    bug: Bug,
+    ndc: usize,
+    trace: Trace,
+}
+
+/// One expansion worker's private results, merged after the phase barrier.
+struct ExpandOut {
+    leaves: Vec<(Vec<u64>, Arc<RuntimeSnapshot>)>,
+    tree_pruned: u64,
+    steps: u64,
+    bug: Option<PrefixBug>,
+}
+
+/// Parallel engine that organizes the iteration space as a **bounded-depth
 /// prefix tree** over snapshots, instead of running every execution from
 /// scratch.
 ///
 /// The harness `setup` executes once; the resulting state is snapshotted as
-/// the tree's root. The engine then expands the tree `depth` levels deep:
-/// each branch of a node executes one step of one enabled machine (a forced,
-/// recorded schedule decision) and snapshots the result. Sibling branches
-/// are pruned with **sleep sets**: once the branch stepping machine `a` has
-/// been expanded, a sibling branch stepping `b` whose step is
-/// [independent](StepFootprint::independent) of `a`'s keeps `a` in its
-/// child's sleep set — the ordering `b·a` reaches a state equivalent to the
-/// already-explored `a·b`, so the `a` branch under `b` is skipped and
-/// counted in [`StrategyStats::pruned_schedules`]. The configured
-/// iterations are then distributed round-robin over the leaves; each
+/// the tree's root. The engine then expands the tree `depth` levels deep
+/// across [`TestConfig::workers`] threads: pending nodes sit in a shared
+/// work-stealing queue, and each worker forks a claimed node's
+/// copy-on-write snapshot into its pooled runtime, executes one step of one
+/// enabled machine per branch (a forced, recorded schedule decision) and
+/// snapshots the result.
+///
+/// Which siblings become branches is decided **DPOR-style** from the step
+/// footprints, not by blind enumeration of the enabled set. The first
+/// eligible sibling always expands; a later sibling expands only when its
+/// step is *dependent* with at least one already-expanded sibling's step
+/// (a race — the two orderings genuinely commit to different partial
+/// orders, so the sibling is a backtrack point worth its own subtree). A
+/// sibling whose step commutes with every expanded sibling is pruned and
+/// counted in [`StrategyStats::pruned_schedules`]: executions starting with
+/// it reach, state for state, configurations some expanded sibling's
+/// subtree also reaches (suffix executions drain every enabled machine's
+/// pending work on the way to quiescence). **Sleep sets** additionally
+/// carry the commutation argument down the tree: once the branch stepping
+/// `a` has been expanded, a dependent sibling branch stepping `b` keeps `a`
+/// in its child's sleep set whenever `a`'s step is
+/// [independent](StepFootprint::independent) of `b`'s — the ordering `b·a`
+/// reaches a state equivalent to the already-explored `a·b`.
+///
+/// The configured iterations are then distributed round-robin over the
+/// leaves (claimed chunk-wise from a second work-stealing queue); each
 /// iteration restores its leaf's snapshot, installs its own scheduler and
 /// seed ([`TestConfig::strategy_for_iteration`] /
 /// [`TestConfig::seed_for_iteration`]) and runs only the suffix.
 ///
 /// Every recorded trace contains the forced prefix decisions, so bug traces
 /// replay (and shrink) from scratch exactly like straight-line recordings.
-/// Expansion order, leaf order and the iteration→leaf assignment are all
-/// deterministic, so a run's result is a pure function of its
-/// [`TestConfig`]. When the harness state is not snapshotable the engine
-/// transparently falls back to the straight-line [`TestEngine`].
+/// The tree is a pure function of the [`TestConfig`] — node expansion
+/// depends only on the node — and leaves are sorted by their decision-path
+/// key at the phase barrier, so the leaf order, the iteration→leaf
+/// assignment and the whole report of a bug-free run are byte-identical at
+/// any worker count; runs that find a bug deterministically report the bug
+/// at the lowest iteration index (prefix bugs: the smallest decision path),
+/// exactly like [`ParallelTestEngine`]. When the harness state is not
+/// snapshotable the engine transparently falls back to the straight-line
+/// [`TestEngine`].
 pub struct PrefixForkEngine {
     config: TestConfig,
     depth: usize,
@@ -1224,12 +1290,25 @@ impl PrefixForkEngine {
 
     /// Runs up to `iterations` suffix executions distributed over the
     /// prefix tree's leaves, stopping at the first property violation.
+    ///
+    /// Like [`ParallelTestEngine::run`], `setup` must be `Send + Sync`: the
+    /// tree is expanded and its leaves are suffixed by worker threads. Each
+    /// individual execution still runs serialized on exactly one thread.
     pub fn run<F>(&self, setup: F) -> TestReport
     where
-        F: Fn(&mut Runtime),
+        F: Fn(&mut Runtime) + Send + Sync,
     {
         let start = Instant::now();
         let config = &self.config;
+        let workers = config.workers.max(1);
+        // As in [`ParallelTestEngine`]: results are worker-count-independent
+        // by construction, so logical workers beyond the host's cores would
+        // only add time-slicing churn.
+        let threads = workers.min(
+            std::thread::available_parallelism()
+                .map(|cores| cores.get())
+                .unwrap_or(workers),
+        );
         let mut runtime = Runtime::new(
             config.scheduler.build(config.seed, config.max_steps),
             config.runtime_config(),
@@ -1240,142 +1319,364 @@ impl PrefixForkEngine {
             // Not snapshotable: identical semantics, straight-line execution.
             return TestEngine::new(config.clone()).run(setup);
         };
+        drop(runtime);
+        let root = Arc::new(root);
+
+        // Phase 1: expand the tree across workers. The queue hands out
+        // pending nodes; a worker forks each claimed node's copy-on-write
+        // snapshot into its own pooled runtime, so expansion parallelizes
+        // without any shared mutable machine state.
+        let queue = Mutex::new(ExpandQueue {
+            nodes: vec![PrefixNode {
+                snapshot: Arc::clone(&root),
+                path: Vec::new(),
+                sleep: Vec::new(),
+                depth: self.depth,
+            }],
+            in_flight: 0,
+        });
+        let idle = Condvar::new();
+        let outs: Vec<ExpandOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let queue = &queue;
+                    let idle = &idle;
+                    scope.spawn(move || {
+                        let mut out = ExpandOut {
+                            leaves: Vec::new(),
+                            tree_pruned: 0,
+                            steps: 0,
+                            bug: None,
+                        };
+                        let mut pooled: Option<Runtime> = None;
+                        loop {
+                            let node = {
+                                let mut q = queue.lock().expect("expansion queue poisoned");
+                                loop {
+                                    if let Some(node) = q.nodes.pop() {
+                                        q.in_flight += 1;
+                                        break node;
+                                    }
+                                    if q.in_flight == 0 {
+                                        // Nothing pending and nobody who
+                                        // could still push children.
+                                        return out;
+                                    }
+                                    q = idle.wait(q).expect("expansion queue poisoned");
+                                }
+                            };
+                            let runtime = pooled.get_or_insert_with(|| {
+                                Runtime::new(
+                                    config.scheduler.build(config.seed, config.max_steps),
+                                    config.runtime_config(),
+                                    config.seed,
+                                )
+                            });
+                            let children = Self::expand_node(runtime, node, &mut out);
+                            let mut q = queue.lock().expect("expansion queue poisoned");
+                            q.nodes.extend(children);
+                            q.in_flight -= 1;
+                            drop(q);
+                            // Wake everyone: pushed children mean work, and
+                            // the last decrement with an empty queue means
+                            // every waiter must exit.
+                            idle.notify_all();
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("expansion worker panicked"))
+                .collect()
+        });
+
+        let mut leaves: Vec<(Vec<u64>, Arc<RuntimeSnapshot>)> = Vec::new();
+        let mut tree_pruned: u64 = 0;
+        let mut expansion_steps: u64 = 0;
+        let mut prefix_bug: Option<PrefixBug> = None;
+        for out in outs {
+            leaves.extend(out.leaves);
+            tree_pruned += out.tree_pruned;
+            expansion_steps += out.steps;
+            if let Some(candidate) = out.bug {
+                if prefix_bug.as_ref().is_none_or(|b| candidate.path < b.path) {
+                    prefix_bug = Some(candidate);
+                }
+            }
+        }
 
         let mut tally = StrategyTally::new(config);
-        let mut total_steps: u64 = 0;
-        let mut leaves: Vec<RuntimeSnapshot> = Vec::new();
-        let mut tree_pruned: u64 = 0;
-        let mut stack = vec![PrefixNode {
-            snapshot: root,
-            sleep: Vec::new(),
-            depth: self.depth,
-        }];
-        let mut enabled: Vec<MachineId> = Vec::new();
-        while let Some(node) = stack.pop() {
-            runtime.restore_from(&node.snapshot);
-            enabled.clear();
-            enabled.extend_from_slice(runtime.enabled_machines());
-            if node.depth == 0 || enabled.is_empty() {
-                leaves.push(node.snapshot);
-                continue;
-            }
-            let mut explored: Vec<(MachineId, StepFootprint)> = Vec::new();
-            for &machine in &enabled {
-                if node.sleep.iter().any(|&(asleep, _)| asleep == machine) {
-                    // An equivalent sibling ordering already covers this
-                    // branch's entire subtree.
-                    tree_pruned += 1;
-                    continue;
-                }
-                runtime.restore_from(&node.snapshot);
-                if !runtime.force_step(machine) {
-                    continue;
-                }
-                total_steps += 1;
-                if let Some(bug) = runtime.bug().cloned() {
-                    // The shared prefix itself violates a property: every
-                    // iteration would hit it, so report it as iteration 0.
-                    let row = tally.row_mut(config.portfolio_index_for_iteration(0));
-                    row.iterations_run += 1;
-                    row.bugs_found += 1;
-                    let mut report = BugReport {
-                        bug,
-                        iteration: 0,
-                        ndc: runtime.trace().decision_count(),
-                        trace: runtime.take_trace(),
-                        time_to_bug: start.elapsed(),
-                        shrink: None,
-                    };
-                    config.rehydrate_report(&mut report, &setup);
-                    config.attach_shrink(&mut report, &setup);
-                    return TestReport {
-                        bug: Some(report),
-                        iterations_run: 1,
-                        total_steps,
-                        elapsed: start.elapsed(),
-                        scheduler: config.strategy_for_iteration(0).label(),
-                        workers: 1,
-                        per_strategy: tally.rows,
-                    };
-                }
-                let footprint = runtime.last_footprint().clone();
-                let Some(child) = runtime.snapshot() else {
-                    // The step enqueued a non-replicable event, so states
-                    // below this branch cannot be captured. Keep the node
-                    // itself as a leaf instead: its suffix executions still
-                    // reach every child ordering through their schedulers.
-                    leaves.push(node.snapshot);
-                    break;
-                };
-                // Sleep-set propagation: the child keeps every sleeping (or
-                // earlier-explored) machine whose step commutes with this
-                // branch's step; dependent ones wake.
-                let sleep = node
-                    .sleep
-                    .iter()
-                    .chain(explored.iter())
-                    .filter(|(_, other)| other.independent(&footprint))
-                    .cloned()
-                    .collect();
-                stack.push(PrefixNode {
-                    snapshot: child,
-                    sleep,
-                    depth: node.depth - 1,
-                });
-                explored.push((machine, footprint));
-            }
+        if let Some(found) = prefix_bug {
+            // A shared prefix itself violates a property: every iteration
+            // assigned below the buggy branch would hit it, so report it as
+            // iteration 0.
+            let row = tally.row_mut(config.portfolio_index_for_iteration(0));
+            row.iterations_run += 1;
+            row.bugs_found += 1;
+            tally.rows[0].pruned_schedules += tree_pruned;
+            let mut report = BugReport {
+                bug: found.bug,
+                iteration: 0,
+                ndc: found.ndc,
+                trace: found.trace,
+                time_to_bug: start.elapsed(),
+                shrink: None,
+            };
+            config.rehydrate_report(&mut report, &setup);
+            config.attach_shrink(&mut report, &setup);
+            return TestReport {
+                bug: Some(report),
+                iterations_run: 1,
+                total_steps: expansion_steps,
+                elapsed: start.elapsed(),
+                scheduler: config.strategy_for_iteration(0).label(),
+                workers,
+                per_strategy: tally.rows,
+            };
+        }
+        // Canonical leaf order: the tree is a pure function of the config,
+        // but discovery order depends on which worker expanded what.
+        // Sorting by decision-path key makes the iteration→leaf assignment
+        // identical at any worker count.
+        leaves.sort_by(|a, b| a.0.cmp(&b.0));
+        if leaves.is_empty() {
+            // Degenerate: every branch vanished into a sleep set. Suffix the
+            // root itself.
+            leaves.push((Vec::new(), Arc::clone(&root)));
         }
 
-        for iteration in 0..config.iterations {
-            let leaf = &leaves[(iteration % leaves.len() as u64) as usize];
-            let seed = config.seed_for_iteration(iteration);
-            let portfolio_entry = config.portfolio_index_for_iteration(iteration);
-            let strategy = config.strategy_for_iteration(iteration);
-            runtime.restore_from(leaf);
-            runtime.set_scheduler(strategy.build(seed, config.max_steps));
-            runtime.reseed(seed);
-            let prefix_steps = runtime.steps() as u64;
-            let outcome = runtime.run();
-            let suffix_steps = runtime.steps() as u64 - prefix_steps;
-            total_steps += suffix_steps;
-            let row = tally.row_mut(portfolio_entry);
-            row.total_steps += suffix_steps;
-            row.iterations_run += 1;
-            row.pruned_schedules += runtime.pruned_equivalents();
-            if let ExecutionOutcome::BugFound(bug) = outcome {
-                row.bugs_found += 1;
-                tally.rows[0].pruned_schedules += tree_pruned;
-                let mut report = BugReport {
-                    bug,
-                    iteration,
-                    ndc: runtime.trace().decision_count(),
-                    trace: runtime.take_trace(),
-                    time_to_bug: start.elapsed(),
-                    shrink: None,
-                };
-                config.rehydrate_report(&mut report, &setup);
-                config.attach_shrink(&mut report, &setup);
-                return TestReport {
-                    bug: Some(report),
-                    iterations_run: iteration + 1,
-                    total_steps,
-                    elapsed: start.elapsed(),
-                    scheduler: strategy.label(),
-                    workers: 1,
-                    per_strategy: tally.rows,
-                };
-            }
+        // Phase 2: distribute the iterations round-robin over the leaves,
+        // claimed chunk-wise from a work-stealing counter exactly like
+        // [`ParallelTestEngine::run`], with the same deterministic
+        // lowest-iteration first-bug selection and step-level cancellation.
+        let total = config.iterations;
+        let next = AtomicU64::new(0);
+        let bug_bound = Arc::new(AtomicU64::new(u64::MAX));
+        let first_bug: Mutex<Option<FirstBug>> = Mutex::new(None);
+        let leaves = &leaves;
+        let tallies: Vec<StrategyTally> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    let first_bug = &first_bug;
+                    let bug_bound = Arc::clone(&bug_bound);
+                    scope.spawn(move || {
+                        let mut tally = StrategyTally::new(config);
+                        let mut pooled: Option<Runtime> = None;
+                        loop {
+                            let bound = bug_bound.load(Ordering::Relaxed).min(total);
+                            let claimed = next.load(Ordering::Relaxed);
+                            if claimed >= bound {
+                                break;
+                            }
+                            let chunk = chunk_size(bound - claimed, threads as u64);
+                            let chunk_start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if chunk_start >= total {
+                                break;
+                            }
+                            let chunk_end = (chunk_start + chunk).min(total);
+                            for iteration in chunk_start..chunk_end {
+                                if iteration >= bug_bound.load(Ordering::Relaxed) {
+                                    continue;
+                                }
+                                let seed = config.seed_for_iteration(iteration);
+                                let portfolio_entry =
+                                    config.portfolio_index_for_iteration(iteration);
+                                let strategy = config.strategy_for_iteration(iteration);
+                                let leaf = &leaves[(iteration % leaves.len() as u64) as usize].1;
+                                let runtime = pooled.get_or_insert_with(|| {
+                                    Runtime::new(
+                                        strategy.build(seed, config.max_steps),
+                                        config.runtime_config(),
+                                        seed,
+                                    )
+                                });
+                                runtime.restore_from(leaf);
+                                runtime.set_scheduler(strategy.build(seed, config.max_steps));
+                                runtime.reseed(seed);
+                                runtime.set_cancel_token(CancelToken::new(
+                                    Arc::clone(&bug_bound),
+                                    iteration,
+                                ));
+                                let prefix_steps = runtime.steps() as u64;
+                                let outcome = runtime.run();
+                                let suffix_steps = runtime.steps() as u64 - prefix_steps;
+                                let row = tally.row_mut(portfolio_entry);
+                                row.total_steps += suffix_steps;
+                                row.pruned_schedules += runtime.pruned_equivalents();
+                                row.races_detected += runtime.races_detected();
+                                row.backtracks_scheduled += runtime.backtracks_scheduled();
+                                match outcome {
+                                    ExecutionOutcome::Cancelled => {}
+                                    ExecutionOutcome::BugFound(bug) => {
+                                        row.iterations_run += 1;
+                                        row.bugs_found += 1;
+                                        let ndc = runtime.trace().decision_count();
+                                        let trace = runtime.take_trace();
+                                        let previous =
+                                            bug_bound.fetch_min(iteration, Ordering::Relaxed);
+                                        if previous > iteration {
+                                            let mut slot =
+                                                first_bug.lock().expect("bug slot lock poisoned");
+                                            let lower = slot
+                                                .as_ref()
+                                                .is_none_or(|f| iteration < f.report.iteration);
+                                            if lower {
+                                                *slot = Some(FirstBug {
+                                                    report: BugReport {
+                                                        bug,
+                                                        iteration,
+                                                        ndc,
+                                                        trace,
+                                                        time_to_bug: start.elapsed(),
+                                                        shrink: None,
+                                                    },
+                                                    scheduler: strategy.label(),
+                                                });
+                                            }
+                                        }
+                                    }
+                                    ExecutionOutcome::Quiescent
+                                    | ExecutionOutcome::MaxStepsReached => {
+                                        row.iterations_run += 1;
+                                    }
+                                }
+                            }
+                        }
+                        tally
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("suffix worker panicked"))
+                .collect()
+        });
+        for worker_tally in tallies {
+            tally.merge(worker_tally);
         }
         tally.rows[0].pruned_schedules += tree_pruned;
+        let iterations_run = tally.rows.iter().map(|row| row.iterations_run).sum();
+        let total_steps =
+            expansion_steps + tally.rows.iter().map(|row| row.total_steps).sum::<u64>();
+
+        let winner = first_bug.into_inner().expect("bug slot lock poisoned");
+        let scheduler = match &winner {
+            Some(first) => first.scheduler,
+            None => no_bug_label(config),
+        };
+        let winner = winner.map(|mut first| {
+            config.rehydrate_report(&mut first.report, &setup);
+            config.attach_shrink(&mut first.report, &setup);
+            first
+        });
         TestReport {
-            bug: None,
-            iterations_run: config.iterations,
+            bug: winner.map(|first| first.report),
+            iterations_run,
             total_steps,
             elapsed: start.elapsed(),
-            scheduler: no_bug_label(config),
-            workers: 1,
+            scheduler,
+            workers,
             per_strategy: tally.rows,
         }
+    }
+
+    /// Expands one node in a worker's pooled runtime: forces one step per
+    /// eligible enabled machine, returns children for branches that commit
+    /// to a genuinely different partial order, and turns the node into a
+    /// leaf at depth 0 (or when a branch's state can no longer be captured).
+    ///
+    /// Sibling selection is DPOR-style. The first non-sleeping branch always
+    /// expands; a later sibling expands only when its first step is
+    /// *dependent* with at least one already-expanded sibling's step — a
+    /// race, so the sibling is a backtrack point whose subtree reaches
+    /// states no explored ordering covers. A sibling whose step commutes
+    /// with every expanded sibling is pruned: executions starting with it
+    /// reach, state for state, configurations some expanded sibling's
+    /// subtree also reaches. Sleep sets carry the same commutation argument
+    /// down the tree exactly as before.
+    fn expand_node(
+        runtime: &mut Runtime,
+        node: PrefixNode,
+        out: &mut ExpandOut,
+    ) -> Vec<PrefixNode> {
+        runtime.restore_from(&node.snapshot);
+        let enabled: Vec<MachineId> = runtime.enabled_machines().to_vec();
+        if node.depth == 0 || enabled.is_empty() {
+            out.leaves.push((node.path, node.snapshot));
+            return Vec::new();
+        }
+        let mut children = Vec::new();
+        let mut explored: Vec<(MachineId, StepFootprint)> = Vec::new();
+        for &machine in &enabled {
+            if node.sleep.iter().any(|&(asleep, _)| asleep == machine) {
+                // An equivalent sibling ordering already covers this
+                // branch's entire subtree.
+                out.tree_pruned += 1;
+                continue;
+            }
+            runtime.restore_from(&node.snapshot);
+            if !runtime.force_step(machine) {
+                continue;
+            }
+            out.steps += 1;
+            if let Some(bug) = runtime.bug().cloned() {
+                // The forced prefix itself violates a property; the
+                // smallest decision path across all workers wins.
+                let mut path = node.path.clone();
+                path.push(machine.raw());
+                if out.bug.as_ref().is_none_or(|b| path < b.path) {
+                    out.bug = Some(PrefixBug {
+                        path,
+                        bug,
+                        ndc: runtime.trace().decision_count(),
+                        trace: runtime.take_trace(),
+                    });
+                }
+                continue;
+            }
+            let footprint = runtime.last_footprint().clone();
+            let backtrack_worthy = explored.is_empty()
+                || explored
+                    .iter()
+                    .any(|(_, other)| !other.independent(&footprint));
+            if !backtrack_worthy {
+                // Commutes with every expanded sibling: orderings starting
+                // here are explored inside their subtrees.
+                out.tree_pruned += 1;
+                continue;
+            }
+            let Some(child) = runtime.snapshot() else {
+                // The step enqueued a non-replicable event, so states below
+                // this branch cannot be captured. Keep the node itself as a
+                // leaf instead: its suffix executions still reach every
+                // child ordering through their schedulers.
+                out.leaves
+                    .push((node.path.clone(), Arc::clone(&node.snapshot)));
+                break;
+            };
+            // Sleep-set propagation: the child keeps every sleeping (or
+            // earlier-explored) machine whose step commutes with this
+            // branch's step; dependent ones wake.
+            let sleep = node
+                .sleep
+                .iter()
+                .chain(explored.iter())
+                .filter(|(_, other)| other.independent(&footprint))
+                .cloned()
+                .collect();
+            let mut path = node.path.clone();
+            path.push(machine.raw());
+            children.push(PrefixNode {
+                snapshot: Arc::new(child),
+                path,
+                sleep,
+                depth: node.depth - 1,
+            });
+            explored.push((machine, footprint));
+        }
+        children
     }
 }
 

@@ -11,9 +11,11 @@ use std::fmt;
 
 /// Payload trait implemented by every concrete event type.
 ///
-/// This is a blanket-implemented marker trait: any `'static + Send + Debug`
-/// type can be used as an event payload. Implementors do not need to do
-/// anything beyond deriving [`Debug`].
+/// This is a blanket-implemented marker trait: any `'static + Send + Sync +
+/// Debug` type can be used as an event payload. Implementors do not need to
+/// do anything beyond deriving [`Debug`]. (`Sync` is required so that
+/// runtime snapshots — which carry queued events for copy-on-write forks —
+/// can be shared across the worker threads of the parallel engines.)
 ///
 /// # Examples
 ///
@@ -27,14 +29,14 @@ use std::fmt;
 /// assert!(event.is::<Ping>());
 /// assert_eq!(event.downcast_ref::<Ping>().unwrap().0, 7);
 /// ```
-pub trait EventPayload: Any + Send + fmt::Debug {
+pub trait EventPayload: Any + Send + Sync + fmt::Debug {
     /// Returns `self` as a `&dyn Any` so the payload can be downcast.
     fn as_any(&self) -> &dyn Any;
     /// Returns `self` as a boxed `Any` so the payload can be consumed.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
-impl<T: Any + Send + fmt::Debug> EventPayload for T {
+impl<T: Any + Send + Sync + fmt::Debug> EventPayload for T {
     fn as_any(&self) -> &dyn Any {
         self
     }

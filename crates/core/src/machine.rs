@@ -91,7 +91,11 @@ impl fmt::Display for MachineId {
 ///     }
 /// }
 /// ```
-pub trait Machine: AsAny + 'static {
+/// Machines are `Send + Sync` so that runtime snapshots (which share machine
+/// state copy-on-write via `Arc<dyn Machine>`) can cross the worker threads
+/// of the parallel engines. Machine state holding `Rc`/`RefCell` should use
+/// `Arc`/`Mutex` instead.
+pub trait Machine: AsAny + Send + Sync + 'static {
     /// Invoked once, before the machine handles its first event.
     ///
     /// The default implementation does nothing.
@@ -227,9 +231,9 @@ pub enum Transition<S> {
 /// for the events it handles. The current state is tracked by the
 /// [`StateMachineRunner`] adapter; handlers receive it explicitly and return a
 /// [`Transition`].
-pub trait StateMachine: 'static {
+pub trait StateMachine: Send + Sync + 'static {
     /// The state space of this machine.
-    type State: Copy + Eq + fmt::Debug + 'static;
+    type State: Copy + Eq + fmt::Debug + Send + Sync + 'static;
 
     /// The state the machine starts in.
     fn initial_state(&self) -> Self::State;

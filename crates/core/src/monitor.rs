@@ -81,7 +81,10 @@ impl<T: Any> AsAny for T {
 ///     }
 /// }
 /// ```
-pub trait Monitor: AsAny + 'static {
+/// Monitors are `Send + Sync` so that runtime snapshots (which carry monitor
+/// state for copy-on-write forks) can be shared across the worker threads of
+/// the parallel engines.
+pub trait Monitor: AsAny + Send + Sync + 'static {
     /// Handles a notification published by a machine via
     /// [`Context::notify_monitor`](crate::runtime::Context::notify_monitor).
     fn observe(&mut self, ctx: &mut MonitorContext<'_>, event: &Event);

@@ -1326,6 +1326,19 @@ impl Runtime {
         self.scheduler.pruned_equivalents()
     }
 
+    /// Total racing step pairs the driving scheduler has detected so far
+    /// (see [`Scheduler::races_detected`]); zero for strategies without
+    /// vector-clock tracking.
+    pub fn races_detected(&self) -> u64 {
+        self.scheduler.races_detected()
+    }
+
+    /// Total scheduling points the driving scheduler resolved from a DPOR
+    /// backtrack (see [`Scheduler::backtracks_scheduled`]).
+    pub fn backtracks_scheduled(&self) -> u64 {
+        self.scheduler.backtracks_scheduled()
+    }
+
     /// The side effects of the most recently executed step (empty before the
     /// first step). Exposed for engines that drive steps one at a time via
     /// [`Runtime::force_step`] and classify branches by independence.

@@ -162,6 +162,14 @@ pub struct StrategyStats {
     /// effective exploration rate is
     /// `(total_steps + pruned_schedules) / wall-time`.
     pub pruned_schedules: u64,
+    /// Racing step pairs — dependent but unordered by happens-before — this
+    /// strategy detected (see
+    /// [`Scheduler::races_detected`](crate::scheduler::Scheduler::races_detected)).
+    /// Zero for strategies without vector-clock tracking.
+    pub races_detected: u64,
+    /// Scheduling points resolved from a DPOR backtrack (see
+    /// [`Scheduler::backtracks_scheduled`](crate::scheduler::Scheduler::backtracks_scheduled)).
+    pub backtracks_scheduled: u64,
 }
 
 impl StrategyStats {
@@ -173,6 +181,8 @@ impl StrategyStats {
             total_steps: 0,
             bugs_found: 0,
             pruned_schedules: 0,
+            races_detected: 0,
+            backtracks_scheduled: 0,
         }
     }
 
@@ -190,13 +200,15 @@ impl StrategyStats {
         self.total_steps += other.total_steps;
         self.bugs_found += other.bugs_found;
         self.pruned_schedules += other.pruned_schedules;
+        self.races_detected += other.races_detected;
+        self.backtracks_scheduled += other.backtracks_scheduled;
     }
 
     /// Renders the header row matching [`StrategyStats`]'s `Display` output.
     pub fn table_header() -> String {
         format!(
-            "{:<14} {:>12} {:>12} {:>5} {:>12}",
-            "Strategy", "Execs", "Steps", "Bugs", "Pruned"
+            "{:<14} {:>12} {:>12} {:>5} {:>12} {:>8} {:>10}",
+            "Strategy", "Execs", "Steps", "Bugs", "Pruned", "Races", "Backtracks"
         )
     }
 }
@@ -205,12 +217,14 @@ impl fmt::Display for StrategyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<14} {:>12} {:>12} {:>5} {:>12}",
+            "{:<14} {:>12} {:>12} {:>5} {:>12} {:>8} {:>10}",
             self.scheduler,
             self.iterations_run,
             self.total_steps,
             self.bugs_found,
-            self.pruned_schedules
+            self.pruned_schedules,
+            self.races_detected,
+            self.backtracks_scheduled
         )
     }
 }
@@ -223,6 +237,11 @@ impl ToJson for StrategyStats {
             ("total_steps", Json::UInt(self.total_steps)),
             ("bugs_found", Json::UInt(self.bugs_found)),
             ("pruned_schedules", Json::UInt(self.pruned_schedules)),
+            ("races_detected", Json::UInt(self.races_detected)),
+            (
+                "backtracks_scheduled",
+                Json::UInt(self.backtracks_scheduled),
+            ),
         ])
     }
 }

@@ -7,7 +7,7 @@
 //! is then free to interleave timeouts arbitrarily with regular system events
 //! — exactly the modeling pattern of Figure 9 in the paper.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::event::Event;
 use crate::machine::{Machine, MachineId};
@@ -31,12 +31,13 @@ pub struct TimerTick;
 
 /// A machine that models timer expiration with controlled nondeterminism.
 ///
-/// Clonable (the tick constructor is behind an `Rc`), so harnesses using
-/// timers stay compatible with snapshot-based prefix sharing.
+/// Clonable (the tick constructor is behind an `Arc`, so the machine stays
+/// `Send + Sync`), so harnesses using timers stay compatible with
+/// snapshot-based prefix sharing and parallel prefix-tree exploration.
 #[derive(Clone)]
 pub struct Timer {
     target: MachineId,
-    make_tick: Rc<dyn Fn() -> Event + 'static>,
+    make_tick: Arc<dyn Fn() -> Event + Send + Sync + 'static>,
     max_ticks: Option<usize>,
     ticks_sent: usize,
 }
@@ -46,7 +47,7 @@ impl Timer {
     pub fn new(target: MachineId) -> Self {
         Timer {
             target,
-            make_tick: Rc::new(|| Event::new(TimerTick)),
+            make_tick: Arc::new(|| Event::new(TimerTick)),
             max_ticks: None,
             ticks_sent: 0,
         }
@@ -58,11 +59,11 @@ impl Timer {
     /// example a heartbeat timer and a sync-report timer).
     pub fn with_event<F>(target: MachineId, make_tick: F) -> Self
     where
-        F: Fn() -> Event + 'static,
+        F: Fn() -> Event + Send + Sync + 'static,
     {
         Timer {
             target,
-            make_tick: Rc::new(make_tick),
+            make_tick: Arc::new(make_tick),
             max_ticks: None,
             ticks_sent: 0,
         }

@@ -319,6 +319,64 @@ fn recycled_megakv_iteration_at_ten_thousand_machines_stays_within_budget() {
     );
 }
 
+/// The vector-clock DPOR strategy preallocates its entire clock machinery —
+/// the LRU slot window, the pending-clock rings, the recent-step race-scan
+/// ring and the backtrack queue — in [`DporScheduler::new`], which the
+/// engines call *outside* an iteration's hot loop. A recycled iteration
+/// driven by DPOR must therefore fit the same ≤8 allocation budget as the
+/// non-reducing strategies: happens-before tracking, race detection and
+/// backtrack scheduling are all in-place updates of retained storage.
+#[test]
+fn recycled_dpor_iteration_stays_within_a_constant_allocation_budget() {
+    const EVENTS: usize = 8_192;
+    struct Sink;
+    impl Machine for Sink {
+        fn handle(&mut self, _ctx: &mut Context<'_>, _event: Event) {}
+    }
+    let config = RuntimeConfig {
+        max_steps: EVENTS * 2,
+        ..RuntimeConfig::default()
+    };
+
+    let preload = |rt: &mut Runtime| {
+        let sinks = [
+            rt.create_machine(Sink),
+            rt.create_machine(Sink),
+            rt.create_machine(Sink),
+        ];
+        for i in 0..EVENTS {
+            rt.send(sinks[i % sinks.len()], Event::new(Spin));
+        }
+    };
+
+    // Warm-up iteration grows every buffer to its steady-state size.
+    let mut rt = Runtime::new(
+        SchedulerKind::Dpor.build(11, EVENTS * 2),
+        config.clone(),
+        11,
+    );
+    preload(&mut rt);
+    assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
+
+    // The recycled iteration: the scheduler (and its preallocated clock
+    // tables) is constructed outside the armed window, exactly as the
+    // engines sequence it; only the run itself is measured.
+    let scheduler = SchedulerKind::Dpor.build(13, EVENTS * 2);
+    rt.reset(scheduler, config, 13);
+    preload(&mut rt);
+    let (allocations, outcome) = count_allocations(|| rt.run());
+    assert_eq!(outcome, ExecutionOutcome::Quiescent);
+    assert!(
+        rt.pruned_equivalents() > 0,
+        "the DPOR run must actually have pruned (sticky run-to-completion)"
+    );
+    assert!(
+        allocations <= 8,
+        "a recycled DPOR iteration allocated {allocations} times; \
+         vector-clock tracking must run entirely in preallocated storage"
+    );
+}
+
 /// Snapshot forks ([`Runtime::restore_from`], the prefix-sharing path) recycle
 /// the pooled mailboxes, retained trace storage and footprint buffers of the
 /// runtime they overwrite, so once the pools are warm a fork costs O(machines)
@@ -436,6 +494,75 @@ fn low_dirty_fork_at_ten_thousand_machines_costs_o_dirty_not_o_machines() {
     // start step and the iteration reaches quiescence.
     assert_eq!(rt.run(), ExecutionOutcome::Quiescent);
     assert_eq!(rt.steps(), TOTAL);
+}
+
+/// One branch expansion of the parallel prefix-tree engine — rewinding a
+/// worker's pooled runtime to the node snapshot, forcing one scheduling
+/// step, and capturing the child snapshot — runs in a small constant budget
+/// once the worker's pools are warm, *independent of how long the suffix the
+/// rewind discards ran*. This is what makes tree forks "cheap": expanding a
+/// node costs O(machines + dirty), never O(steps).
+#[test]
+fn parallel_tree_branch_expansion_stays_within_a_constant_allocation_budget() {
+    const STEPS: usize = 8_192;
+
+    #[derive(Clone)]
+    struct CloneSpinner;
+    impl Machine for CloneSpinner {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send_to_self(Event::replicable(ClonableSpin));
+        }
+        fn handle(&mut self, ctx: &mut Context<'_>, _event: Event) {
+            ctx.send_to_self(Event::replicable(ClonableSpin));
+        }
+        fn clone_state(&self) -> Option<Box<dyn Machine>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+    #[derive(Debug, Clone)]
+    struct ClonableSpin;
+
+    let mut rt = Runtime::new(
+        SchedulerKind::Random.build(11, STEPS),
+        RuntimeConfig {
+            max_steps: STEPS,
+            ..RuntimeConfig::default()
+        },
+        11,
+    );
+    let first = rt.create_machine(CloneSpinner);
+    rt.create_machine(CloneSpinner);
+    let node = rt.snapshot().expect("clonable harness snapshots");
+
+    // Warm-up: run a long suffix, then perform the branch-expansion cycle
+    // twice so every pool reaches steady state.
+    assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
+    for _ in 0..2 {
+        rt.restore_from(&node);
+        assert!(rt.force_step(first));
+        let _child = rt.snapshot().expect("branch snapshots");
+    }
+
+    // The measured expansion: rewind past the 8k-step suffix, force the
+    // branch step, capture the child. The budget covers the per-machine
+    // state clones of the child snapshot plus the snapshot scheduler clone —
+    // nothing proportional to the discarded suffix.
+    let (allocations, child) = count_allocations(|| {
+        rt.restore_from(&node);
+        assert!(rt.force_step(first));
+        rt.snapshot().expect("branch snapshots")
+    });
+    assert!(
+        allocations <= 48,
+        "one tree-branch expansion allocated {allocations} times; \
+         forking a node must cost O(machines), not O(suffix steps)"
+    );
+
+    // And the child is a usable tree node: a fork of it runs to the bound.
+    rt.restore_from(&child);
+    rt.set_scheduler(SchedulerKind::Random.build(17, STEPS));
+    rt.reseed(17);
+    assert_eq!(rt.run(), ExecutionOutcome::MaxStepsReached);
 }
 
 /// Bug-free portfolio sweeps auto-select `TraceMode::DecisionsOnly` when

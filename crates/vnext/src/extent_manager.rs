@@ -22,8 +22,10 @@ use crate::types::{EnId, EnMessage, ExtMgrMessage, ExtentId};
 ///
 /// The production implementation writes to sockets; the test harness
 /// overrides it with a modeled engine that relays messages through the
-/// systematic-testing runtime.
-pub trait NetworkEngine {
+/// systematic-testing runtime. Engines are `Send + Sync` because the manager
+/// (and the harness machine that wraps it) is carried inside runtime
+/// snapshots, which the parallel engines share across worker threads.
+pub trait NetworkEngine: Send + Sync {
     /// Sends `message` to the EN `target`.
     fn send_message(&mut self, target: EnId, message: ExtMgrMessage);
 }
@@ -76,7 +78,7 @@ impl NetworkEngine for RecordingNetworkEngine {
 /// the paper's `ModelNetEngine` (Figure 7) without modifying the manager.
 #[derive(Debug, Clone, Default)]
 pub struct SharedNetworkEngine {
-    sent: std::rc::Rc<std::cell::RefCell<Vec<(EnId, ExtMgrMessage)>>>,
+    sent: std::sync::Arc<std::sync::Mutex<Vec<(EnId, ExtMgrMessage)>>>,
 }
 
 impl SharedNetworkEngine {
@@ -87,12 +89,12 @@ impl SharedNetworkEngine {
 
     /// Removes and returns every message sent since the last drain.
     pub fn drain(&self) -> Vec<(EnId, ExtMgrMessage)> {
-        std::mem::take(&mut *self.sent.borrow_mut())
+        std::mem::take(&mut *self.sent.lock().expect("outbox lock"))
     }
 
     /// Number of undrained messages.
     pub fn pending(&self) -> usize {
-        self.sent.borrow().len()
+        self.sent.lock().expect("outbox lock").len()
     }
 
     /// Deep-copies the engine: unlike `clone` (which shares the outbox
@@ -100,14 +102,19 @@ impl SharedNetworkEngine {
     /// messages, so snapshot clones never share wire state.
     pub fn fork(&self) -> SharedNetworkEngine {
         SharedNetworkEngine {
-            sent: std::rc::Rc::new(std::cell::RefCell::new(self.sent.borrow().clone())),
+            sent: std::sync::Arc::new(std::sync::Mutex::new(
+                self.sent.lock().expect("outbox lock").clone(),
+            )),
         }
     }
 }
 
 impl NetworkEngine for SharedNetworkEngine {
     fn send_message(&mut self, target: EnId, message: ExtMgrMessage) {
-        self.sent.borrow_mut().push((target, message));
+        self.sent
+            .lock()
+            .expect("outbox lock")
+            .push((target, message));
     }
 }
 
@@ -299,18 +306,17 @@ impl ExtentManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// A network engine whose outbox is shared with the test.
     #[derive(Clone, Default)]
     struct SharedEngine {
-        sent: Rc<RefCell<Vec<(EnId, ExtMgrMessage)>>>,
+        sent: Arc<Mutex<Vec<(EnId, ExtMgrMessage)>>>,
     }
 
     impl NetworkEngine for SharedEngine {
         fn send_message(&mut self, target: EnId, message: ExtMgrMessage) {
-            self.sent.borrow_mut().push((target, message));
+            self.sent.lock().unwrap().push((target, message));
         }
     }
 
@@ -404,7 +410,7 @@ mod tests {
         // EN that does not hold it (3 or 4).
         let sent = mgr.run_repair_loop();
         assert_eq!(sent, 1);
-        let outbox = engine.sent.borrow();
+        let outbox = engine.sent.lock().unwrap();
         let (target, message) = outbox[0];
         assert!(target == EnId(3) || target == EnId(4));
         match message {
@@ -428,7 +434,7 @@ mod tests {
         // Unrepairable extent: registered but zero replicas.
         mgr.register_extent(ExtentId(30));
         assert_eq!(mgr.run_repair_loop(), 0);
-        assert!(engine.sent.borrow().is_empty());
+        assert!(engine.sent.lock().unwrap().is_empty());
     }
 
     #[test]
